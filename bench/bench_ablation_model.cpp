@@ -1,0 +1,74 @@
+// Ablation: sensitivity of the layout to the resource model's per-stage
+// budgets (a design-choice study DESIGN.md calls out). Two sweeps:
+//
+//   1. stateful ALUs per stage (Tofino 1 has 4) — binds apps with many
+//      independent arrays;
+//   2. logical tables per stage — binds apps with many mutually exclusive
+//      merged tables.
+//
+// The interesting observation: most apps are *dependence*-bound (stage
+// count barely moves), which is exactly why the paper's greedy merger works
+// — the hard constraints are dataflow chains, not per-stage capacity.
+#include "bench_common.hpp"
+
+namespace {
+
+int stages_with(const lucid::apps::AppSpec& spec,
+                const lucid::opt::ResourceModel& model) {
+  lucid::DiagnosticEngine diags(spec.source);
+  lucid::CompileOptions opts;
+  opts.model = model;
+  const auto r = lucid::compile(spec.source, diags, opts);
+  return r.ok ? r.stats.optimized_stages : -1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace lucid;
+  bench::print_header("Ablation",
+                      "Layout sensitivity to per-stage resource budgets");
+
+  std::printf("stage count vs stateful ALUs per stage (tables/stage = 8):\n");
+  std::printf("%-10s | %7s | %7s | %7s | %7s\n", "App", "salu=1", "salu=2",
+              "salu=4", "salu=8");
+  bench::print_rule(52);
+  for (const auto& spec : apps::all_apps()) {
+    std::printf("%-10s |", spec.key.c_str());
+    for (const int salus : {1, 2, 4, 8}) {
+      opt::ResourceModel m;
+      m.salus_per_stage = salus;
+      std::printf(" %7d |", stages_with(spec, m));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nstage count vs logical tables per stage (salus = 4):\n");
+  std::printf("%-10s | %7s | %7s | %7s | %7s\n", "App", "tbl=2", "tbl=4",
+              "tbl=8", "tbl=16");
+  bench::print_rule(52);
+  for (const auto& spec : apps::all_apps()) {
+    std::printf("%-10s |", spec.key.c_str());
+    for (const int tables : {2, 4, 8, 16}) {
+      opt::ResourceModel m;
+      m.tables_per_stage = tables;
+      std::printf(" %7d |", stages_with(spec, m));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nstage count vs merged-table member budget (default 12):\n");
+  std::printf("%-10s | %7s | %7s | %7s\n", "App", "mem=2", "mem=6",
+              "mem=12");
+  bench::print_rule(42);
+  for (const auto& spec : apps::all_apps()) {
+    std::printf("%-10s |", spec.key.c_str());
+    for (const int members : {2, 6, 12}) {
+      opt::ResourceModel m;
+      m.members_per_table = members;
+      std::printf(" %7d |", stages_with(spec, m));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Shared helpers for the per-figure benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "core/compiler.hpp"
+#include "support/strings.hpp"
+
+namespace lucid::bench {
+
+/// Compiles an app, aborting the bench with a message on failure (benches
+/// regenerate paper figures; a non-compiling app is a hard error).
+inline CompileResult compile_app(const apps::AppSpec& spec) {
+  DiagnosticEngine diags(spec.source);
+  CompileResult r = compile(spec.source, diags);
+  if (!r.ok) {
+    std::fprintf(stderr, "FATAL: app %s failed to compile:\n%s\n",
+                 spec.key.c_str(), diags.render().c_str());
+    std::exit(1);
+  }
+  return r;
+}
+
+inline void print_rule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void print_header(const std::string& figure,
+                         const std::string& caption) {
+  print_rule();
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  print_rule();
+}
+
+}  // namespace lucid::bench

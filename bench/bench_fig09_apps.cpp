@@ -1,0 +1,43 @@
+// Figure 9: the ten applications — Lucid LoC, (generated) P4 LoC, and
+// Tofino pipeline stages, side by side with the paper's reported values.
+//
+// The paper compares hand-written P4 where available and argues (section
+// 7.1, via the *Flow calibration point) that compiler-generated P4 is within
+// ~15% of hand-written length, so generated-P4 LoC is the same proxy used
+// here.
+#include "bench_common.hpp"
+#include "p4/emit.hpp"
+
+int main() {
+  using namespace lucid;
+  bench::print_header(
+      "Figure 9",
+      "Applications: LoC in Lucid vs P4, and Tofino pipeline stages");
+
+  std::printf("%-10s | %11s | %11s | %11s | %11s | %9s | %9s\n", "App",
+              "Lucid LoC", "paper Lucid", "P4 LoC", "paper P4", "stages",
+              "paper stg");
+  bench::print_rule();
+
+  double loc_ratio_sum = 0;
+  int n = 0;
+  for (const auto& spec : apps::all_apps()) {
+    const CompileResult r = bench::compile_app(spec);
+    const p4::P4Program p4prog = p4::emit(r, spec.key);
+    const std::size_t lucid_loc = count_loc(spec.source);
+    const std::size_t p4_loc = p4prog.total_loc();
+    std::printf("%-10s | %11zu | %11d | %11zu | %11d | %9d | %9d\n",
+                spec.key.c_str(), lucid_loc, spec.paper_lucid_loc, p4_loc,
+                spec.paper_p4_loc, r.stats.optimized_stages,
+                spec.paper_stages);
+    loc_ratio_sum += static_cast<double>(p4_loc) /
+                     static_cast<double>(lucid_loc);
+    ++n;
+  }
+  bench::print_rule();
+  std::printf("mean P4/Lucid LoC ratio: %.1fx  (paper: ~10x, range 5-10x+)\n",
+              loc_ratio_sum / n);
+  std::printf("all apps compile to <= 12 Tofino-like stages: see 'stages' "
+              "column\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 11: development time for a student without Tofino experience.
+//
+// This is a human study and cannot be re-run mechanically — substitution
+// documented in DESIGN.md. The bench (a) reprints the paper's reported
+// numbers for reference and (b) measures what *is* mechanical: full compiler
+// wall time per application (google-benchmark), supporting the "rapid
+// iteration" claim — every app compiles in milliseconds, so the
+// write-compile-fix loop is bounded by the human, not the toolchain.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+
+namespace {
+
+void BM_CompileApp(benchmark::State& state) {
+  const auto& spec =
+      lucid::apps::all_apps()[static_cast<std::size_t>(state.range(0))];
+  state.SetLabel(spec.key);
+  for (auto _ : state) {
+    lucid::DiagnosticEngine diags(spec.source);
+    auto r = lucid::compile(spec.source, diags);
+    benchmark::DoNotOptimize(r.ok);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_CompileApp)->DenseRange(0, 9)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  lucid::bench::print_header(
+      "Figure 11", "Development time (paper's human study, not re-runnable)");
+  std::printf("paper-reported times for a Tofino-novice PhD student:\n");
+  std::printf("  %-22s %s\n", "NAT", "25m");
+  std::printf("  %-22s %s\n", "RIP", "40m");
+  std::printf("  %-22s %s\n", "Dist FW", "25m");
+  std::printf("  %-22s %s\n", "Dist FW + Aging", "25m + 30m");
+  std::printf("\nsubstitution: the mechanical component measured below is "
+              "compiler wall\ntime per app (full pipeline: parse, memop "
+              "check, effects, lowering, layout).\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

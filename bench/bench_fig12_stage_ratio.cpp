@@ -1,0 +1,33 @@
+// Figure 12: optimized vs unoptimized stage count per application.
+//
+// Unoptimized = atomic tables on the longest code path of the unoptimized
+// pipeline (one table per stage, no branch inlining / reordering / merging,
+// handlers in disjoint stage ranges). Paper: ratios of 1.5-4x, larger for
+// complex applications, and several apps simply don't fit unoptimized.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lucid;
+  bench::print_header("Figure 12",
+                      "Optimized stage count vs unoptimized (ratio)");
+
+  std::printf("%-10s | %11s | %9s | %6s | %13s\n", "App", "unoptimized",
+              "optimized", "ratio", "fits unopt?");
+  bench::print_rule();
+  double min_ratio = 1e9;
+  double max_ratio = 0;
+  for (const auto& spec : apps::all_apps()) {
+    const CompileResult r = bench::compile_app(spec);
+    const double ratio = r.stats.stage_ratio();
+    std::printf("%-10s | %11d | %9d | %5.1fx | %13s\n", spec.key.c_str(),
+                r.stats.unoptimized_stages, r.stats.optimized_stages, ratio,
+                r.stats.unoptimized_stages > 12 ? "no (>12)" : "yes");
+    min_ratio = std::min(min_ratio, ratio);
+    max_ratio = std::max(max_ratio, ratio);
+  }
+  bench::print_rule();
+  std::printf("ratio range: %.1fx - %.1fx  (paper: 1.5x - 4x, biggest gains "
+              "on complex apps)\n",
+              min_ratio, max_ratio);
+  return 0;
+}

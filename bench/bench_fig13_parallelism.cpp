@@ -1,0 +1,42 @@
+// Figure 13: parallelization — the number of atomic operations (Lucid
+// statements) the compiler mapped into each pipeline stage of the optimized
+// layout. Paper: 2-13 per stage across the applications.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace lucid;
+  bench::print_header(
+      "Figure 13",
+      "ALU instructions (atomic tables) per stage in optimized layouts");
+
+  std::printf("%-10s | %6s | %6s | %6s | %s\n", "App", "min", "avg", "max",
+              "per-stage profile");
+  bench::print_rule();
+  int global_max = 0;
+  for (const auto& spec : apps::all_apps()) {
+    const CompileResult r = bench::compile_app(spec);
+    const auto& ops = r.stats.ops_per_stage;
+    int mn = 1 << 30;
+    int mx = 0;
+    int total = 0;
+    std::string profile;
+    for (const int o : ops) {
+      mn = std::min(mn, o);
+      mx = std::max(mx, o);
+      total += o;
+      profile += std::to_string(o) + " ";
+    }
+    global_max = std::max(global_max, mx);
+    std::printf("%-10s | %6d | %6.1f | %6d | %s\n", spec.key.c_str(),
+                ops.empty() ? 0 : mn,
+                ops.empty() ? 0.0
+                            : static_cast<double>(total) /
+                                  static_cast<double>(ops.size()),
+                mx, profile.c_str());
+  }
+  bench::print_rule();
+  std::printf("max operations packed into one stage across apps: %d "
+              "(paper: up to 13)\n",
+              global_max);
+  return 0;
+}

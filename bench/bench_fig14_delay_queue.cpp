@@ -1,0 +1,119 @@
+// Figure 14: pausable-queue overhead and accuracy. Left: recirculation
+// bandwidth for N concurrently delayed 64B events, baseline (continuous
+// recirculation) vs the PFC-pausable delay queue. Right: the relative
+// timing error the queue trades for that bandwidth.
+//
+// Paper shape: the baseline saturates the 100 Gb/s recirculation port by
+// ~90 events while the queue stays in single-digit Gb/s (~20x less); the
+// queue's delay error grows to ~0.05 relative (release period 100 us).
+#include <cstdio>
+
+#include "sched/scheduler.hpp"
+
+namespace {
+
+using namespace lucid;
+
+struct RunResult {
+  double gbps = 0;
+  double mean_rel_err = 0;
+  double max_rel_err = 0;
+};
+
+RunResult run(sched::DelayMode mode, int concurrent_events,
+              sim::Time requested_delay, sim::Time horizon) {
+  sim::Simulator simulator;
+  pisa::SwitchConfig sc;
+  sc.id = 1;
+  pisa::Switch sw(simulator, sc);
+  sched::SchedulerConfig cfg;
+  cfg.mode = mode;
+  sched::EventScheduler scheduler(sw, cfg);
+  scheduler.set_execute([](const pisa::Packet&) {});
+
+  // Bandwidth phase: events delayed "indefinitely".
+  for (int i = 0; i < concurrent_events; ++i) {
+    sched::GenEvent ev;
+    ev.event_id = 0;
+    ev.delay_ns = 100 * sim::kSec;
+    scheduler.inject(ev);
+  }
+  const sim::Time t0 = 1 * sim::kMs;  // warm-up before measuring
+  simulator.run_until(t0);
+  const auto bytes0 = sw.recirc_stats().wire_bytes;
+  simulator.run_until(t0 + horizon);
+  const auto bytes1 = sw.recirc_stats().wire_bytes;
+
+  RunResult r;
+  r.gbps = static_cast<double>(bytes1 - bytes0) * 8.0 /
+           static_cast<double>(horizon);  // bits per ns == Gb/s
+
+  // Accuracy phase: fresh fabric, N events with a finite delay. The due
+  // times are jittered within one release period so they de-phase from the
+  // PFC release grid — otherwise every event would come due exactly at a
+  // release and the quantization error would vanish.
+  sim::Simulator sim2;
+  pisa::Switch sw2(sim2, sc);
+  sched::EventScheduler sched2(sw2, cfg);
+  sched2.set_execute([](const pisa::Packet&) {});
+  sim::Rng jitter(static_cast<std::uint64_t>(concurrent_events) * 31 + 7);
+  for (int i = 0; i < concurrent_events; ++i) {
+    sched::GenEvent ev;
+    ev.event_id = 0;
+    ev.delay_ns = requested_delay +
+                  jitter.uniform(0, cfg.release_interval_ns - 1);
+    sched2.inject(ev);
+  }
+  sim2.run_until(requested_delay + 10 * sim::kMs);
+  double sum = 0;
+  double mx = 0;
+  std::size_t n = 0;
+  for (const auto& [req, err] : sched2.stats().delay_samples) {
+    const double rel = static_cast<double>(err) / static_cast<double>(req);
+    sum += rel;
+    mx = std::max(mx, rel);
+    ++n;
+  }
+  if (n > 0) r.mean_rel_err = sum / static_cast<double>(n);
+  r.max_rel_err = mx;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "------------------------------------------------------------------\n"
+      "Figure 14 — pausable-queue recirculation overhead and accuracy\n"
+      "(64B events on a 100 Gb/s recirc port; release period 100 us,\n"
+      " window 5 us; requested delay for the error metric: 2 ms)\n"
+      "------------------------------------------------------------------\n");
+  std::printf("%6s | %14s | %14s | %11s | %11s\n", "events",
+              "baseline Gb/s", "queue Gb/s", "queue err", "base err");
+  std::printf(
+      "------------------------------------------------------------------\n");
+
+  const sim::Time delay = 2 * sim::kMs;
+  const sim::Time horizon = 2 * sim::kMs;
+  double base90 = 0;
+  double queue90 = 0;
+  for (const int n : {1, 10, 20, 30, 40, 50, 60, 70, 80, 90}) {
+    const RunResult base =
+        run(sched::DelayMode::BaselineRecirculation, n, delay, horizon);
+    const RunResult queue =
+        run(sched::DelayMode::PausableQueue, n, delay, horizon);
+    std::printf("%6d | %14.1f | %14.2f | %10.4f | %10.4f\n", n, base.gbps,
+                queue.gbps, queue.max_rel_err, base.max_rel_err);
+    if (n == 90) {
+      base90 = base.gbps;
+      queue90 = queue.gbps;
+    }
+  }
+  std::printf(
+      "------------------------------------------------------------------\n");
+  std::printf("at 90 concurrent events: baseline %.1f Gb/s vs queue %.1f "
+              "Gb/s — %.0fx reduction\n(paper: >95 Gb/s saturated vs 5.5 "
+              "Gb/s, ~20x; queue error <= ~0.05 at 100 us period)\n",
+              base90, queue90, base90 / queue90);
+  return 0;
+}

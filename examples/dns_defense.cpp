@@ -1,0 +1,79 @@
+// Closed-loop DNS defense example: a reflection attack spoofs queries "from"
+// a victim; the sketch flags the victim, the Bloom filter blocks the
+// amplified responses, and aging events rotate the state — the full
+// detect/block/age control loop inside the data plane.
+//
+//   $ ./examples/dns_defense
+#include <cstdio>
+
+#include "apps/apps.hpp"
+#include "interp/testbed.hpp"
+
+int main() {
+  using namespace lucid;
+
+  std::printf("== Closed-loop DNS reflection defense ==\n\n");
+  interp::TestbedConfig cfg;
+  cfg.switch_ids = {1, 9};  // 9 = report collector
+  interp::Testbed tb(apps::app("DNS").source, cfg);
+  if (!tb.ok()) {
+    std::printf("%s\n", tb.diagnostics().c_str());
+    return 1;
+  }
+
+  const int victim = 1234;
+  const int legit = 4321;
+
+  // Background: light legitimate traffic passes.
+  for (int i = 0; i < 20; ++i) {
+    tb.node(1).inject("dns_req", {legit, 8, i});
+    tb.node(1).inject("dns_resp", {55, legit, i});
+  }
+  tb.settle(2 * sim::kMs);
+  std::printf("baseline: passed=%lld blocked=%lld\n",
+              static_cast<long long>(tb.node(1).array("passed")->get(0)),
+              static_cast<long long>(tb.node(1).array("blocked")->get(0)));
+
+  // Attack: 500 spoofed queries "from" the victim.
+  for (int i = 0; i < 500; ++i) {
+    tb.node(1).inject("dns_req", {victim, 8, i});
+  }
+  tb.settle(5 * sim::kMs);
+
+  // Amplified responses to the victim are dropped; legit still passes.
+  for (int i = 0; i < 50; ++i) {
+    tb.node(1).inject("dns_resp", {55, victim, i});
+  }
+  for (int i = 0; i < 10; ++i) {
+    tb.node(1).inject("dns_resp", {55, legit, i});
+  }
+  tb.settle(5 * sim::kMs);
+
+  std::printf("under attack: passed=%lld blocked=%lld (50 attack responses "
+              "blocked)\n",
+              static_cast<long long>(tb.node(1).array("passed")->get(0)),
+              static_cast<long long>(tb.node(1).array("blocked")->get(0)));
+  std::printf("collector received %lld victim reports\n",
+              static_cast<long long>(tb.node(9).array("reports")->get(0)));
+
+  // Aging: run the Bloom rotation and sketch decay sweeps. The victim's
+  // bits sit in the *active* bank, so full expiry takes two sweep cycles:
+  // clear the inactive bank, swap, then clear the bank that held the flag.
+  tb.node(1).inject("age_step", {0});
+  tb.node(1).inject("decay_step", {0});
+  tb.settle(4600 * sim::kMs);  // two full sweeps (2048 slots x 1 ms each)
+
+  const auto blocked_before =
+      tb.node(1).array("blocked")->get(0);
+  for (int i = 0; i < 10; ++i) {
+    tb.node(1).inject("dns_resp", {55, victim, 900 + i});
+  }
+  tb.settle(5 * sim::kMs);
+  const auto blocked_after = tb.node(1).array("blocked")->get(0);
+  std::printf("\nafter aging sweeps: %lld additional blocks on fresh victim "
+              "responses (0 once fully aged)\n",
+              static_cast<long long>(blocked_after - blocked_before));
+
+  std::printf("\ndns_defense done.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Quickstart: write a tiny Lucid program, compile it (type + effect
+// checking, lowering, pipeline layout), emit Tofino-style P4, and run it in
+// the interpreter on a simulated switch.
+//
+//   $ ./examples/quickstart
+#include <cstdio>
+
+#include "interp/testbed.hpp"
+#include "p4/emit.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+// A packet-rate meter: counts packets per source, and a recursive control
+// event periodically decays the counters — packet handling and control
+// logic interleaved in one program, the paper's core pitch.
+constexpr const char* kProgram = R"(
+const int SLOTS = 256;
+const int SLOT_MASK = 255;
+const int DECAY_GAP = 1ms;
+
+global rates = new Array<<32>>(SLOTS);
+global decays = new Array<<32>>(1);
+
+memop plus(int cur, int x) { return cur + x; }
+memop halve_cell(int cur, int x) { return cur & x; }
+
+event pkt(int src);
+event decay(int idx);
+
+handle pkt(int src) {
+  int slot = hash(3, src) & SLOT_MASK;
+  Array.set(rates, slot, plus, 1);
+}
+
+// Control thread: one slot per delayed recirculation.
+handle decay(int idx) {
+  Array.set(rates, idx, 0);
+  Array.set(decays, 0, plus, 1);
+  generate Event.delay(decay((idx + 1) & SLOT_MASK), DECAY_GAP);
+}
+)";
+
+}  // namespace
+
+int main() {
+  using namespace lucid;
+
+  std::printf("== Lucid quickstart ==\n\n");
+
+  // 1. Compile.
+  interp::Testbed tb(kProgram);
+  if (!tb.ok()) {
+    std::printf("compilation failed:\n%s\n", tb.diagnostics().c_str());
+    return 1;
+  }
+  const CompileResult& r = tb.program();
+  std::printf("compiled OK: %d events, %d arrays\n",
+              static_cast<int>(r.ir.events.size()),
+              static_cast<int>(r.ir.arrays.size()));
+  std::printf("pipeline: %d stages optimized (vs %d unoptimized atomic "
+              "tables)\n",
+              r.stats.optimized_stages, r.stats.unoptimized_stages);
+
+  // 2. Emit P4.
+  const p4::P4Program p4prog = p4::emit(r, "quickstart");
+  std::printf("generated P4: %zu LoC (vs %zu LoC of Lucid)\n\n",
+              p4prog.total_loc(), count_loc(kProgram));
+
+  // 3. Run: 1000 packets from 50 sources, with the decay thread running.
+  sim::Rng rng(7);
+  tb.node(1).inject("decay", {0});
+  for (int i = 0; i < 1000; ++i) {
+    tb.node(1).inject("pkt", {rng.uniform(1, 50)});
+  }
+  tb.settle(50 * sim::kMs);
+
+  const auto& stats = tb.node(1).stats();
+  std::printf("interpreter: %llu pkt handlers, %llu decay steps, %llu "
+              "recirculations\n",
+              static_cast<unsigned long long>(stats.executions.at("pkt")),
+              static_cast<unsigned long long>(stats.executions.at("decay")),
+              static_cast<unsigned long long>(
+                  tb.switch_at(1).recirculations()));
+  std::printf("decay counter: %lld sweep steps applied\n",
+              static_cast<long long>(tb.node(1).array("decays")->get(0)));
+  std::printf("\nquickstart done.\n");
+  return 0;
+}

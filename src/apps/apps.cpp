@@ -1,0 +1,908 @@
+#include "apps/apps.hpp"
+
+#include <cstdlib>
+
+namespace lucid::apps {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SFW — Stateful Firewall (section 7.4). Cuckoo hash table with two banks
+// and a stash; control events install entries (flow setup, recirculating on
+// collisions) and scan for timed-out flows (maintenance).
+// ---------------------------------------------------------------------------
+const char* kSfw = R"~(
+// Stateful firewall: blocks inbound connections not initiated from inside.
+// The flow table is a 2-bank cuckoo hash; install collisions trigger
+// recursive cuckoo_insert events (one recirculation each), and a timed scan
+// deletes idle entries.
+const int TBL = 1024;   // two banks x 1024 = the paper's 2048-entry table
+const int MASK = 1023;
+const int TIMEOUT = 100000000;   // 100 ms idle timeout (ns)
+const int MAX_DEPTH = 8;         // cuckoo chain bound
+const int SCAN_GAP = 1000000;    // 1 ms between scan steps
+
+global key1 = new Array<<32>>(TBL);
+global ts1 = new Array<<32>>(TBL);
+global key2 = new Array<<32>>(TBL);
+global ts2 = new Array<<32>>(TBL);
+global stash = new Array<<32>>(4);
+global allowed = new Array<<32>>(1);
+global denied = new Array<<32>>(1);
+global failures = new Array<<32>>(1);
+
+memop mget(int cur, int x) { return cur; }
+memop mset(int cur, int x) { return x; }
+memop plus(int cur, int x) { return cur + x; }
+// One-shot claim: take the slot if empty, else keep the occupant.
+memop claim(int cur, int x) {
+  if (cur == 0) { return x; } else { return cur; }
+}
+
+// Flow keys are never zero (zero means "empty slot").
+fun int flowkey(int src, int dst) { return hash(77, src, dst) | 1; }
+
+event pkt_out(int src, int dst);
+event pkt_in(int src, int dst);
+event cuckoo_insert(int key, int depth);
+event scan1(int idx);
+event scan2(int idx);
+event del1(int idx);
+event del2(int idx);
+
+// Outbound packet: refresh or install the flow. The claim memop makes the
+// common case (slot free or already ours) install in this very pass —
+// an effective flow installation time of 0 ns.
+handle pkt_out(int src, int dst) {
+  int k = flowkey(src, dst);
+  int i1 = hash(1, k) & MASK;
+  int i2 = hash(2, k) & MASK;
+  int now = Sys.time();
+  int v1 = Array.update(key1, i1, mget, 0, claim, k);
+  if (v1 == 0 || v1 == k) {
+    Array.set(ts1, i1, now);
+  } else {
+    int v2 = Array.update(key2, i2, mget, 0, claim, k);
+    if (v2 == 0 || v2 == k) {
+      Array.set(ts2, i2, now);
+    } else {
+      // Both banks occupied by other flows: hand off to the cuckoo chain.
+      generate cuckoo_insert(k, 0);
+    }
+  }
+}
+
+// Cuckoo install: displace bank-1's occupant, re-home it in bank 2, and
+// recurse (one recirculation per displaced victim). The victim-in-flight
+// lives in the stash so lookups stay correct during the chain.
+handle cuckoo_insert(int key, int depth) {
+  if (depth > MAX_DEPTH) {
+    Array.set(failures, 0, plus, 1);
+    return;
+  }
+  int i1 = hash(1, key) & MASK;
+  int v1 = Array.update(key1, i1, mget, 0, mset, key);
+  if (v1 != 0 && v1 != key) {
+    int i2 = hash(2, v1) & MASK;
+    int v2 = Array.update(key2, i2, mget, 0, mset, v1);
+    if (v2 != 0 && v2 != v1) {
+      Array.set(stash, 0, v2);
+      generate cuckoo_insert(v2, depth + 1);
+    }
+  }
+}
+
+// Inbound packet: allowed only if the (reversed) flow is in either bank or
+// the stash.
+handle pkt_in(int src, int dst) {
+  int k = flowkey(dst, src);
+  int i1 = hash(1, k) & MASK;
+  int i2 = hash(2, k) & MASK;
+  int v1 = Array.get(key1, i1);
+  int v2 = Array.get(key2, i2);
+  int s = Array.get(stash, 0);
+  if (v1 == k || v2 == k || s == k) {
+    Array.set(allowed, 0, plus, 1);
+  } else {
+    Array.set(denied, 0, plus, 1);
+  }
+}
+
+// Maintenance thread: serially scan bank 1 for idle entries, one slot per
+// (delayed) recirculation.
+handle scan1(int idx) {
+  int now = Sys.time();
+  int t = Array.get(ts1, idx);
+  int age = now - t;
+  if (t != 0 && age > TIMEOUT) {
+    generate del1(idx);
+  }
+  generate Event.delay(scan1((idx + 1) & MASK), SCAN_GAP);
+}
+
+handle del1(int idx) {
+  Array.set(key1, idx, 0);
+  Array.set(ts1, idx, 0);
+}
+
+handle scan2(int idx) {
+  int now = Sys.time();
+  int t = Array.get(ts2, idx);
+  int age = now - t;
+  if (t != 0 && age > TIMEOUT) {
+    generate del2(idx);
+  }
+  generate Event.delay(scan2((idx + 1) & MASK), SCAN_GAP);
+}
+
+handle del2(int idx) {
+  Array.set(key2, idx, 0);
+  Array.set(ts2, idx, 0);
+}
+)~";
+
+// ---------------------------------------------------------------------------
+// RR — Fast Rerouter (section 2). Forwarding with link-liveness checks;
+// control events probe neighbors and run distributed route queries.
+// ---------------------------------------------------------------------------
+const char* kRr = R"~(
+// Fast rerouter: forward packets while probing links and rerouting around
+// failures entirely in the data plane (the paper's driving example).
+const int INF = 1000000;
+const int STALE = 50000000;     // link considered dead after 50 ms silence
+const int PROBE_GAP = 10000000; // probe / scan cadence: 10 ms
+const int RTBL = 64;
+const int RMASK = 63;
+const int LMASK = 15;
+const group NEIGHBORS = {2, 3};
+
+global pathlens = new Array<<32>>(RTBL);
+global nexthops = new Array<<32>>(RTBL);
+global linkstate = new Array<<32>>(16);
+global fwd_count = new Array<<32>>(1);
+global drop_count = new Array<<32>>(1);
+
+memop mget(int cur, int x) { return cur; }
+memop plus(int cur, int x) { return cur + x; }
+memop minarg(int cur, int x) {
+  if (x < cur) { return x; } else { return cur; }
+}
+
+event pkt(int dst);
+event route_query(int sender, int dst);
+event route_reply(int sender, int dst, int pathlen);
+event check_route(int idx);
+event probe(int sender);
+event probe_reply(int sender);
+event probe_timer(int x);
+event boot(int v);
+
+fun int get_pathlen(int dst) { return Array.get(pathlens, dst & RMASK); }
+
+// Initialize path lengths to infinity (cells boot as zero).
+handle boot(int v) {
+  // One cell per boot event; the driver sweeps the table.
+  Array.set(pathlens, v & RMASK, INF);
+}
+
+// Forwarding: look up the next hop, then check that its link is alive; a
+// dead link triggers a distributed route query to all neighbors.
+handle pkt(int dst) {
+  int nh = Array.get(nexthops, dst & RMASK);
+  int ls = Array.get(linkstate, nh & LMASK);
+  int now = Sys.time();
+  int age = now - ls;
+  if (age > STALE) {
+    Array.set(drop_count, 0, plus, 1);
+    mgenerate Event.locate(route_query(SELF, dst), NEIGHBORS);
+  } else {
+    Array.set(fwd_count, 0, plus, 1);
+  }
+}
+
+// A neighbor asks for our path length to dst.
+handle route_query(int sender, int dst) {
+  int pathlen = get_pathlen(dst);
+  event reply = route_reply(SELF, dst, pathlen);
+  generate Event.locate(reply, sender);
+}
+
+// Adopt strictly better routes.
+handle route_reply(int sender, int dst, int pathlen) {
+  int cand = pathlen + 1;
+  int old = Array.update(pathlens, dst & RMASK, mget, 0, minarg, cand);
+  if (cand < old) {
+    Array.set(nexthops, dst & RMASK, sender);
+  }
+}
+
+// Maintenance thread: periodically re-query unreachable destinations.
+handle check_route(int idx) {
+  int pl = get_pathlen(idx);
+  if (pl >= INF) {
+    mgenerate Event.locate(route_query(SELF, idx), NEIGHBORS);
+  }
+  generate Event.delay(check_route((idx + 1) & RMASK), PROBE_GAP);
+}
+
+// Fault detection: ping all neighbors; replies refresh the link table.
+handle probe(int sender) {
+  generate Event.locate(probe_reply(SELF), sender);
+}
+
+handle probe_reply(int sender) {
+  int now = Sys.time();
+  Array.set(linkstate, sender & LMASK, now);
+}
+
+handle probe_timer(int x) {
+  mgenerate Event.locate(probe(SELF), NEIGHBORS);
+  generate Event.delay(probe_timer(x), PROBE_GAP);
+}
+)~";
+
+// ---------------------------------------------------------------------------
+// DNS — Closed-loop DNS reflection defense. Count-min sketch detects
+// amplification victims; rotating two-bank Bloom filters block them; control
+// events age both structures.
+// ---------------------------------------------------------------------------
+const char* kDns = R"~(
+// Closed-loop DNS defense: a count-min sketch estimates per-victim DNS query
+// rates; suspected reflection victims are added to a rotating Bloom filter
+// that blocks the corresponding responses. Aging events sweep both
+// structures so stale state expires without control-plane help.
+const int SK = 1024;
+const int SKMASK = 1023;
+const int BF = 2048;
+const int BFMASK = 2047;
+const int THRESH = 100;       // queries per epoch before flagging
+const int AGE_GAP = 1000000;  // 1 ms between aging steps
+const int COLLECTOR = 9;
+
+global active_bank = new Array<<32>>(1);
+global cm0 = new Array<<32>>(SK);
+global cm1 = new Array<<32>>(SK);
+global cm2 = new Array<<32>>(SK);
+global bfa0 = new Array<<32>>(BF);
+global bfa1 = new Array<<32>>(BF);
+global bfb0 = new Array<<32>>(BF);
+global bfb1 = new Array<<32>>(BF);
+global passed = new Array<<32>>(1);
+global blocked = new Array<<32>>(1);
+global reports = new Array<<32>>(1);
+
+memop mget(int cur, int x) { return cur; }
+memop mset(int cur, int x) { return x; }
+memop plus(int cur, int x) { return cur + x; }
+memop flip(int cur, int x) { return cur ^ x; }
+
+event dns_req(int src, int dst, int qid);
+event dns_resp(int src, int dst, int qid);
+event age_step(int idx);
+event decay_step(int idx);
+event swap_banks(int x);
+event report(int victim, int count);
+
+// Query path: count queries whose *source* (the spoofed victim) is getting
+// amplified; flag heavy hitters in the active Bloom bank.
+handle dns_req(int src, int dst, int qid) {
+  int bank = Array.get(active_bank, 0);
+  int h0 = hash(10, src) & SKMASK;
+  int h1 = hash(11, src) & SKMASK;
+  int h2 = hash(12, src) & SKMASK;
+  int c0 = Array.update(cm0, h0, plus, 1, plus, 1);
+  int c1 = Array.update(cm1, h1, plus, 1, plus, 1);
+  int c2 = Array.update(cm2, h2, plus, 1, plus, 1);
+  // min(c0,c1,c2) > THRESH, phrased as per-row tests: the comparisons run
+  // in parallel and become match rules instead of a sequential min chain.
+  if (c0 > THRESH && c1 > THRESH && c2 > THRESH) {
+    int b0 = hash(20, src) & BFMASK;
+    int b1 = hash(21, src) & BFMASK;
+    if (bank == 0) {
+      Array.set(bfa0, b0, 1);
+      Array.set(bfa1, b1, 1);
+    } else {
+      Array.set(bfb0, b0, 1);
+      Array.set(bfb1, b1, 1);
+    }
+    generate Event.locate(report(src, c0), COLLECTOR);
+  }
+}
+
+// Response path: drop responses addressed to flagged victims (either bank
+// may hold fresh state during rotation).
+handle dns_resp(int src, int dst, int qid) {
+  int b0 = hash(20, dst) & BFMASK;
+  int b1 = hash(21, dst) & BFMASK;
+  int a0 = Array.get(bfa0, b0);
+  int a1 = Array.get(bfa1, b1);
+  int v0 = Array.get(bfb0, b0);
+  int v1 = Array.get(bfb1, b1);
+  bool hit_a = a0 == 1 && a1 == 1;
+  bool hit_b = v0 == 1 && v1 == 1;
+  if (hit_a || hit_b) {
+    Array.set(blocked, 0, plus, 1);
+  } else {
+    Array.set(passed, 0, plus, 1);
+  }
+}
+
+// Bloom rotation: clear the inactive bank one slot per delayed step; when a
+// sweep completes, swap banks.
+handle age_step(int idx) {
+  int bank = Array.get(active_bank, 0);
+  if (bank == 0) {
+    Array.set(bfb0, idx, 0);
+    Array.set(bfb1, idx, 0);
+  } else {
+    Array.set(bfa0, idx, 0);
+    Array.set(bfa1, idx, 0);
+  }
+  int next = (idx + 1) & BFMASK;
+  if (next == 0) {
+    generate swap_banks(0);
+  }
+  generate Event.delay(age_step(next), AGE_GAP);
+}
+
+// Sketch decay: zero the count-min rows one index per delayed step.
+handle decay_step(int idx) {
+  Array.set(cm0, idx, 0);
+  Array.set(cm1, idx, 0);
+  Array.set(cm2, idx, 0);
+  generate Event.delay(decay_step((idx + 1) & SKMASK), AGE_GAP);
+}
+
+handle swap_banks(int x) {
+  Array.setm(active_bank, 0, flip, 1);
+}
+
+// Collector-side accounting of flag reports.
+handle report(int victim, int count) {
+  Array.set(reports, 0, plus, 1);
+}
+)~";
+
+// ---------------------------------------------------------------------------
+// *Flow — telemetry cache: batch per-flow records in the data plane and
+// export full batches to a software collector (control events evict and
+// free cache lines).
+// ---------------------------------------------------------------------------
+const char* kStarFlow = R"~(
+// *Flow-style telemetry cache: group per-packet features into per-flow
+// batches ("grouped packet vectors"); full batches are evicted to a
+// collector, amortizing PCIe/collector cost across a batch.
+const int FT = 1024;
+const int FTMASK = 1023;
+const int COLLECTOR = 9;
+
+global ft_key = new Array<<32>>(FT);
+global ft_cnt = new Array<<32>>(FT);
+global buf0 = new Array<<32>>(FT);
+global buf1 = new Array<<32>>(FT);
+global buf2 = new Array<<32>>(FT);
+global buf3 = new Array<<32>>(FT);
+global evicted = new Array<<32>>(1);
+global collisions = new Array<<32>>(1);
+global exported = new Array<<32>>(1);
+
+memop mget(int cur, int x) { return cur; }
+memop mset(int cur, int x) { return x; }
+memop plus(int cur, int x) { return cur + x; }
+memop claim(int cur, int x) {
+  if (cur == 0) { return x; } else { return cur; }
+}
+
+event pkt(int flowid, int feature);
+event evict(int idx, int flowid);
+event evict_fin(int idx);
+event export_rec(int flowid, int f0, int f1, int f2, int f3);
+
+// Per packet: claim (or match) a cache line, append the feature to the
+// line's batch, and evict when the batch is full.
+handle pkt(int flowid, int feature) {
+  int idx = hash(30, flowid) & FTMASK;
+  int owner = Array.update(ft_key, idx, mget, 0, claim, flowid);
+  if (owner == 0 || owner == flowid) {
+    int cnt = Array.update(ft_cnt, idx, mget, 0, plus, 1);
+    if (cnt == 0) { Array.set(buf0, idx, feature); }
+    if (cnt == 1) { Array.set(buf1, idx, feature); }
+    if (cnt == 2) { Array.set(buf2, idx, feature); }
+    if (cnt == 3) {
+      Array.set(buf3, idx, feature);
+      generate evict(idx, flowid);
+    }
+  } else {
+    // Line owned by another flow: record is sampled away.
+    Array.set(collisions, 0, plus, 1);
+  }
+}
+
+// Eviction: read-and-clear the batch slots, ship the record, then free the
+// line in a second pass (the line key lives earlier in the pipeline).
+handle evict(int idx, int flowid) {
+  int f0 = Array.update(buf0, idx, mget, 0, mset, 0);
+  int f1 = Array.update(buf1, idx, mget, 0, mset, 0);
+  int f2 = Array.update(buf2, idx, mget, 0, mset, 0);
+  int f3 = Array.update(buf3, idx, mget, 0, mset, 0);
+  Array.set(evicted, 0, plus, 1);
+  generate Event.locate(export_rec(flowid, f0, f1, f2, f3), COLLECTOR);
+  generate evict_fin(idx);
+}
+
+// Memory management: free the cache line (key + count) for reuse.
+handle evict_fin(int idx) {
+  Array.set(ft_key, idx, 0);
+  Array.set(ft_cnt, idx, 0);
+}
+
+// Collector side: count exported batch records.
+handle export_rec(int flowid, int f0, int f1, int f2, int f3) {
+  Array.set(exported, 0, plus, 1);
+}
+)~";
+
+// ---------------------------------------------------------------------------
+// SRO — strongly consistent replicated arrays (SwiShmem-style): writes get
+// sequence numbers and synchronize to peers; stale syncs are ignored.
+// ---------------------------------------------------------------------------
+const char* kSro = R"~(
+// Consistent shared state: a replicated array where writes carry per-cell
+// sequence numbers. Sync events propagate writes to all replicas; a replica
+// applies a sync only if its sequence number is newer, and acks the writer.
+const int N = 256;
+const int NMASK = 255;
+const group PEERS = {2, 3};
+
+global seqs = new Array<<32>>(N);
+global vals = new Array<<32>>(N);
+global acks = new Array<<32>>(1);
+global reads_served = new Array<<32>>(1);
+
+memop mget(int cur, int x) { return cur; }
+memop plus(int cur, int x) { return cur + x; }
+memop maxm(int cur, int x) {
+  if (cur < x) { return x; } else { return cur; }
+}
+
+event write(int idx, int val);
+event sync(int src, int idx, int val, int seq);
+event ack(int src, int idx, int seq);
+event read(int idx);
+
+// Local write: bump the cell's sequence number, apply, and replicate.
+handle write(int idx, int val) {
+  int i = idx & NMASK;
+  int s = Array.update(seqs, i, plus, 1, plus, 1);
+  Array.set(vals, i, val);
+  mgenerate Event.locate(sync(SELF, i, val, s), PEERS);
+}
+
+// Replica side: newest sequence number wins; always ack so the writer can
+// track quorum.
+handle sync(int src, int idx, int val, int seq) {
+  int old = Array.update(seqs, idx, mget, 0, maxm, seq);
+  if (seq > old) {
+    Array.set(vals, idx, val);
+  }
+  generate Event.locate(ack(SELF, idx, seq), src);
+}
+
+handle ack(int src, int idx, int seq) {
+  Array.set(acks, 0, plus, 1);
+}
+
+handle read(int idx) {
+  int v = Array.get(vals, idx & NMASK);
+  Array.set(reads_served, 0, plus, 1);
+}
+)~";
+
+// ---------------------------------------------------------------------------
+// DFW — distributed probabilistic firewall: a Bloom filter of authorized
+// flows, replicated across ingress switches by sync events.
+// ---------------------------------------------------------------------------
+const char* kDfw = R"~(
+// Distributed Bloom-filter firewall: outbound flows are added to a local
+// Bloom filter and synchronized to peer switches, so return traffic is
+// admitted at any ingress.
+const int BF = 4096;
+const int BFM = 4095;
+const group PEERS = {2, 3};
+
+global bf0 = new Array<<32>>(BF);
+global bf1 = new Array<<32>>(BF);
+global allowed = new Array<<32>>(1);
+global denied = new Array<<32>>(1);
+
+memop plus(int cur, int x) { return cur + x; }
+
+event pkt_out(int src, int dst);
+event pkt_in(int src, int dst);
+event sync_add(int h0, int h1);
+
+handle pkt_out(int src, int dst) {
+  int h0 = hash(40, src, dst) & BFM;
+  int h1 = hash(41, src, dst) & BFM;
+  Array.set(bf0, h0, 1);
+  Array.set(bf1, h1, 1);
+  mgenerate Event.locate(sync_add(h0, h1), PEERS);
+}
+
+handle sync_add(int h0, int h1) {
+  Array.set(bf0, h0, 1);
+  Array.set(bf1, h1, 1);
+}
+
+handle pkt_in(int src, int dst) {
+  int h0 = hash(40, dst, src) & BFM;
+  int h1 = hash(41, dst, src) & BFM;
+  int b0 = Array.get(bf0, h0);
+  int b1 = Array.get(bf1, h1);
+  if (b0 == 1 && b1 == 1) {
+    Array.set(allowed, 0, plus, 1);
+  } else {
+    Array.set(denied, 0, plus, 1);
+  }
+}
+)~";
+
+// ---------------------------------------------------------------------------
+// DFW(a) — the distributed firewall plus aging: two Bloom banks rotate so
+// stale authorizations expire.
+// ---------------------------------------------------------------------------
+const char* kDfwAging = R"~(
+// Distributed Bloom firewall with aging: authorizations land in the active
+// bank, lookups check both banks, and a timed sweep clears + swaps banks so
+// old flows expire without a controller.
+const int BF = 4096;
+const int BFM = 4095;
+const int AGE_GAP = 1000000;  // 1 ms between sweep steps
+const group PEERS = {2, 3};
+
+global active_bank = new Array<<32>>(1);
+global bfa0 = new Array<<32>>(BF);
+global bfa1 = new Array<<32>>(BF);
+global bfb0 = new Array<<32>>(BF);
+global bfb1 = new Array<<32>>(BF);
+global allowed = new Array<<32>>(1);
+global denied = new Array<<32>>(1);
+
+memop plus(int cur, int x) { return cur + x; }
+memop flip(int cur, int x) { return cur ^ x; }
+
+event pkt_out(int src, int dst);
+event pkt_in(int src, int dst);
+event sync_add(int h0, int h1);
+event age_step(int idx);
+event swap_banks(int x);
+
+handle pkt_out(int src, int dst) {
+  int bank = Array.get(active_bank, 0);
+  int h0 = hash(40, src, dst) & BFM;
+  int h1 = hash(41, src, dst) & BFM;
+  if (bank == 0) {
+    Array.set(bfa0, h0, 1);
+    Array.set(bfa1, h1, 1);
+  } else {
+    Array.set(bfb0, h0, 1);
+    Array.set(bfb1, h1, 1);
+  }
+  mgenerate Event.locate(sync_add(h0, h1), PEERS);
+}
+
+// Peer syncs land in the active bank too.
+handle sync_add(int h0, int h1) {
+  int bank = Array.get(active_bank, 0);
+  if (bank == 0) {
+    Array.set(bfa0, h0, 1);
+    Array.set(bfa1, h1, 1);
+  } else {
+    Array.set(bfb0, h0, 1);
+    Array.set(bfb1, h1, 1);
+  }
+}
+
+handle pkt_in(int src, int dst) {
+  int h0 = hash(40, dst, src) & BFM;
+  int h1 = hash(41, dst, src) & BFM;
+  int a0 = Array.get(bfa0, h0);
+  int a1 = Array.get(bfa1, h1);
+  int v0 = Array.get(bfb0, h0);
+  int v1 = Array.get(bfb1, h1);
+  bool hit_a = a0 == 1 && a1 == 1;
+  bool hit_b = v0 == 1 && v1 == 1;
+  if (hit_a || hit_b) {
+    Array.set(allowed, 0, plus, 1);
+  } else {
+    Array.set(denied, 0, plus, 1);
+  }
+}
+
+// Aging sweep over the inactive bank; swap when the sweep wraps.
+handle age_step(int idx) {
+  int bank = Array.get(active_bank, 0);
+  if (bank == 0) {
+    Array.set(bfb0, idx, 0);
+    Array.set(bfb1, idx, 0);
+  } else {
+    Array.set(bfa0, idx, 0);
+    Array.set(bfa1, idx, 0);
+  }
+  int next = (idx + 1) & BFM;
+  if (next == 0) {
+    generate swap_banks(0);
+  }
+  generate Event.delay(age_step(next), AGE_GAP);
+}
+
+handle swap_banks(int x) {
+  Array.setm(active_bank, 0, flip, 1);
+}
+)~";
+
+// ---------------------------------------------------------------------------
+// RIP — single-destination distance-vector routing: advertisements flood on
+// improvement and on a periodic timer.
+// ---------------------------------------------------------------------------
+const char* kRip = R"~(
+// Single-destination RIP: each switch tracks its distance to one
+// destination; advertisements from neighbors relax the distance
+// (Bellman-Ford style) and improvements propagate immediately.
+const int INF = 1000000;
+const int ADV_GAP = 50000000;  // periodic re-advertisement: 50 ms
+const group NEIGHBORS = {2, 3};
+
+global dist = new Array<<32>>(1);
+global nexthop = new Array<<32>>(1);
+global fwd = new Array<<32>>(1);
+global expired = new Array<<32>>(1);
+
+memop mget(int cur, int x) { return cur; }
+memop plus(int cur, int x) { return cur + x; }
+memop minm(int cur, int x) {
+  if (x < cur) { return x; } else { return cur; }
+}
+
+event boot(int d);
+event advertise(int sender, int d);
+event adv_timer(int x);
+event pkt(int ttl);
+
+// The destination boots with distance 0; everyone else with INF.
+handle boot(int d) {
+  Array.set(dist, 0, d);
+}
+
+// Relax on a neighbor's advertisement; flood further on improvement.
+handle advertise(int sender, int d) {
+  int cand = d + 1;
+  int old = Array.update(dist, 0, mget, 0, minm, cand);
+  if (cand < old) {
+    Array.set(nexthop, 0, sender);
+    mgenerate Event.locate(advertise(SELF, cand), NEIGHBORS);
+  }
+}
+
+// Periodic re-advertisement (recovers lost updates, feeds new switches).
+handle adv_timer(int x) {
+  int d = Array.get(dist, 0);
+  if (d < INF) {
+    mgenerate Event.locate(advertise(SELF, d), NEIGHBORS);
+  }
+  generate Event.delay(adv_timer(x), ADV_GAP);
+}
+
+// Data path: forward while a route exists.
+handle pkt(int ttl) {
+  int nh = Array.get(nexthop, 0);
+  if (ttl > 0 && nh != 0) {
+    Array.set(fwd, 0, plus, 1);
+  } else {
+    Array.set(expired, 0, plus, 1);
+  }
+}
+)~";
+
+// ---------------------------------------------------------------------------
+// NAT — basic address translation with data-plane port allocation.
+// ---------------------------------------------------------------------------
+const char* kNat = R"~(
+// Simple NAT: the first outbound packet of a flow claims a mapping slot and
+// allocates the next external port, entirely in the data plane.
+const int NT = 1024;
+const int NTM = 1023;
+
+global nat_key = new Array<<32>>(NT);
+global next_port = new Array<<32>>(1);
+global rev_key = new Array<<32>>(NT);
+global translated = new Array<<32>>(1);
+global dropped = new Array<<32>>(1);
+
+memop mget(int cur, int x) { return cur; }
+memop plus(int cur, int x) { return cur + x; }
+memop claim(int cur, int x) {
+  if (cur == 0) { return x; } else { return cur; }
+}
+
+event pkt_out(int src, int sport);
+event pkt_in(int dport);
+
+handle pkt_out(int src, int sport) {
+  int k = hash(50, src, sport) | 1;
+  int i = k & NTM;
+  int owner = Array.update(nat_key, i, mget, 0, claim, k);
+  if (owner == 0) {
+    int p = Array.update(next_port, 0, mget, 0, plus, 1);
+    Array.set(rev_key, p & NTM, k);
+  }
+  Array.set(translated, 0, plus, 1);
+}
+
+handle pkt_in(int dport) {
+  int k = Array.get(rev_key, dport & NTM);
+  if (k == 0) {
+    Array.set(dropped, 0, plus, 1);
+  } else {
+    Array.set(translated, 0, plus, 1);
+  }
+}
+)~";
+
+// ---------------------------------------------------------------------------
+// CM — count-min sketch with periodic export for historical queries.
+// ---------------------------------------------------------------------------
+const char* kCm = R"~(
+// Historical probabilistic queries: a count-min sketch measures flows; a
+// timed export thread read-and-clears one column per step and ships nonzero
+// columns to a collector, giving per-epoch history.
+const int SK = 1024;
+const int SKM = 1023;
+const int EXPORT_GAP = 1000000;  // 1 ms per exported column
+const int COLLECTOR = 9;
+
+global cm0 = new Array<<32>>(SK);
+global cm1 = new Array<<32>>(SK);
+global cm2 = new Array<<32>>(SK);
+global exports = new Array<<32>>(1);
+global queries = new Array<<32>>(1);
+global reports = new Array<<32>>(1);
+
+memop mget(int cur, int x) { return cur; }
+memop mset(int cur, int x) { return x; }
+memop plus(int cur, int x) { return cur + x; }
+
+event pkt(int flowid);
+event export_step(int idx);
+event report(int idx, int c0, int c1, int c2);
+event query(int flowid);
+
+handle pkt(int flowid) {
+  int h0 = hash(60, flowid) & SKM;
+  int h1 = hash(61, flowid) & SKM;
+  int h2 = hash(62, flowid) & SKM;
+  Array.set(cm0, h0, plus, 1);
+  Array.set(cm1, h1, plus, 1);
+  Array.set(cm2, h2, plus, 1);
+}
+
+// Export thread: read-and-clear one column per delayed recirculation.
+handle export_step(int idx) {
+  int c0 = Array.update(cm0, idx, mget, 0, mset, 0);
+  int c1 = Array.update(cm1, idx, mget, 0, mset, 0);
+  int c2 = Array.update(cm2, idx, mget, 0, mset, 0);
+  if (c0 != 0 || c1 != 0 || c2 != 0) {
+    generate Event.locate(report(idx, c0, c1, c2), COLLECTOR);
+  }
+  Array.set(exports, 0, plus, 1);
+  generate Event.delay(export_step((idx + 1) & SKM), EXPORT_GAP);
+}
+
+// Live estimate for a flow (min over rows).
+handle query(int flowid) {
+  int h0 = hash(60, flowid) & SKM;
+  int h1 = hash(61, flowid) & SKM;
+  int h2 = hash(62, flowid) & SKM;
+  int c0 = Array.get(cm0, h0);
+  int c1 = Array.get(cm1, h1);
+  int c2 = Array.get(cm2, h2);
+  int est = c0;
+  if (c1 < est) { est = c1; }
+  if (c2 < est) { est = c2; }
+  Array.set(queries, 0, plus, 1);
+}
+
+handle report(int idx, int c0, int c1, int c2) {
+  Array.set(reports, 0, plus, 1);
+}
+)~";
+
+std::vector<AppSpec> build_apps() {
+  std::vector<AppSpec> apps;
+
+  apps.push_back(AppSpec{
+      "SFW", "Stateful Firewall",
+      "Blocks connections not initiated by trusted hosts. Control events "
+      "update a cuckoo hash table.",
+      kSfw, 189, 2267, 10,
+      /*maintenance=*/true, /*flow_setup=*/true, /*state_sync=*/false});
+
+  apps.push_back(AppSpec{
+      "RR", "Fast Rerouter",
+      "Forwards packets, identifies failures, and routes. Control events "
+      "perform fault detection and routing.",
+      kRr, 115, 899, 8,
+      true, true, false});
+
+  apps.push_back(AppSpec{
+      "DNS", "Closed-loop DNS Defense",
+      "Detects/blocks DNS reflection attacks with sketches & Bloom filters. "
+      "Control events age data structures.",
+      kDns, 215, 1874, 10,
+      true, false, false});
+
+  apps.push_back(AppSpec{
+      "StarFlow", "*Flow Telemetry Cache",
+      "Batches packet tuples by flow to accelerate analytics. Control "
+      "events allocate memory.",
+      kStarFlow, 149, 1927, 12,
+      false, true, false});
+
+  apps.push_back(AppSpec{
+      "SRO", "Consistent Shared State",
+      "Strongly consistent distributed arrays. Control events synchronize "
+      "writes.",
+      kSro, 94, 897, 11,
+      false, false, true});
+
+  apps.push_back(AppSpec{
+      "DFW", "Distributed Prob. Firewall",
+      "Distributed Bloom filter firewall. Control events sync updates.",
+      kDfw, 66, 1073, 10,
+      false, false, true});
+
+  apps.push_back(AppSpec{
+      "DFWA", "Distributed Prob. Firewall + Aging",
+      "Adds control events for aging the Bloom filter banks.",
+      kDfwAging, 119, 1595, 10,
+      true, false, true});
+
+  apps.push_back(AppSpec{
+      "RIP", "Single-dest. RIP",
+      "Routing with the classic Route Information Protocol. Control events "
+      "distribute routes.",
+      kRip, 81, 764, 8,
+      true, false, false});
+
+  apps.push_back(AppSpec{
+      "NAT", "Simple NAT",
+      "Basic network address translation. Control events buffer packets "
+      "and install entries.",
+      kNat, 41, 707, 11,
+      false, true, false});
+
+  apps.push_back(AppSpec{
+      "CM", "Historical Prob. Queries",
+      "Measures flows with sketches for historical queries. Control events "
+      "age and export state periodically.",
+      kCm, 93, 856, 5,
+      true, false, false});
+
+  return apps;
+}
+
+}  // namespace
+
+const std::vector<AppSpec>& all_apps() {
+  static const std::vector<AppSpec> apps = build_apps();
+  return apps;
+}
+
+const AppSpec& app(const std::string& key) {
+  for (const auto& a : all_apps()) {
+    if (a.key == key) return a;
+  }
+  std::abort();  // unknown key is a programming error in callers
+}
+
+}  // namespace lucid::apps

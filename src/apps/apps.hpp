@@ -1,0 +1,35 @@
+// The ten data-plane applications of Figure 9, written in this repository's
+// Lucid dialect. Each AppSpec carries the source, the paper's reference
+// numbers (Lucid LoC / P4 LoC / Tofino stages) for the Figure 9/10/12/13
+// comparisons, and its recirculation classes for Figure 15.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lucid::apps {
+
+struct AppSpec {
+  std::string key;          // short id: "SFW", "RR", ...
+  std::string title;        // paper row name
+  std::string description;  // what it does; control events in **bold** roles
+  std::string source;       // Lucid program
+
+  // Paper's Figure 9 reference values.
+  int paper_lucid_loc = 0;
+  int paper_p4_loc = 0;
+  int paper_stages = 0;
+
+  // Figure 15 recirculation classes.
+  bool recirc_maintenance = false;
+  bool recirc_flow_setup = false;
+  bool recirc_state_sync = false;
+};
+
+/// All ten applications, in Figure 9 order.
+[[nodiscard]] const std::vector<AppSpec>& all_apps();
+
+/// Lookup by key; aborts on unknown key (programming error).
+[[nodiscard]] const AppSpec& app(const std::string& key);
+
+}  // namespace lucid::apps

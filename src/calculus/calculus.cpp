@@ -1,0 +1,437 @@
+#include "calculus/calculus.hpp"
+
+#include <sstream>
+
+namespace lucid::calculus {
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+TyPtr Ty::unit() {
+  static const TyPtr t = std::make_shared<Ty>(Ty{TyKind::Unit, {}, 0, {}, 0,
+                                                 {}, 0});
+  return t;
+}
+
+TyPtr Ty::int_ty() {
+  static const TyPtr t = std::make_shared<Ty>(Ty{TyKind::Int, {}, 0, {}, 0,
+                                                 {}, 0});
+  return t;
+}
+
+TyPtr Ty::ref(TyPtr base, int stage) {
+  auto t = std::make_shared<Ty>();
+  const_cast<Ty&>(*t).kind = TyKind::Ref;
+  const_cast<Ty&>(*t).ref_base = std::move(base);
+  const_cast<Ty&>(*t).ref_stage = stage;
+  return t;
+}
+
+TyPtr Ty::fun(TyPtr in, int eps_in, TyPtr out, int eps_out) {
+  auto t = std::make_shared<Ty>();
+  const_cast<Ty&>(*t).kind = TyKind::Fun;
+  const_cast<Ty&>(*t).fun_in = std::move(in);
+  const_cast<Ty&>(*t).fun_eps_in = eps_in;
+  const_cast<Ty&>(*t).fun_out = std::move(out);
+  const_cast<Ty&>(*t).fun_eps_out = eps_out;
+  return t;
+}
+
+std::string Ty::str() const {
+  switch (kind) {
+    case TyKind::Unit: return "Unit";
+    case TyKind::Int: return "Int";
+    case TyKind::Ref:
+      return "ref(" + ref_base->str() + ", " + std::to_string(ref_stage) +
+             ")";
+    case TyKind::Fun:
+      return "(" + fun_in->str() + ", " + std::to_string(fun_eps_in) +
+             ") -> (" + fun_out->str() + ", " + std::to_string(fun_eps_out) +
+             ")";
+  }
+  return "?";
+}
+
+bool ty_equal(const TyPtr& a, const TyPtr& b) {
+  if (a == b) return true;
+  if (!a || !b || a->kind != b->kind) return false;
+  switch (a->kind) {
+    case TyKind::Unit:
+    case TyKind::Int:
+      return true;
+    case TyKind::Ref:
+      return a->ref_stage == b->ref_stage &&
+             ty_equal(a->ref_base, b->ref_base);
+    case TyKind::Fun:
+      return a->fun_eps_in == b->fun_eps_in &&
+             a->fun_eps_out == b->fun_eps_out &&
+             ty_equal(a->fun_in, b->fun_in) && ty_equal(a->fun_out, b->fun_out);
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+bool Ex::is_value() const {
+  switch (kind) {
+    case ExKind::Unit:
+    case ExKind::Int:
+    case ExKind::Global:
+    case ExKind::Lam:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Ex::str() const {
+  std::ostringstream os;
+  switch (kind) {
+    case ExKind::Unit: os << "()"; break;
+    case ExKind::Int: os << int_value; break;
+    case ExKind::Global: os << "g" << global_index; break;
+    case ExKind::Var: os << var; break;
+    case ExKind::Lam:
+      os << "fun(" << var << " : " << lam_ty->str() << ", " << lam_eps
+         << ") -> " << a->str();
+      break;
+    case ExKind::Plus: os << "(" << a->str() << " + " << b->str() << ")"; break;
+    case ExKind::Let:
+      os << "let " << var << " = " << a->str() << " in " << b->str();
+      break;
+    case ExKind::Deref: os << "!" << a->str(); break;
+    case ExKind::Update: os << "(" << b->str() << " := " << a->str() << ")"; break;
+    case ExKind::App: os << "(" << a->str() << " " << b->str() << ")"; break;
+  }
+  return os.str();
+}
+
+namespace {
+ExPtr make(ExKind k) {
+  auto e = std::make_shared<Ex>();
+  const_cast<Ex&>(*e).kind = k;
+  return e;
+}
+Ex& mut(const ExPtr& e) { return const_cast<Ex&>(*e); }
+}  // namespace
+
+ExPtr unit() { return make(ExKind::Unit); }
+
+ExPtr lit(std::int64_t n) {
+  auto e = make(ExKind::Int);
+  mut(e).int_value = n;
+  return e;
+}
+
+ExPtr global(int i) {
+  auto e = make(ExKind::Global);
+  mut(e).global_index = i;
+  return e;
+}
+
+ExPtr var(std::string name) {
+  auto e = make(ExKind::Var);
+  mut(e).var = std::move(name);
+  return e;
+}
+
+ExPtr lam(std::string x, TyPtr ty, int eps, ExPtr body) {
+  auto e = make(ExKind::Lam);
+  mut(e).var = std::move(x);
+  mut(e).lam_ty = std::move(ty);
+  mut(e).lam_eps = eps;
+  mut(e).a = std::move(body);
+  return e;
+}
+
+ExPtr plus(ExPtr lhs, ExPtr rhs) {
+  auto e = make(ExKind::Plus);
+  mut(e).a = std::move(lhs);
+  mut(e).b = std::move(rhs);
+  return e;
+}
+
+ExPtr let(std::string x, ExPtr bound, ExPtr body) {
+  auto e = make(ExKind::Let);
+  mut(e).var = std::move(x);
+  mut(e).a = std::move(bound);
+  mut(e).b = std::move(body);
+  return e;
+}
+
+ExPtr deref(ExPtr e0) {
+  auto e = make(ExKind::Deref);
+  mut(e).a = std::move(e0);
+  return e;
+}
+
+ExPtr update(ExPtr ref, ExPtr value) {
+  auto e = make(ExKind::Update);
+  mut(e).a = std::move(value);  // e1: evaluated first
+  mut(e).b = std::move(ref);    // e2: the ref cell
+  return e;
+}
+
+ExPtr app(ExPtr f, ExPtr arg) {
+  auto e = make(ExKind::App);
+  mut(e).a = std::move(f);
+  mut(e).b = std::move(arg);
+  return e;
+}
+
+ExPtr subst(const ExPtr& e, const std::string& x, const ExPtr& v) {
+  switch (e->kind) {
+    case ExKind::Unit:
+    case ExKind::Int:
+    case ExKind::Global:
+      return e;
+    case ExKind::Var:
+      return e->var == x ? v : e;
+    case ExKind::Lam:
+      if (e->var == x) return e;  // shadowed
+      return lam(e->var, e->lam_ty, e->lam_eps, subst(e->a, x, v));
+    case ExKind::Plus:
+      return plus(subst(e->a, x, v), subst(e->b, x, v));
+    case ExKind::Let: {
+      ExPtr bound = subst(e->a, x, v);
+      ExPtr body = e->var == x ? e->b : subst(e->b, x, v);
+      return let(e->var, std::move(bound), std::move(body));
+    }
+    case ExKind::Deref:
+      return deref(subst(e->a, x, v));
+    case ExKind::Update:
+      return update(subst(e->b, x, v), subst(e->a, x, v));
+    case ExKind::App:
+      return app(subst(e->a, x, v), subst(e->b, x, v));
+  }
+  return e;
+}
+
+// ---------------------------------------------------------------------------
+// Typing
+// ---------------------------------------------------------------------------
+
+std::optional<TypeResult> type_of(const GlobalSig& sig,
+                                  const std::map<std::string, TyPtr>& env,
+                                  int stage, const ExPtr& e) {
+  switch (e->kind) {
+    case ExKind::Unit:
+      return TypeResult{Ty::unit(), stage};
+    case ExKind::Int:
+      return TypeResult{Ty::int_ty(), stage};
+    case ExKind::Global: {
+      const int i = e->global_index;
+      if (i < 0 || static_cast<std::size_t>(i) >= sig.size()) {
+        return std::nullopt;
+      }
+      return TypeResult{Ty::ref(sig[static_cast<std::size_t>(i)], i), stage};
+    }
+    case ExKind::Var: {
+      const auto it = env.find(e->var);
+      if (it == env.end()) return std::nullopt;
+      return TypeResult{it->second, stage};
+    }
+    case ExKind::Lam: {
+      auto body_env = env;
+      body_env[e->var] = e->lam_ty;
+      const auto body = type_of(sig, body_env, e->lam_eps, e->a);
+      if (!body) return std::nullopt;
+      return TypeResult{
+          Ty::fun(e->lam_ty, e->lam_eps, body->type, body->end_stage), stage};
+    }
+    case ExKind::Plus: {
+      const auto l = type_of(sig, env, stage, e->a);
+      if (!l || l->type->kind != TyKind::Int) return std::nullopt;
+      const auto r = type_of(sig, env, l->end_stage, e->b);
+      if (!r || r->type->kind != TyKind::Int) return std::nullopt;
+      return TypeResult{Ty::int_ty(), r->end_stage};
+    }
+    case ExKind::Let: {
+      const auto bound = type_of(sig, env, stage, e->a);
+      if (!bound) return std::nullopt;
+      auto body_env = env;
+      body_env[e->var] = bound->type;
+      return type_of(sig, body_env, bound->end_stage, e->b);
+    }
+    case ExKind::Deref: {
+      // DEREF: e : ref(T, e1) ending at e2; require e2 <= e1; result stage
+      // e1 + 1.
+      const auto sub = type_of(sig, env, stage, e->a);
+      if (!sub || sub->type->kind != TyKind::Ref) return std::nullopt;
+      if (sub->end_stage > sub->type->ref_stage) return std::nullopt;
+      return TypeResult{sub->type->ref_base, sub->type->ref_stage + 1};
+    }
+    case ExKind::Update: {
+      // UPDATE: e1 : T from stage -> k1; e2 : ref(T, k2) from k1 -> k3;
+      // require k3 <= k2; result Unit at k2 + 1.
+      const auto val = type_of(sig, env, stage, e->a);
+      if (!val) return std::nullopt;
+      const auto ref = type_of(sig, env, val->end_stage, e->b);
+      if (!ref || ref->type->kind != TyKind::Ref) return std::nullopt;
+      if (!ty_equal(val->type, ref->type->ref_base)) return std::nullopt;
+      if (ref->end_stage > ref->type->ref_stage) return std::nullopt;
+      return TypeResult{Ty::unit(), ref->type->ref_stage + 1};
+    }
+    case ExKind::App: {
+      // APP: e1 : (tin, ein) -> (tout, eout) ending at k; e2 : tin from
+      // k -> k2; require k2 <= ein; result tout at eout.
+      const auto f = type_of(sig, env, stage, e->a);
+      if (!f || f->type->kind != TyKind::Fun) return std::nullopt;
+      const auto arg = type_of(sig, env, f->end_stage, e->b);
+      if (!arg || !ty_equal(arg->type, f->type->fun_in)) return std::nullopt;
+      if (arg->end_stage > f->type->fun_eps_in) return std::nullopt;
+      return TypeResult{f->type->fun_out, f->type->fun_eps_out};
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Operational semantics
+// ---------------------------------------------------------------------------
+
+std::optional<State> step(const GlobalSig& sig, const State& s) {
+  const ExPtr& e = s.expr;
+  auto with_expr = [&](ExPtr ne) {
+    State out = s;
+    out.expr = std::move(ne);
+    return out;
+  };
+
+  switch (e->kind) {
+    case ExKind::Unit:
+    case ExKind::Int:
+    case ExKind::Global:
+    case ExKind::Lam:
+    case ExKind::Var:  // free variable: stuck
+      return std::nullopt;
+
+    case ExKind::Plus: {
+      if (!e->a->is_value()) {  // PLUS-1
+        auto sub = step(sig, with_expr(e->a));
+        if (!sub) return std::nullopt;
+        sub->expr = plus(sub->expr, e->b);
+        return sub;
+      }
+      if (!e->b->is_value()) {  // PLUS-2
+        auto sub = step(sig, with_expr(e->b));
+        if (!sub) return std::nullopt;
+        sub->expr = plus(e->a, sub->expr);
+        return sub;
+      }
+      if (e->a->kind != ExKind::Int || e->b->kind != ExKind::Int) {
+        return std::nullopt;  // stuck: adding non-integers
+      }
+      return with_expr(lit(e->a->int_value + e->b->int_value));  // PLUS-3
+    }
+
+    case ExKind::Let: {
+      if (!e->a->is_value()) {  // LET-1
+        auto sub = step(sig, with_expr(e->a));
+        if (!sub) return std::nullopt;
+        sub->expr = let(e->var, sub->expr, e->b);
+        return sub;
+      }
+      return with_expr(subst(e->b, e->var, e->a));  // LET-2
+    }
+
+    case ExKind::Deref: {
+      if (!e->a->is_value()) {  // DEREF-1
+        auto sub = step(sig, with_expr(e->a));
+        if (!sub) return std::nullopt;
+        sub->expr = deref(sub->expr);
+        return sub;
+      }
+      if (e->a->kind != ExKind::Global) return std::nullopt;
+      const int i = e->a->global_index;
+      if (s.next_stage > i) return std::nullopt;  // DEREF-2 guard: n <= i
+      if (static_cast<std::size_t>(i) >= s.globals.size()) return std::nullopt;
+      State out = s;
+      out.next_stage = i + 1;
+      out.expr = s.globals[static_cast<std::size_t>(i)];
+      return out;
+    }
+
+    case ExKind::Update: {
+      if (!e->a->is_value()) {  // UPDATE-1: step the value side
+        auto sub = step(sig, with_expr(e->a));
+        if (!sub) return std::nullopt;
+        sub->expr = update(e->b, sub->expr);
+        return sub;
+      }
+      if (!e->b->is_value()) {  // UPDATE-2: step the ref side
+        auto sub = step(sig, with_expr(e->b));
+        if (!sub) return std::nullopt;
+        sub->expr = update(sub->expr, e->a);
+        return sub;
+      }
+      if (e->b->kind != ExKind::Global) return std::nullopt;
+      const int i = e->b->global_index;
+      if (s.next_stage > i) return std::nullopt;  // UPDATE-3 guard: n <= i
+      if (static_cast<std::size_t>(i) >= s.globals.size()) return std::nullopt;
+      State out = s;
+      out.globals[static_cast<std::size_t>(i)] = e->a;
+      out.next_stage = i + 1;
+      out.expr = unit();
+      return out;
+    }
+
+    case ExKind::App: {
+      if (!e->a->is_value()) {  // APP-1
+        auto sub = step(sig, with_expr(e->a));
+        if (!sub) return std::nullopt;
+        sub->expr = app(sub->expr, e->b);
+        return sub;
+      }
+      if (!e->b->is_value()) {  // APP-2
+        auto sub = step(sig, with_expr(e->b));
+        if (!sub) return std::nullopt;
+        sub->expr = app(e->a, sub->expr);
+        return sub;
+      }
+      if (e->a->kind != ExKind::Lam) return std::nullopt;
+      return with_expr(subst(e->a->a, e->a->var, e->b));  // APP-3
+    }
+  }
+  return std::nullopt;
+}
+
+RunResult run(const GlobalSig& sig, State s, int max_steps) {
+  RunResult r;
+  for (int i = 0; i < max_steps; ++i) {
+    if (s.expr->is_value()) {
+      r.final = std::move(s);
+      r.reached_value = true;
+      r.steps = i;
+      return r;
+    }
+    auto next = step(sig, s);
+    if (!next) {
+      r.final = std::move(s);
+      r.reached_value = false;
+      r.steps = i;
+      return r;
+    }
+    s = std::move(*next);
+  }
+  r.final = std::move(s);
+  r.reached_value = s.expr->is_value();
+  r.steps = max_steps;
+  return r;
+}
+
+bool globals_well_typed(const GlobalSig& sig,
+                        const std::vector<ExPtr>& globals) {
+  if (sig.size() != globals.size()) return false;
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (!globals[i]->is_value()) return false;
+    const auto t = type_of(sig, {}, 0, globals[i]);
+    if (!t || !ty_equal(t->type, sig[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace lucid::calculus

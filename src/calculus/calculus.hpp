@@ -1,0 +1,143 @@
+// The Appendix A model calculus: a small ML-like language with ordered
+// global reference cells, a type-and-effect system whose effects are pipeline
+// stages, and a small-step operational semantics over (G, n, e) states.
+//
+// The paper proves soundness ("well-typed programs do not get stuck") via
+// progress + preservation. Here the calculus is executable so the theorem is
+// checked mechanically: tests/test_calculus.cpp exercises every rule, and a
+// random well-typed-term generator sweeps thousands of programs through the
+// stepper asserting both lemmas on every intermediate state.
+//
+// Syntax (Figure 18):
+//   tau ::= Unit | Int | ref(T, eps) | (tau, eps) -> (tau, eps)
+//   v   ::= () | n | g_i | fun (x : tau, eps) -> e
+//   e   ::= v | x | e + e | let x = e in e | !e | e := e | e e
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lucid::calculus {
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+enum class TyKind { Unit, Int, Ref, Fun };
+
+struct Ty;
+using TyPtr = std::shared_ptr<const Ty>;
+
+struct Ty {
+  TyKind kind = TyKind::Unit;
+  // Ref(T, stage): base type (Unit/Int only) and the global's stage.
+  TyPtr ref_base;
+  int ref_stage = 0;
+  // Fun: (in, eps_in) -> (out, eps_out).
+  TyPtr fun_in;
+  int fun_eps_in = 0;
+  TyPtr fun_out;
+  int fun_eps_out = 0;
+
+  static TyPtr unit();
+  static TyPtr int_ty();
+  static TyPtr ref(TyPtr base, int stage);
+  static TyPtr fun(TyPtr in, int eps_in, TyPtr out, int eps_out);
+
+  [[nodiscard]] std::string str() const;
+};
+
+[[nodiscard]] bool ty_equal(const TyPtr& a, const TyPtr& b);
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExKind { Unit, Int, Global, Var, Lam, Plus, Let, Deref, Update, App };
+
+struct Ex;
+using ExPtr = std::shared_ptr<const Ex>;
+
+struct Ex {
+  ExKind kind = ExKind::Unit;
+  std::int64_t int_value = 0;  // Int
+  int global_index = 0;        // Global g_i
+  std::string var;             // Var, Lam binder, Let binder
+  TyPtr lam_ty;                // Lam parameter type
+  int lam_eps = 0;             // Lam starting stage
+  ExPtr a;                     // Lam body / Plus lhs / Let bound / Deref sub /
+                               // Update value (e1) / App fun
+  ExPtr b;                     // Plus rhs / Let body / Update ref (e2) / App arg
+
+  [[nodiscard]] bool is_value() const;
+  [[nodiscard]] std::string str() const;
+};
+
+// Constructors.
+[[nodiscard]] ExPtr unit();
+[[nodiscard]] ExPtr lit(std::int64_t n);
+[[nodiscard]] ExPtr global(int i);
+[[nodiscard]] ExPtr var(std::string name);
+[[nodiscard]] ExPtr lam(std::string x, TyPtr ty, int eps, ExPtr body);
+[[nodiscard]] ExPtr plus(ExPtr lhs, ExPtr rhs);
+[[nodiscard]] ExPtr let(std::string x, ExPtr bound, ExPtr body);
+[[nodiscard]] ExPtr deref(ExPtr e);
+/// `ref := value` — evaluation order follows the paper: value first.
+[[nodiscard]] ExPtr update(ExPtr ref, ExPtr value);
+[[nodiscard]] ExPtr app(ExPtr f, ExPtr arg);
+
+/// Capture-avoiding value substitution e[v/x]. (Substituted terms are always
+/// closed values, as in the paper's lemma, so no renaming is needed.)
+[[nodiscard]] ExPtr subst(const ExPtr& e, const std::string& x,
+                          const ExPtr& v);
+
+// ---------------------------------------------------------------------------
+// Typing: Gamma, eps1 |- e : tau, eps2
+// ---------------------------------------------------------------------------
+
+/// The ordered global signature: base type of each g_i (g_i has stage i).
+using GlobalSig = std::vector<TyPtr>;
+
+struct TypeResult {
+  TyPtr type;
+  int end_stage = 0;
+};
+
+/// Typechecks `e` starting at `stage`. Returns nullopt if ill-typed
+/// (including stage-ordering violations).
+[[nodiscard]] std::optional<TypeResult> type_of(
+    const GlobalSig& sig, const std::map<std::string, TyPtr>& env, int stage,
+    const ExPtr& e);
+
+// ---------------------------------------------------------------------------
+// Operational semantics: (G, n, e) -> (G', n', e')
+// ---------------------------------------------------------------------------
+
+struct State {
+  std::vector<ExPtr> globals;  // G: current value of each g_i (values only)
+  int next_stage = 0;          // n: globals below this index are spent
+  ExPtr expr;
+};
+
+/// One small step. Returns nullopt when no rule applies (value, or stuck).
+[[nodiscard]] std::optional<State> step(const GlobalSig& sig, const State& s);
+
+/// Runs to a value or until `max_steps`. Returns the final state and whether
+/// it ended on a value.
+struct RunResult {
+  State final;
+  bool reached_value = false;
+  int steps = 0;
+};
+[[nodiscard]] RunResult run(const GlobalSig& sig, State s,
+                            int max_steps = 100000);
+
+/// G is well-typed: every G[i] is a closed value of the signature's type.
+[[nodiscard]] bool globals_well_typed(const GlobalSig& sig,
+                                      const std::vector<ExPtr>& globals);
+
+}  // namespace lucid::calculus

@@ -1,0 +1,128 @@
+#include "calculus/generator.hpp"
+
+namespace lucid::calculus {
+
+GlobalSig TermGenerator::signature() const {
+  GlobalSig sig;
+  for (int i = 0; i < config_.num_globals; ++i) sig.push_back(Ty::int_ty());
+  return sig;
+}
+
+std::vector<ExPtr> TermGenerator::initial_globals() {
+  std::vector<ExPtr> g;
+  for (int i = 0; i < config_.num_globals; ++i) {
+    g.push_back(lit(rand_int(0, config_.max_literal)));
+  }
+  return g;
+}
+
+int TermGenerator::rand_int(int lo, int hi) {
+  std::uniform_int_distribution<int> dist(lo, hi);
+  return dist(rng_);
+}
+
+bool TermGenerator::coin(double p) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(rng_) < p;
+}
+
+ExPtr TermGenerator::gen_int_term() {
+  Scope scope;
+  int stage = 0;
+  return gen_int(scope, stage, config_.max_depth);
+}
+
+ExPtr TermGenerator::gen_int(Scope& scope, int& stage, int depth) {
+  // Leaves when out of budget.
+  if (depth <= 0) {
+    // Either a literal or an in-scope Int variable.
+    if (!scope.vars.empty() && coin(0.5)) {
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        const auto& v = scope.vars[static_cast<std::size_t>(
+            rand_int(0, static_cast<int>(scope.vars.size()) - 1))];
+        if (v.second->kind == TyKind::Int) return var(v.first);
+      }
+    }
+    return lit(rand_int(0, config_.max_literal));
+  }
+
+  switch (rand_int(0, 5)) {
+    case 0: {  // plus: evaluation order is left then right
+      ExPtr l = gen_int(scope, stage, depth - 1);
+      ExPtr r = gen_int(scope, stage, depth - 1);
+      return plus(std::move(l), std::move(r));
+    }
+    case 1: {  // let Int
+      ExPtr bound = gen_int(scope, stage, depth - 1);
+      const std::string x = "x" + std::to_string(next_var_id_++);
+      scope.vars.emplace_back(x, Ty::int_ty());
+      ExPtr body = gen_int(scope, stage, depth - 1);
+      scope.vars.pop_back();
+      return let(x, std::move(bound), std::move(body));
+    }
+    case 2: {  // deref of a still-accessible global, if any
+      if (stage < config_.num_globals) {
+        const int i = rand_int(stage, config_.num_globals - 1);
+        stage = i + 1;
+        return deref(global(i));
+      }
+      return lit(rand_int(0, config_.max_literal));
+    }
+    case 3: {  // let _ = update in Int (sequencing a Unit effect)
+      if (stage < config_.num_globals - 1 && coin(0.7)) {
+        ExPtr eff = gen_unit(scope, stage, depth - 1);
+        const std::string x = "u" + std::to_string(next_var_id_++);
+        scope.vars.emplace_back(x, Ty::unit());
+        ExPtr body = gen_int(scope, stage, depth - 1);
+        scope.vars.pop_back();
+        return let(x, std::move(eff), std::move(body));
+      }
+      return gen_int(scope, stage, depth - 1);
+    }
+    case 4: {  // immediately applied lambda: (fun(x:Int, eps) -> body) arg
+      // APP evaluates the function value, then the argument, then enters the
+      // body at the lambda's starting stage. The argument is generated
+      // first so its stage advance is visible; the body starts at the
+      // post-argument cursor, which satisfies the APP premise stage <= eps_in.
+      ExPtr arg = gen_int(scope, stage, depth - 1);
+      const int eps_in = stage;
+      const std::string x = "a" + std::to_string(next_var_id_++);
+      // The body may only use its own parameter: the lambda could in
+      // principle capture outer variables, but keeping bodies closed under
+      // [param] mirrors the paper's substitution lemma most directly.
+      Scope body_scope;
+      body_scope.vars.emplace_back(x, Ty::int_ty());
+      int body_stage = eps_in;
+      ExPtr body = gen_int(body_scope, body_stage, depth - 1);
+      stage = body_stage;
+      return app(lam(x, Ty::int_ty(), eps_in, std::move(body)),
+                 std::move(arg));
+    }
+    default: {  // literal / variable leaf
+      if (!scope.vars.empty() && coin(0.4)) {
+        for (int attempt = 0; attempt < 4; ++attempt) {
+          const auto& v = scope.vars[static_cast<std::size_t>(
+              rand_int(0, static_cast<int>(scope.vars.size()) - 1))];
+          if (v.second->kind == TyKind::Int) return var(v.first);
+        }
+      }
+      return lit(rand_int(0, config_.max_literal));
+    }
+  }
+}
+
+ExPtr TermGenerator::gen_unit(Scope& scope, int& stage, int depth) {
+  // g_i := value, with the value evaluated first (the paper's UPDATE order).
+  ExPtr value = gen_int(scope, stage, depth - 1);
+  if (stage < config_.num_globals) {
+    const int i = rand_int(stage, config_.num_globals - 1);
+    stage = i + 1;
+    return update(global(i), std::move(value));
+  }
+  // No global is accessible any more; sequence the value through a let
+  // and return unit.
+  const std::string x = "d" + std::to_string(next_var_id_++);
+  return let(x, std::move(value), unit());
+}
+
+}  // namespace lucid::calculus

@@ -1,0 +1,27 @@
+#include "core/compiler.hpp"
+
+namespace lucid {
+
+CompileResult compile(std::string_view source, DiagnosticEngine& diags,
+                      const CompileOptions& options) {
+  CompileResult result;
+
+  sema::FrontendResult fe = sema::parse_and_check(source, diags);
+  result.program = std::move(fe.program);
+  result.info = std::move(fe.info);
+  if (!fe.ok) return result;
+
+  result.ir = ir::lower(result.program, diags);
+  if (diags.has_errors()) return result;
+
+  result.pipeline = opt::layout(result.ir, options.model, diags);
+  result.stats.unoptimized_stages = result.ir.total_longest_path();
+  result.stats.optimized_stages = result.pipeline.stage_count();
+  result.stats.ops_per_stage = result.pipeline.ops_per_stage();
+  result.stats.fits = result.pipeline.fits;
+
+  result.ok = !diags.has_errors();
+  return result;
+}
+
+}  // namespace lucid

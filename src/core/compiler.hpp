@@ -1,0 +1,37 @@
+// Public compiler API: one call takes Lucid source through parsing, memop
+// validation, the ordered type-and-effect system, lowering to atomic tables,
+// and pipeline layout. The P4 backend (src/p4) renders CompileResult into
+// Tofino-style P4_16; the interpreter (src/interp) executes the annotated
+// AST directly.
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "ir/ir.hpp"
+#include "opt/passes.hpp"
+#include "sema/type_check.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lucid {
+
+struct CompileOptions {
+  opt::ResourceModel model = opt::ResourceModel::tofino();
+};
+
+struct CompileResult {
+  bool ok = false;
+  frontend::Program program;   // annotated AST
+  sema::AnalysisInfo info;     // effect summaries
+  ir::ProgramIR ir;            // atomic table graphs
+  opt::Pipeline pipeline;      // optimized layout
+  opt::LayoutStats stats;      // Fig 12/13 numbers
+};
+
+/// Compiles `source`. Diagnostics accumulate in `diags`; `result.ok` is true
+/// only if every phase succeeded.
+[[nodiscard]] CompileResult compile(std::string_view source,
+                                    DiagnosticEngine& diags,
+                                    const CompileOptions& options = {});
+
+}  // namespace lucid

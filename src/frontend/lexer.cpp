@@ -1,0 +1,241 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace lucid::frontend {
+
+namespace {
+
+const std::unordered_map<std::string_view, TokenKind>& keyword_table() {
+  static const std::unordered_map<std::string_view, TokenKind> table = {
+      {"const", TokenKind::KwConst},     {"global", TokenKind::KwGlobal},
+      {"memop", TokenKind::KwMemop},     {"fun", TokenKind::KwFun},
+      {"event", TokenKind::KwEvent},     {"handle", TokenKind::KwHandle},
+      {"group", TokenKind::KwGroup},     {"if", TokenKind::KwIf},
+      {"else", TokenKind::KwElse},       {"return", TokenKind::KwReturn},
+      {"generate", TokenKind::KwGenerate},
+      {"mgenerate", TokenKind::KwMGenerate},
+      {"int", TokenKind::KwInt},         {"bool", TokenKind::KwBool},
+      {"void", TokenKind::KwVoid},       {"true", TokenKind::KwTrue},
+      {"false", TokenKind::KwFalse},     {"new", TokenKind::KwNew},
+  };
+  return table;
+}
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+Token Lexer::make(TokenKind kind, SrcLoc start, std::string text) const {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.range = SrcRange{start, here()};
+  return t;
+}
+
+void Lexer::skip_trivia() {
+  while (!at_end()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!at_end() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const SrcLoc start = here();
+      advance();
+      advance();
+      bool closed = false;
+      while (!at_end()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) {
+        diags_.error(SrcRange{start, here()}, "lex-unterminated-comment",
+                     "unterminated block comment");
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::lex_number(SrcLoc start) {
+  std::string text;
+  std::uint64_t value = 0;
+  if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+    text += advance();
+    text += advance();
+    while (std::isxdigit(static_cast<unsigned char>(peek()))) {
+      const char c = advance();
+      text += c;
+      value = value * 16 +
+              static_cast<std::uint64_t>(
+                  std::isdigit(static_cast<unsigned char>(c))
+                      ? c - '0'
+                      : std::tolower(static_cast<unsigned char>(c)) - 'a' + 10);
+    }
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(peek()))) {
+      const char c = advance();
+      text += c;
+      value = value * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+  }
+
+  // Time-literal suffixes: ns / us / ms / s. The token value is nanoseconds,
+  // which is the unit of the whole simulation substrate.
+  bool is_time = false;
+  const char c0 = peek();
+  const char c1 = peek(1);
+  auto take_suffix = [&](std::string_view sfx, std::uint64_t scale) {
+    for (char sc : sfx) {
+      (void)sc;
+      text += advance();
+    }
+    value *= scale;
+    is_time = true;
+  };
+  if (c0 == 'n' && c1 == 's' && !is_ident_char(peek(2))) {
+    take_suffix("ns", 1);
+  } else if (c0 == 'u' && c1 == 's' && !is_ident_char(peek(2))) {
+    take_suffix("us", 1'000);
+  } else if (c0 == 'm' && c1 == 's' && !is_ident_char(peek(2))) {
+    take_suffix("ms", 1'000'000);
+  } else if (c0 == 's' && !is_ident_char(peek(1))) {
+    take_suffix("s", 1'000'000'000);
+  } else if (is_ident_start(c0)) {
+    diags_.error(SrcRange{start, here()}, "lex-bad-number-suffix",
+                 "invalid suffix on integer literal");
+  }
+
+  Token t = make(TokenKind::IntLit, start, std::move(text));
+  t.int_value = value;
+  t.is_time = is_time;
+  return t;
+}
+
+Token Lexer::lex_ident_or_keyword(SrcLoc start) {
+  std::string text;
+  while (is_ident_char(peek())) text += advance();
+  const auto& kws = keyword_table();
+  if (const auto it = kws.find(text); it != kws.end()) {
+    return make(it->second, start, std::move(text));
+  }
+  return make(TokenKind::Ident, start, std::move(text));
+}
+
+Token Lexer::lex_operator(SrcLoc start) {
+  const char c = advance();
+  switch (c) {
+    case '(': return make(TokenKind::LParen, start);
+    case ')': return make(TokenKind::RParen, start);
+    case '{': return make(TokenKind::LBrace, start);
+    case '}': return make(TokenKind::RBrace, start);
+    case '[': return make(TokenKind::LBracket, start);
+    case ']': return make(TokenKind::RBracket, start);
+    case ';': return make(TokenKind::Semi, start);
+    case ',': return make(TokenKind::Comma, start);
+    case '.': return make(TokenKind::Dot, start);
+    case '+': return make(TokenKind::Plus, start);
+    case '-': return make(TokenKind::Minus, start);
+    case '*': return make(TokenKind::Star, start);
+    case '/': return make(TokenKind::Slash, start);
+    case '%': return make(TokenKind::Percent, start);
+    case '~': return make(TokenKind::Tilde, start);
+    case '^': return make(TokenKind::Caret, start);
+    case '&':
+      if (peek() == '&') {
+        advance();
+        return make(TokenKind::AmpAmp, start);
+      }
+      return make(TokenKind::Amp, start);
+    case '|':
+      if (peek() == '|') {
+        advance();
+        return make(TokenKind::PipePipe, start);
+      }
+      return make(TokenKind::Pipe, start);
+    case '=':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::EqEq, start);
+      }
+      return make(TokenKind::Assign, start);
+    case '!':
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::NotEq, start);
+      }
+      return make(TokenKind::Bang, start);
+    case '<':
+      if (peek() == '<') {
+        advance();
+        return make(TokenKind::Shl, start);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::Le, start);
+      }
+      return make(TokenKind::Lt, start);
+    case '>':
+      if (peek() == '>') {
+        advance();
+        return make(TokenKind::Shr, start);
+      }
+      if (peek() == '=') {
+        advance();
+        return make(TokenKind::Ge, start);
+      }
+      return make(TokenKind::Gt, start);
+    default:
+      diags_.error(SrcRange{start, here()}, "lex-bad-char",
+                   std::string("unexpected character '") + c + "'");
+      return make(TokenKind::Eof, start);
+  }
+}
+
+std::vector<Token> Lexer::lex_all() {
+  std::vector<Token> out;
+  while (true) {
+    skip_trivia();
+    if (at_end()) {
+      out.push_back(make(TokenKind::Eof, here()));
+      return out;
+    }
+    const SrcLoc start = here();
+    const char c = peek();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      out.push_back(lex_number(start));
+    } else if (is_ident_start(c)) {
+      out.push_back(lex_ident_or_keyword(start));
+    } else {
+      Token t = lex_operator(start);
+      if (t.kind != TokenKind::Eof) out.push_back(std::move(t));
+    }
+  }
+}
+
+}  // namespace lucid::frontend

@@ -1,0 +1,46 @@
+// Hand-written lexer for the Lucid dialect.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lucid::frontend {
+
+/// Tokenizes a whole buffer up front. On malformed input, reports through the
+/// diagnostic engine and skips the offending character, so parsing can still
+/// surface as many errors as possible in one run.
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagnosticEngine& diags)
+      : src_(source), diags_(diags) {}
+
+  /// Lex the whole buffer. The last token is always Eof.
+  [[nodiscard]] std::vector<Token> lex_all();
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char advance();
+  [[nodiscard]] SrcLoc here() const { return SrcLoc{line_, col_}; }
+
+  void skip_trivia();
+  [[nodiscard]] Token lex_number(SrcLoc start);
+  [[nodiscard]] Token lex_ident_or_keyword(SrcLoc start);
+  [[nodiscard]] Token lex_operator(SrcLoc start);
+
+  [[nodiscard]] Token make(TokenKind kind, SrcLoc start,
+                           std::string text = {}) const;
+
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace lucid::frontend

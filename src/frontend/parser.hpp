@@ -1,0 +1,96 @@
+// Recursive-descent parser for the Lucid dialect.
+//
+// Grammar (EBNF; `//` and `/* */` comments, time literals 10ms/5us/250ns/1s):
+//
+//   program     := decl*
+//   decl        := constDecl | groupDecl | globalDecl | memopDecl
+//                | funDecl | eventDecl | handlerDecl
+//   constDecl   := "const" type IDENT "=" expr ";"
+//   groupDecl   := ["const"] "group" IDENT "=" "{" expr ("," expr)* "}" ";"
+//   globalDecl  := "global" IDENT "=" "new" "Array" "<<" INT ">>"
+//                  "(" expr ")" ";"
+//   memopDecl   := "memop" IDENT "(" params ")" block
+//   funDecl     := "fun" type IDENT "(" params ")" block
+//   eventDecl   := "event" IDENT "(" params ")" ";"
+//   handlerDecl := "handle" IDENT "(" params ")" block
+//   params      := [ type IDENT ("," type IDENT)* ]
+//   type        := "int" ["<<" INT ">>"] | "bool" | "void" | "event"
+//                | "group" | "Array" "<<" INT ">>"
+//   block       := "{" stmt* "}"
+//   stmt        := type IDENT "=" expr ";"            (local declaration)
+//                | IDENT "=" expr ";"                 (assignment)
+//                | "if" "(" expr ")" block
+//                  ["else" (block | ifStmt)]
+//                | ("generate" | "mgenerate") expr ";"
+//                | "return" [expr] ";"
+//                | expr ";"                           (expression statement)
+//   expr        := binary expression over primaries, C precedence
+//   primary     := INT | "true" | "false" | "(" expr ")"
+//                | ("-" | "!" | "~") primary
+//                | IDENT ["." IDENT] ["(" [expr ("," expr)*] ")"]
+//
+// The parser is error-tolerant: on a syntax error it reports a diagnostic and
+// synchronizes to the next ';' or '}' so that one run surfaces many errors.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "frontend/token.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lucid::frontend {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagnosticEngine& diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  /// Parse a whole program. Check `diags.has_errors()` afterwards.
+  [[nodiscard]] Program parse_program();
+
+  /// Convenience: lex + parse in one call.
+  static Program parse(std::string_view source, DiagnosticEngine& diags);
+
+ private:
+  // Token cursor.
+  [[nodiscard]] const Token& peek(std::size_t off = 0) const;
+  const Token& advance();
+  [[nodiscard]] bool check(TokenKind k) const { return peek().is(k); }
+  bool match(TokenKind k);
+  const Token* expect(TokenKind k, std::string_view what);
+  void synchronize();
+
+  // Declarations.
+  [[nodiscard]] DeclPtr parse_decl();
+  [[nodiscard]] DeclPtr parse_const_or_group();
+  [[nodiscard]] DeclPtr parse_group(SrcLoc start);
+  [[nodiscard]] DeclPtr parse_global();
+  [[nodiscard]] DeclPtr parse_memop();
+  [[nodiscard]] DeclPtr parse_fun();
+  [[nodiscard]] DeclPtr parse_event();
+  [[nodiscard]] DeclPtr parse_handler();
+  [[nodiscard]] std::vector<Param> parse_params();
+
+  // Types.
+  [[nodiscard]] bool type_starts_here() const;
+  [[nodiscard]] Type parse_type();
+
+  // Statements.
+  [[nodiscard]] Block parse_block();
+  [[nodiscard]] StmtPtr parse_stmt();
+  [[nodiscard]] StmtPtr parse_if();
+
+  // Expressions (precedence climbing).
+  [[nodiscard]] ExprPtr parse_expr() { return parse_binary(0); }
+  [[nodiscard]] ExprPtr parse_binary(int min_prec);
+  [[nodiscard]] ExprPtr parse_unary();
+  [[nodiscard]] ExprPtr parse_primary();
+
+  std::vector<Token> tokens_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lucid::frontend

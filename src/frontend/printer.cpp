@@ -1,0 +1,342 @@
+#include "frontend/printer.hpp"
+
+#include <sstream>
+
+namespace lucid::frontend {
+
+namespace {
+
+std::string pad(int indent) {
+  return std::string(static_cast<std::size_t>(indent) * 2, ' ');
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit: {
+      const auto* lit = e.as<IntLitExpr>();
+      if (lit->is_time) {
+        // Print in the largest exact unit.
+        const std::uint64_t v = lit->value;
+        if (v % 1'000'000'000 == 0) return std::to_string(v / 1'000'000'000) + "s";
+        if (v % 1'000'000 == 0) return std::to_string(v / 1'000'000) + "ms";
+        if (v % 1'000 == 0) return std::to_string(v / 1'000) + "us";
+        return std::to_string(v) + "ns";
+      }
+      return std::to_string(lit->value);
+    }
+    case ExprKind::BoolLit:
+      return e.as<BoolLitExpr>()->value ? "true" : "false";
+    case ExprKind::VarRef:
+      return e.as<VarRefExpr>()->name;
+    case ExprKind::Unary: {
+      const auto* u = e.as<UnaryExpr>();
+      return std::string(unop_name(u->op)) + "(" + print_expr(*u->sub) + ")";
+    }
+    case ExprKind::Binary: {
+      const auto* b = e.as<BinaryExpr>();
+      return "(" + print_expr(*b->lhs) + " " + std::string(binop_name(b->op)) +
+             " " + print_expr(*b->rhs) + ")";
+    }
+    case ExprKind::Call: {
+      const auto* c = e.as<CallExpr>();
+      std::ostringstream os;
+      os << c->callee << "(";
+      for (std::size_t i = 0; i < c->args.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << print_expr(*c->args[i]);
+      }
+      os << ")";
+      return os.str();
+    }
+  }
+  return "<bad-expr>";
+}
+
+std::string print_block(const Block& b, int indent) {
+  std::ostringstream os;
+  os << "{\n";
+  for (const auto& s : b) os << print_stmt(*s, indent + 1);
+  os << pad(indent) << "}";
+  return os.str();
+}
+
+std::string print_stmt(const Stmt& s, int indent) {
+  std::ostringstream os;
+  os << pad(indent);
+  switch (s.kind) {
+    case StmtKind::LocalDecl: {
+      const auto* d = s.as<LocalDeclStmt>();
+      os << d->declared_type.str() << " " << d->name << " = "
+         << print_expr(*d->init) << ";\n";
+      break;
+    }
+    case StmtKind::Assign: {
+      const auto* a = s.as<AssignStmt>();
+      os << a->name << " = " << print_expr(*a->value) << ";\n";
+      break;
+    }
+    case StmtKind::If: {
+      const auto* i = s.as<IfStmt>();
+      os << "if (" << print_expr(*i->cond) << ") "
+         << print_block(i->then_block, indent);
+      if (!i->else_block.empty()) {
+        os << " else " << print_block(i->else_block, indent);
+      }
+      os << "\n";
+      break;
+    }
+    case StmtKind::ExprStmt:
+      os << print_expr(*s.as<ExprStmt>()->expr) << ";\n";
+      break;
+    case StmtKind::Generate: {
+      const auto* g = s.as<GenerateStmt>();
+      os << (g->multicast ? "mgenerate " : "generate ")
+         << print_expr(*g->event) << ";\n";
+      break;
+    }
+    case StmtKind::Return: {
+      const auto* r = s.as<ReturnStmt>();
+      os << "return";
+      if (r->value) os << " " << print_expr(*r->value);
+      os << ";\n";
+      break;
+    }
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string print_params(const std::vector<Param>& params) {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << params[i].type.str() << " " << params[i].name;
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace
+
+std::string print_decl(const Decl& d) {
+  std::ostringstream os;
+  switch (d.kind) {
+    case DeclKind::Const: {
+      const auto* c = d.as<ConstDecl>();
+      os << "const " << c->declared_type.str() << " " << d.name << " = "
+         << print_expr(*c->value) << ";\n";
+      break;
+    }
+    case DeclKind::Global: {
+      const auto* g = d.as<GlobalDecl>();
+      os << "global " << d.name << " = new Array<<" << g->width << ">>("
+         << print_expr(*g->size) << ");\n";
+      break;
+    }
+    case DeclKind::Memop: {
+      const auto* m = d.as<MemopDecl>();
+      os << "memop " << d.name << print_params(m->params) << " "
+         << print_block(m->body, 0) << "\n";
+      break;
+    }
+    case DeclKind::Fun: {
+      const auto* f = d.as<FunDecl>();
+      os << "fun " << f->return_type.str() << " " << d.name
+         << print_params(f->params) << " " << print_block(f->body, 0) << "\n";
+      break;
+    }
+    case DeclKind::Event: {
+      const auto* e = d.as<EventDecl>();
+      os << "event " << d.name << print_params(e->params) << ";\n";
+      break;
+    }
+    case DeclKind::Handler: {
+      const auto* h = d.as<HandlerDecl>();
+      os << "handle " << d.name << print_params(h->params) << " "
+         << print_block(h->body, 0) << "\n";
+      break;
+    }
+    case DeclKind::Group: {
+      const auto* g = d.as<GroupDecl>();
+      os << "const group " << d.name << " = {";
+      for (std::size_t i = 0; i < g->members.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << print_expr(*g->members[i]);
+      }
+      os << "};\n";
+      break;
+    }
+  }
+  return os.str();
+}
+
+std::string print_program(const Program& p) {
+  std::ostringstream os;
+  for (const auto& d : p.decls) os << print_decl(*d);
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Structural equality
+// ---------------------------------------------------------------------------
+
+bool expr_equal(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::IntLit: {
+      const auto* x = a.as<IntLitExpr>();
+      const auto* y = b.as<IntLitExpr>();
+      return x->value == y->value;
+    }
+    case ExprKind::BoolLit:
+      return a.as<BoolLitExpr>()->value == b.as<BoolLitExpr>()->value;
+    case ExprKind::VarRef:
+      return a.as<VarRefExpr>()->name == b.as<VarRefExpr>()->name;
+    case ExprKind::Unary: {
+      const auto* x = a.as<UnaryExpr>();
+      const auto* y = b.as<UnaryExpr>();
+      return x->op == y->op && expr_equal(*x->sub, *y->sub);
+    }
+    case ExprKind::Binary: {
+      const auto* x = a.as<BinaryExpr>();
+      const auto* y = b.as<BinaryExpr>();
+      return x->op == y->op && expr_equal(*x->lhs, *y->lhs) &&
+             expr_equal(*x->rhs, *y->rhs);
+    }
+    case ExprKind::Call: {
+      const auto* x = a.as<CallExpr>();
+      const auto* y = b.as<CallExpr>();
+      if (x->callee != y->callee || x->args.size() != y->args.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < x->args.size(); ++i) {
+        if (!expr_equal(*x->args[i], *y->args[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool block_equal(const Block& a, const Block& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!stmt_equal(*a[i], *b[i])) return false;
+  }
+  return true;
+}
+
+bool stmt_equal(const Stmt& a, const Stmt& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case StmtKind::LocalDecl: {
+      const auto* x = a.as<LocalDeclStmt>();
+      const auto* y = b.as<LocalDeclStmt>();
+      return x->declared_type == y->declared_type && x->name == y->name &&
+             expr_equal(*x->init, *y->init);
+    }
+    case StmtKind::Assign: {
+      const auto* x = a.as<AssignStmt>();
+      const auto* y = b.as<AssignStmt>();
+      return x->name == y->name && expr_equal(*x->value, *y->value);
+    }
+    case StmtKind::If: {
+      const auto* x = a.as<IfStmt>();
+      const auto* y = b.as<IfStmt>();
+      return expr_equal(*x->cond, *y->cond) &&
+             block_equal(x->then_block, y->then_block) &&
+             block_equal(x->else_block, y->else_block);
+    }
+    case StmtKind::ExprStmt:
+      return expr_equal(*a.as<ExprStmt>()->expr, *b.as<ExprStmt>()->expr);
+    case StmtKind::Generate: {
+      const auto* x = a.as<GenerateStmt>();
+      const auto* y = b.as<GenerateStmt>();
+      return x->multicast == y->multicast && expr_equal(*x->event, *y->event);
+    }
+    case StmtKind::Return: {
+      const auto* x = a.as<ReturnStmt>();
+      const auto* y = b.as<ReturnStmt>();
+      if ((x->value == nullptr) != (y->value == nullptr)) return false;
+      return !x->value || expr_equal(*x->value, *y->value);
+    }
+  }
+  return false;
+}
+
+namespace {
+
+bool params_equal(const std::vector<Param>& a, const std::vector<Param>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].type == b[i].type) || a[i].name != b[i].name) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool decl_equal(const Decl& a, const Decl& b) {
+  if (a.kind != b.kind || a.name != b.name) return false;
+  switch (a.kind) {
+    case DeclKind::Const: {
+      const auto* x = a.as<ConstDecl>();
+      const auto* y = b.as<ConstDecl>();
+      return x->declared_type == y->declared_type &&
+             expr_equal(*x->value, *y->value);
+    }
+    case DeclKind::Global: {
+      const auto* x = a.as<GlobalDecl>();
+      const auto* y = b.as<GlobalDecl>();
+      return x->width == y->width && expr_equal(*x->size, *y->size);
+    }
+    case DeclKind::Memop: {
+      const auto* x = a.as<MemopDecl>();
+      const auto* y = b.as<MemopDecl>();
+      return params_equal(x->params, y->params) &&
+             block_equal(x->body, y->body);
+    }
+    case DeclKind::Fun: {
+      const auto* x = a.as<FunDecl>();
+      const auto* y = b.as<FunDecl>();
+      return x->return_type == y->return_type &&
+             params_equal(x->params, y->params) &&
+             block_equal(x->body, y->body);
+    }
+    case DeclKind::Event: {
+      const auto* x = a.as<EventDecl>();
+      const auto* y = b.as<EventDecl>();
+      return params_equal(x->params, y->params);
+    }
+    case DeclKind::Handler: {
+      const auto* x = a.as<HandlerDecl>();
+      const auto* y = b.as<HandlerDecl>();
+      return params_equal(x->params, y->params) &&
+             block_equal(x->body, y->body);
+    }
+    case DeclKind::Group: {
+      const auto* x = a.as<GroupDecl>();
+      const auto* y = b.as<GroupDecl>();
+      if (x->members.size() != y->members.size()) return false;
+      for (std::size_t i = 0; i < x->members.size(); ++i) {
+        if (!expr_equal(*x->members[i], *y->members[i])) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool program_equal(const Program& a, const Program& b) {
+  if (a.decls.size() != b.decls.size()) return false;
+  for (std::size_t i = 0; i < a.decls.size(); ++i) {
+    if (!decl_equal(*a.decls[i], *b.decls[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace lucid::frontend

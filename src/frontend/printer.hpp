@@ -1,0 +1,26 @@
+// Pretty-printer: renders an AST back to Lucid surface syntax.
+// Used for debugging dumps and parser round-trip tests (parse → print →
+// parse must produce a structurally identical tree).
+#pragma once
+
+#include <string>
+
+#include "frontend/ast.hpp"
+
+namespace lucid::frontend {
+
+[[nodiscard]] std::string print_expr(const Expr& e);
+[[nodiscard]] std::string print_stmt(const Stmt& s, int indent = 0);
+[[nodiscard]] std::string print_block(const Block& b, int indent);
+[[nodiscard]] std::string print_decl(const Decl& d);
+[[nodiscard]] std::string print_program(const Program& p);
+
+/// Structural equality over ASTs, ignoring source ranges and annotations.
+/// Used by round-trip tests.
+[[nodiscard]] bool expr_equal(const Expr& a, const Expr& b);
+[[nodiscard]] bool stmt_equal(const Stmt& a, const Stmt& b);
+[[nodiscard]] bool block_equal(const Block& a, const Block& b);
+[[nodiscard]] bool decl_equal(const Decl& a, const Decl& b);
+[[nodiscard]] bool program_equal(const Program& a, const Program& b);
+
+}  // namespace lucid::frontend

@@ -1,0 +1,62 @@
+#include "frontend/token.hpp"
+
+namespace lucid::frontend {
+
+std::string_view token_kind_name(TokenKind k) {
+  switch (k) {
+    case TokenKind::Eof: return "eof";
+    case TokenKind::Ident: return "identifier";
+    case TokenKind::IntLit: return "integer";
+    case TokenKind::KwConst: return "'const'";
+    case TokenKind::KwGlobal: return "'global'";
+    case TokenKind::KwMemop: return "'memop'";
+    case TokenKind::KwFun: return "'fun'";
+    case TokenKind::KwEvent: return "'event'";
+    case TokenKind::KwHandle: return "'handle'";
+    case TokenKind::KwGroup: return "'group'";
+    case TokenKind::KwIf: return "'if'";
+    case TokenKind::KwElse: return "'else'";
+    case TokenKind::KwReturn: return "'return'";
+    case TokenKind::KwGenerate: return "'generate'";
+    case TokenKind::KwMGenerate: return "'mgenerate'";
+    case TokenKind::KwInt: return "'int'";
+    case TokenKind::KwBool: return "'bool'";
+    case TokenKind::KwVoid: return "'void'";
+    case TokenKind::KwTrue: return "'true'";
+    case TokenKind::KwFalse: return "'false'";
+    case TokenKind::KwNew: return "'new'";
+    case TokenKind::LParen: return "'('";
+    case TokenKind::RParen: return "')'";
+    case TokenKind::LBrace: return "'{'";
+    case TokenKind::RBrace: return "'}'";
+    case TokenKind::LBracket: return "'['";
+    case TokenKind::RBracket: return "']'";
+    case TokenKind::Semi: return "';'";
+    case TokenKind::Comma: return "','";
+    case TokenKind::Dot: return "'.'";
+    case TokenKind::Assign: return "'='";
+    case TokenKind::Plus: return "'+'";
+    case TokenKind::Minus: return "'-'";
+    case TokenKind::Star: return "'*'";
+    case TokenKind::Slash: return "'/'";
+    case TokenKind::Percent: return "'%'";
+    case TokenKind::Amp: return "'&'";
+    case TokenKind::Pipe: return "'|'";
+    case TokenKind::Caret: return "'^'";
+    case TokenKind::Tilde: return "'~'";
+    case TokenKind::Bang: return "'!'";
+    case TokenKind::Shl: return "'<<'";
+    case TokenKind::Shr: return "'>>'";
+    case TokenKind::EqEq: return "'=='";
+    case TokenKind::NotEq: return "'!='";
+    case TokenKind::Lt: return "'<'";
+    case TokenKind::Gt: return "'>'";
+    case TokenKind::Le: return "'<='";
+    case TokenKind::Ge: return "'>='";
+    case TokenKind::AmpAmp: return "'&&'";
+    case TokenKind::PipePipe: return "'||'";
+  }
+  return "unknown";
+}
+
+}  // namespace lucid::frontend

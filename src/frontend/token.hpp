@@ -1,0 +1,86 @@
+// Token definitions for the Lucid dialect accepted by this compiler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/source_location.hpp"
+
+namespace lucid::frontend {
+
+enum class TokenKind {
+  // Literals and identifiers.
+  Eof,
+  Ident,
+  IntLit,   // 42, 0x1f, and time literals 10ms / 100us / 5s / 250ns
+  // Keywords.
+  KwConst,
+  KwGlobal,
+  KwMemop,
+  KwFun,
+  KwEvent,
+  KwHandle,
+  KwGroup,
+  KwIf,
+  KwElse,
+  KwReturn,
+  KwGenerate,
+  KwMGenerate,
+  KwInt,
+  KwBool,
+  KwVoid,
+  KwTrue,
+  KwFalse,
+  KwNew,
+  // Punctuation.
+  LParen,
+  RParen,
+  LBrace,
+  RBrace,
+  LBracket,
+  RBracket,
+  Semi,
+  Comma,
+  Dot,
+  Assign,  // =
+  // Operators.
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Percent,
+  Amp,
+  Pipe,
+  Caret,
+  Tilde,
+  Bang,
+  Shl,  // <<  (also opens Array<<32>> width brackets)
+  Shr,  // >>
+  EqEq,
+  NotEq,
+  Lt,
+  Gt,
+  Le,
+  Ge,
+  AmpAmp,
+  PipePipe,
+};
+
+[[nodiscard]] std::string_view token_kind_name(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::Eof;
+  std::string text;          // raw text (identifier spelling, literal text)
+  std::uint64_t int_value = 0;  // for IntLit; time literals are in nanoseconds
+  bool is_time = false;         // true when the literal had a time suffix
+  SrcRange range;
+
+  [[nodiscard]] bool is(TokenKind k) const { return kind == k; }
+  [[nodiscard]] std::string str() const {
+    return std::string(token_kind_name(kind)) +
+           (text.empty() ? "" : "(" + text + ")");
+  }
+};
+
+}  // namespace lucid::frontend

@@ -1,0 +1,432 @@
+#include "interp/runtime.hpp"
+
+namespace lucid::interp {
+
+using namespace frontend;
+
+std::uint32_t hash32(std::int64_t seed, const std::vector<Value>& args) {
+  // FNV-1a over the argument words, salted by the seed. Deterministic and
+  // well-spread — a stand-in for the Tofino's CRC units.
+  std::uint32_t h = 2166136261u ^ (static_cast<std::uint32_t>(seed) *
+                                   0x9E3779B1u);
+  for (const Value v : args) {
+    auto word = static_cast<std::uint64_t>(v);
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<std::uint32_t>(word & 0xff);
+      h *= 16777619u;
+      word >>= 8;
+    }
+  }
+  return h;
+}
+
+namespace {
+
+Value mask_width(Value v, int width) {
+  if (width >= 64 || width <= 0) return v;
+  const auto m = (std::uint64_t{1} << width) - 1;
+  return static_cast<Value>(static_cast<std::uint64_t>(v) & m);
+}
+
+Value memop_operand_value(const ir::Operand& o, Value cell, Value arg) {
+  if (o.is_const()) return o.value;
+  if (o.var == "cell") return cell;
+  return arg;
+}
+
+bool cmp_eval(ir::CmpOp op, Value l, Value r) {
+  switch (op) {
+    case ir::CmpOp::Eq: return l == r;
+    case ir::CmpOp::Ne: return l != r;
+    case ir::CmpOp::Lt: return l < r;
+    case ir::CmpOp::Gt: return l > r;
+    case ir::CmpOp::Le: return l <= r;
+    case ir::CmpOp::Ge: return l >= r;
+  }
+  return false;
+}
+
+Value binop_eval(BinOp op, Value l, Value r) {
+  switch (op) {
+    case BinOp::Add: return l + r;
+    case BinOp::Sub: return l - r;
+    case BinOp::Mul: return l * r;
+    case BinOp::Div: return r == 0 ? 0 : l / r;
+    case BinOp::Mod: return r == 0 ? 0 : l % r;
+    case BinOp::BitAnd: return l & r;
+    case BinOp::BitOr: return l | r;
+    case BinOp::BitXor: return l ^ r;
+    case BinOp::Shl: return l << (r & 63);
+    case BinOp::Shr:
+      return static_cast<Value>(static_cast<std::uint64_t>(l) >> (r & 63));
+    case BinOp::Eq: return l == r ? 1 : 0;
+    case BinOp::Ne: return l != r ? 1 : 0;
+    case BinOp::Lt: return l < r ? 1 : 0;
+    case BinOp::Gt: return l > r ? 1 : 0;
+    case BinOp::Le: return l <= r ? 1 : 0;
+    case BinOp::Ge: return l >= r ? 1 : 0;
+    case BinOp::LAnd: return (l != 0 && r != 0) ? 1 : 0;
+    case BinOp::LOr: return (l != 0 || r != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+}  // namespace
+
+Runtime::Runtime(const CompileResult& program, sched::EventScheduler& node)
+    : program_(program), node_(node) {
+  for (const auto& arr : program_.ir.arrays) {
+    node_.node().add_array(arr.name, arr.width, arr.size);
+  }
+  for (const auto& d : program_.program.decls) {
+    if (d->kind == DeclKind::Handler) {
+      const auto* ev = program_.program.find_event(d->name);
+      if (ev != nullptr) {
+        handlers_by_id_[ev->event_id] = d->as<HandlerDecl>();
+      }
+    } else if (d->kind == DeclKind::Event) {
+      events_by_name_[d->name] = d->as<EventDecl>();
+    }
+  }
+  node_.set_execute([this](const pisa::Packet& p) { execute(p); });
+}
+
+void Runtime::inject(const std::string& event, std::vector<Value> args,
+                     sim::Time delay_ns, std::int64_t location) {
+  const auto it = events_by_name_.find(event);
+  if (it == events_by_name_.end()) return;
+  sched::GenEvent ev;
+  ev.event_id = it->second->event_id;
+  ev.args = std::move(args);
+  ev.delay_ns = delay_ns;
+  ev.location = location;
+  node_.inject(std::move(ev));
+}
+
+Value Runtime::memop_apply(const std::string& name, Value cell,
+                           Value arg) const {
+  if (name.empty()) return arg;  // identity write
+  const ir::MemopInfo* mo = program_.ir.find_memop(name);
+  if (mo == nullptr) return arg;
+  const bool take_then =
+      !mo->has_condition ||
+      cmp_eval(mo->cond_op, memop_operand_value(mo->cond_lhs, cell, arg),
+               memop_operand_value(mo->cond_rhs, cell, arg));
+  const ir::Operand& lhs = take_then ? mo->then_lhs : mo->else_lhs;
+  const auto& op = take_then ? mo->then_op : mo->else_op;
+  const ir::Operand& rhs = take_then ? mo->then_rhs : mo->else_rhs;
+  Value out = memop_operand_value(lhs, cell, arg);
+  if (op) out = binop_eval(*op, out, memop_operand_value(rhs, cell, arg));
+  return out;
+}
+
+pisa::RegisterArray* Runtime::resolve_array(const std::string& name) {
+  std::string actual = name;
+  // Follow (possibly nested) function-parameter aliases.
+  for (int depth = 0; depth < 8; ++depth) {
+    const auto it = array_alias_.find(actual);
+    if (it == array_alias_.end()) break;
+    actual = it->second;
+  }
+  return array(actual);
+}
+
+void Runtime::execute(const pisa::Packet& p) {
+  const auto it = handlers_by_id_.find(p.event_id);
+  if (it == handlers_by_id_.end()) return;
+  const HandlerDecl& h = *it->second;
+  ++stats_.total_executions;
+  ++stats_.executions[h.name];
+  if (trace_) trace_(h.name, p);
+
+  Frame frame;
+  for (std::size_t i = 0; i < h.params.size(); ++i) {
+    Val v;
+    v.i = i < p.args.size()
+              ? mask_width(p.args[i], h.params[i].type.width)
+              : 0;
+    frame[h.params[i].name] = v;
+  }
+  Val ret;
+  (void)exec_block(frame, h.body, &ret);
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+bool Runtime::exec_block(Frame& frame, const Block& b, Val* ret) {
+  for (const auto& s : b) {
+    if (exec_stmt(frame, *s, ret)) return true;
+  }
+  return false;
+}
+
+bool Runtime::exec_stmt(Frame& frame, const Stmt& s, Val* ret) {
+  switch (s.kind) {
+    case StmtKind::LocalDecl: {
+      const auto* d = s.as<LocalDeclStmt>();
+      Val v = eval(frame, *d->init);
+      if (!v.is_event() && d->declared_type.is_int()) {
+        v.i = mask_width(v.i, d->declared_type.width);
+      }
+      frame[d->name] = std::move(v);
+      return false;
+    }
+    case StmtKind::Assign: {
+      const auto* a = s.as<AssignStmt>();
+      frame[a->name] = eval(frame, *a->value);
+      return false;
+    }
+    case StmtKind::If: {
+      const auto* i = s.as<IfStmt>();
+      const Val c = eval(frame, *i->cond);
+      return exec_block(frame, c.i != 0 ? i->then_block : i->else_block,
+                        ret);
+    }
+    case StmtKind::ExprStmt:
+      (void)eval(frame, *s.as<ExprStmt>()->expr);
+      return false;
+    case StmtKind::Generate: {
+      const auto* g = s.as<GenerateStmt>();
+      const Val v = eval(frame, *g->event);
+      if (!v.is_event()) return false;
+      sched::GenEvent ev;
+      ev.event_id = v.ev->event_id;
+      ev.args = v.ev->args;
+      ev.delay_ns = v.ev->delay_ns;
+      ev.location = v.ev->location;
+      ev.multicast = v.ev->multicast || g->multicast;
+      ev.members = v.ev->members;
+      if (ev.event_id >= 0 &&
+          static_cast<std::size_t>(ev.event_id) <
+              program_.ir.events.size()) {
+        ++stats_.generated[program_.ir
+                               .events[static_cast<std::size_t>(ev.event_id)]
+                               .name];
+      }
+      node_.generate(std::move(ev));
+      return false;
+    }
+    case StmtKind::Return:
+      if (const auto* r = s.as<ReturnStmt>(); r->value && ret) {
+        *ret = eval(frame, *r->value);
+      }
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+Runtime::Val Runtime::eval(Frame& frame, const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::IntLit: {
+      Val v;
+      v.i = static_cast<Value>(e.as<IntLitExpr>()->value);
+      return v;
+    }
+    case ExprKind::BoolLit: {
+      Val v;
+      v.i = e.as<BoolLitExpr>()->value ? 1 : 0;
+      return v;
+    }
+    case ExprKind::VarRef: {
+      const auto* r = e.as<VarRefExpr>();
+      Val v;
+      if (r->is_const) {
+        v.i = r->const_value;
+        return v;
+      }
+      if (r->name == "SELF") {
+        v.i = node_.self();
+        return v;
+      }
+      const auto it = frame.find(r->name);
+      if (it != frame.end()) return it->second;
+      return v;
+    }
+    case ExprKind::Unary: {
+      const auto* u = e.as<UnaryExpr>();
+      Val s = eval(frame, *u->sub);
+      switch (u->op) {
+        case UnOp::Neg: s.i = -s.i; break;
+        case UnOp::BitNot:
+          s.i = mask_width(~s.i, e.type.width);
+          break;
+        case UnOp::Not: s.i = s.i == 0 ? 1 : 0; break;
+      }
+      return s;
+    }
+    case ExprKind::Binary: {
+      const auto* b = e.as<BinaryExpr>();
+      // Short-circuit for logical operators.
+      if (b->op == BinOp::LAnd) {
+        Val l = eval(frame, *b->lhs);
+        if (l.i == 0) return l;
+        return eval(frame, *b->rhs);
+      }
+      if (b->op == BinOp::LOr) {
+        Val l = eval(frame, *b->lhs);
+        if (l.i != 0) return l;
+        return eval(frame, *b->rhs);
+      }
+      const Val l = eval(frame, *b->lhs);
+      const Val r = eval(frame, *b->rhs);
+      Val out;
+      out.i = binop_eval(b->op, l.i, r.i);
+      if (e.type.is_int()) out.i = mask_width(out.i, e.type.width);
+      return out;
+    }
+    case ExprKind::Call:
+      return eval_call(frame, *e.as<CallExpr>());
+  }
+  return {};
+}
+
+Runtime::Val Runtime::eval_call(Frame& frame, const CallExpr& c) {
+  auto int_arg = [&](std::size_t i) { return eval(frame, *c.args[i]).i; };
+
+  switch (c.resolved) {
+    case CallKind::ArrayGet:
+    case CallKind::ArrayGetm: {
+      const auto& arr_name = c.args[0]->as<VarRefExpr>()->name;
+      pisa::RegisterArray* arr = resolve_array(arr_name);
+      Val out;
+      if (arr == nullptr) return out;
+      const Value idx = int_arg(1);
+      const Value cell = arr->get(idx);
+      if (c.args.size() == 4) {
+        out.i = arr->mask(memop_apply(c.args[2]->as<VarRefExpr>()->name,
+                                      cell, int_arg(3)));
+      } else {
+        out.i = cell;
+      }
+      return out;
+    }
+    case CallKind::ArraySet:
+    case CallKind::ArraySetm: {
+      const auto& arr_name = c.args[0]->as<VarRefExpr>()->name;
+      pisa::RegisterArray* arr = resolve_array(arr_name);
+      if (arr == nullptr) return {};
+      const Value idx = int_arg(1);
+      if (c.args.size() == 3) {
+        arr->set(idx, int_arg(2));
+      } else {
+        const Value cell = arr->get(idx);
+        arr->set(idx, memop_apply(c.args[2]->as<VarRefExpr>()->name, cell,
+                                  int_arg(3)));
+      }
+      return {};
+    }
+    case CallKind::ArrayUpdate: {
+      const auto& arr_name = c.args[0]->as<VarRefExpr>()->name;
+      pisa::RegisterArray* arr = resolve_array(arr_name);
+      Val out;
+      if (arr == nullptr) return out;
+      const Value idx = int_arg(1);
+      const Value old = arr->get(idx);
+      const Value garg = int_arg(3);
+      const Value sarg = int_arg(5);
+      out.i = arr->mask(
+          memop_apply(c.args[2]->as<VarRefExpr>()->name, old, garg));
+      arr->set(idx, memop_apply(c.args[4]->as<VarRefExpr>()->name, old,
+                                sarg));
+      return out;
+    }
+    case CallKind::Hash: {
+      std::vector<Value> args;
+      for (std::size_t i = 1; i < c.args.size(); ++i) {
+        args.push_back(int_arg(i));
+      }
+      Val out;
+      out.i = static_cast<Value>(hash32(int_arg(0), args));
+      return out;
+    }
+    case CallKind::SysTime: {
+      Val out;
+      out.i = mask_width(node_.node().sim().now(), 32);
+      return out;
+    }
+    case CallKind::SysSelf: {
+      Val out;
+      out.i = node_.self();
+      return out;
+    }
+    case CallKind::UserFun: {
+      const FunDecl* f = program_.program.find_fun(c.callee);
+      if (f == nullptr) return {};
+      Frame inner;
+      for (std::size_t i = 0; i < f->params.size() && i < c.args.size();
+           ++i) {
+        if (f->params[i].type.kind == TypeKind::Array) {
+          // Array parameters are passed by name: rebind via an event-free
+          // Val holding nothing; Array ops resolve through the argument's
+          // VarRef name directly. To support helpers, substitute textually:
+          // store the referenced array name in the frame.
+          Val v;
+          v.i = 0;
+          inner[f->params[i].name] = v;
+          array_alias_[f->params[i].name] =
+              c.args[i]->as<VarRefExpr>()->name;
+        } else {
+          Val v = eval(frame, *c.args[i]);
+          if (f->params[i].type.is_int()) {
+            v.i = mask_width(v.i, f->params[i].type.width);
+          }
+          inner[f->params[i].name] = std::move(v);
+        }
+      }
+      Val ret;
+      (void)exec_block(inner, f->body, &ret);
+      for (const auto& p : f->params) {
+        if (p.type.kind == TypeKind::Array) array_alias_.erase(p.name);
+      }
+      return ret;
+    }
+    case CallKind::EventCtor: {
+      Val out;
+      out.ev = std::make_shared<EventValue>();
+      const EventDecl* ev = events_by_name_.count(c.callee)
+                                ? events_by_name_.at(c.callee)
+                                : nullptr;
+      out.ev->event_id = ev ? ev->event_id : -1;
+      for (std::size_t i = 0; i < c.args.size(); ++i) {
+        Value a = int_arg(i);
+        if (ev && i < ev->params.size()) {
+          a = mask_width(a, ev->params[i].type.width);
+        }
+        out.ev->args.push_back(a);
+      }
+      return out;
+    }
+    case CallKind::EventDelay: {
+      Val inner = eval(frame, *c.args[0]);
+      if (inner.is_event()) inner.ev->delay_ns = int_arg(1);
+      return inner;
+    }
+    case CallKind::EventLocate: {
+      Val inner = eval(frame, *c.args[0]);
+      if (!inner.is_event()) return inner;
+      const Expr& loc = *c.args[1];
+      if (loc.kind == ExprKind::VarRef && loc.as<VarRefExpr>()->is_group) {
+        inner.ev->multicast = true;
+        for (const auto& g : program_.ir.groups) {
+          if (g.name == loc.as<VarRefExpr>()->name) {
+            inner.ev->members = g.members;
+          }
+        }
+      } else {
+        inner.ev->location = eval(frame, loc).i;
+      }
+      return inner;
+    }
+    case CallKind::Unresolved:
+      return {};
+  }
+  return {};
+}
+
+}  // namespace lucid::interp

@@ -1,0 +1,104 @@
+// The Lucid interpreter: executes a type-checked program's handlers against
+// a simulated PISA switch. The paper's artifact ships an interpreter for
+// exactly this purpose ("rapid prototyping and testing of data-plane
+// applications without requiring access to the Tofino toolchain",
+// Appendix D) — here it is also the engine behind the timing experiments,
+// because handler execution is coupled to the event scheduler and the
+// ns-resolution simulator.
+//
+// Semantics: one handler execution == one atomic pipeline pass. Array state
+// lives in the switch's register arrays (width-masked). `generate` feeds the
+// event scheduler, which serializes the event through the recirculation port
+// or the fabric. Memops are applied in their canonicalized single-sALU form.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/compiler.hpp"
+#include "sched/scheduler.hpp"
+
+namespace lucid::interp {
+
+using Value = std::int64_t;
+
+struct RunStats {
+  std::map<std::string, std::uint64_t> executions;
+  std::map<std::string, std::uint64_t> generated;
+  std::uint64_t total_executions = 0;
+};
+
+/// Deterministic 32-bit hash used by the `hash` builtin (stands in for the
+/// Tofino's CRC hash units).
+[[nodiscard]] std::uint32_t hash32(std::int64_t seed,
+                                   const std::vector<Value>& args);
+
+class Runtime {
+ public:
+  /// Binds `program` (which must have compiled OK and stay alive) to a
+  /// scheduler/switch: creates the register arrays and installs the handler
+  /// executor.
+  Runtime(const CompileResult& program, sched::EventScheduler& node);
+
+  /// Injects an event by name (external arrival at this switch).
+  void inject(const std::string& event, std::vector<Value> args,
+              sim::Time delay_ns = 0, std::int64_t location = -1);
+
+  [[nodiscard]] pisa::RegisterArray* array(const std::string& name) {
+    return node_.node().find_array(name);
+  }
+  [[nodiscard]] const RunStats& stats() const { return stats_; }
+  [[nodiscard]] sched::EventScheduler& node() { return node_; }
+
+  /// Optional per-execution trace hook (event name, packet).
+  void set_trace(
+      std::function<void(const std::string&, const pisa::Packet&)> fn) {
+    trace_ = std::move(fn);
+  }
+
+ private:
+  struct EventValue {
+    int event_id = -1;
+    std::vector<Value> args;
+    sim::Time delay_ns = 0;
+    std::int64_t location = -1;
+    bool multicast = false;
+    std::vector<std::int64_t> members;
+  };
+
+  struct Val {
+    Value i = 0;
+    std::shared_ptr<EventValue> ev;
+    [[nodiscard]] bool is_event() const { return ev != nullptr; }
+  };
+
+  using Frame = std::map<std::string, Val>;
+
+  void execute(const pisa::Packet& p);
+
+  Val eval(Frame& frame, const frontend::Expr& e);
+  Val eval_call(Frame& frame, const frontend::CallExpr& c);
+  /// Returns true if the block executed a `return`; the value (if any) lands
+  /// in `*ret`.
+  bool exec_block(Frame& frame, const frontend::Block& b, Val* ret);
+  bool exec_stmt(Frame& frame, const frontend::Stmt& s, Val* ret);
+
+  [[nodiscard]] Value memop_apply(const std::string& name, Value cell,
+                                  Value arg) const;
+  /// Resolves an array name through function-parameter aliases installed by
+  /// UserFun calls.
+  [[nodiscard]] pisa::RegisterArray* resolve_array(const std::string& name);
+
+  const CompileResult& program_;
+  sched::EventScheduler& node_;
+  RunStats stats_;
+  std::function<void(const std::string&, const pisa::Packet&)> trace_;
+  std::map<int, const frontend::HandlerDecl*> handlers_by_id_;
+  std::map<std::string, const frontend::EventDecl*> events_by_name_;
+  std::map<std::string, std::string> array_alias_;
+};
+
+}  // namespace lucid::interp

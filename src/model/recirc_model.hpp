@@ -1,0 +1,64 @@
+// Analytical models from section 7.3: the stateful firewall's worst-case
+// recirculation rate on the idealized PISA processor, its pipeline
+// utilization, and the minimum packet size that still sustains line rate on
+// all front-panel ports (Figure 16).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace lucid::model {
+
+/// The idealized PISA platform of section 7.3: 1B packets/s pipeline serving
+/// ten 100 Gb/s front-panel ports plus a 100 Gb/s recirculation port.
+struct PisaPlatform {
+  double pipeline_pps = 1e9;
+  double front_panel_gbps = 1000.0;  // 10 x 100 Gb/s
+  double baseline_min_pkt_bytes = 125.0;
+};
+
+struct SfwModelParams {
+  double table_entries = 65536.0;  // N = 2^16
+  double scan_interval_s = 0.1;    // i = 100 ms
+  double flow_rate = 10'000.0;     // f, flows/s
+};
+
+struct SfwModelResult {
+  double recirc_pps = 0;          // r = N/i + f*log2(N)
+  double pipeline_utilization = 0;  // r / pipeline_pps
+  double min_pkt_bytes = 0;       // to sustain all front-panel line rate
+};
+
+/// r = N/i + f*log2(N): the first term is the timeout scan, the second the
+/// worst-case cuckoo installation chain (log N displacements per flow).
+[[nodiscard]] inline SfwModelResult sfw_recirc_model(
+    const SfwModelParams& p, const PisaPlatform& plat = {}) {
+  SfwModelResult r;
+  r.recirc_pps = p.table_entries / p.scan_interval_s +
+                 p.flow_rate * std::log2(p.table_entries);
+  r.pipeline_utilization = r.recirc_pps / plat.pipeline_pps;
+  // Pipeline slots left for front-panel traffic after recirculation load:
+  //   (front_gbps * 1e9 / (8 * min_bytes)) + r = pipeline_pps
+  const double front_pps = plat.pipeline_pps - r.recirc_pps;
+  r.min_pkt_bytes = plat.front_panel_gbps * 1e9 / (8.0 * front_pps);
+  return r;
+}
+
+/// Section 2.5's serial link-scan example: a control packet recirculating
+/// once per microsecond against the pipeline's packet budget.
+struct ScanOverheadResult {
+  double recirc_pps = 0;
+  double pipeline_fraction = 0;
+  double per_port_scan_interval_us = 0;
+};
+
+[[nodiscard]] inline ScanOverheadResult link_scan_overhead(
+    double ports, double scan_step_us, const PisaPlatform& plat = {}) {
+  ScanOverheadResult r;
+  r.recirc_pps = 1e6 / scan_step_us;
+  r.pipeline_fraction = r.recirc_pps / plat.pipeline_pps;
+  r.per_port_scan_interval_us = ports * scan_step_us;
+  return r;
+}
+
+}  // namespace lucid::model

@@ -1,0 +1,43 @@
+// Multi-switch fabric: switches joined by links with propagation delay.
+// Event packets located at another switch traverse one link (~1 us per hop,
+// section 2.1) and enter the destination's ingress like any other packet.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "sched/scheduler.hpp"
+
+namespace lucid::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+
+  /// Registers a node; the network installs itself as the scheduler's
+  /// net-send hook.
+  void add_node(sched::EventScheduler& node);
+
+  /// Bidirectional link with the given one-way latency.
+  void connect(int a, int b, sim::Time latency_ns = sim::kUs);
+
+  [[nodiscard]] sched::EventScheduler* node(int id) {
+    const auto it = nodes_.find(id);
+    return it == nodes_.end() ? nullptr : it->second;
+  }
+
+  [[nodiscard]] sim::Time link_latency(int a, int b) const;
+  [[nodiscard]] std::uint64_t delivered() const { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const { return dropped_; }
+
+ private:
+  void carry(int from, pisa::Packet p);
+
+  sim::Simulator& sim_;
+  std::map<int, sched::EventScheduler*> nodes_;
+  std::map<std::pair<int, int>, sim::Time> links_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace lucid::net

@@ -1,0 +1,639 @@
+#include "opt/passes.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace lucid::opt {
+
+using ir::AtomicTable;
+using ir::Conj;
+using ir::MatchTest;
+using ir::TableKind;
+
+// ---------------------------------------------------------------------------
+// Pass 1: branch inlining
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Appends `test` to `conj`, returning false if the conjunction becomes
+/// contradictory (so the path is dead and can be dropped). Implied tests are
+/// skipped; an == test subsumes any != tests on the same variable.
+bool add_test(Conj& conj, const MatchTest& test) {
+  for (const auto& t : conj) {
+    if (t.var != test.var) continue;
+    if (t.eq && test.eq) {
+      if (t.value != test.value) return false;  // x==a && x==b, a!=b
+      return true;                              // duplicate
+    }
+    if (t.eq && !test.eq) {
+      if (t.value == test.value) return false;  // x==a && x!=a
+      return true;  // x==a implies x!=b for every b != a
+    }
+    if (!t.eq && test.eq) {
+      if (t.value == test.value) return false;  // x!=a && x==a
+      continue;  // compatible but not implied; keep scanning
+    }
+    if (t.value == test.value) return true;  // duplicate x!=a
+  }
+  if (test.eq) {
+    // The new equality subsumes every inequality on the same variable.
+    std::erase_if(conj, [&](const MatchTest& t) {
+      return t.var == test.var && !t.eq;
+    });
+  }
+  conj.push_back(test);
+  return true;
+}
+
+}  // namespace
+
+bool conjs_contradict(const Conj& a, const Conj& b) {
+  Conj merged = a;
+  for (const auto& t : b) {
+    if (!add_test(merged, t)) return true;
+  }
+  return false;
+}
+
+bool tables_disjoint(const AtomicTable& t1, const AtomicTable& t2) {
+  if (t1.handler != t2.handler) return true;
+  if (t1.guards.empty() || t2.guards.empty()) return false;
+  for (const auto& c1 : t1.guards) {
+    for (const auto& c2 : t2.guards) {
+      if (!conjs_contradict(c1, c2)) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+// Alias for the file-local users below.
+bool guards_disjoint(const AtomicTable& a, const AtomicTable& b) {
+  return tables_disjoint(a, b);
+}
+
+/// conj1 && conj2, or nullopt if contradictory.
+std::optional<Conj> conj_and(const Conj& a, const MatchTest& t) {
+  Conj out = a;
+  if (!add_test(out, t)) return std::nullopt;
+  return out;
+}
+
+/// True if any conjunction is empty (i.e. the disjunction is "always").
+bool is_always(const std::vector<Conj>& guards) {
+  for (const auto& c : guards) {
+    if (c.empty()) return true;
+  }
+  return false;
+}
+
+bool test_equal(const MatchTest& a, const MatchTest& b) {
+  return a.var == b.var && a.eq == b.eq && a.value == b.value;
+}
+bool test_complement(const MatchTest& a, const MatchTest& b) {
+  return a.var == b.var && a.value == b.value && a.eq != b.eq;
+}
+
+/// True if every test of `small` appears in `big` (so big implies small,
+/// and `small OR big == small`).
+bool conj_subsumes(const Conj& small, const Conj& big) {
+  for (const auto& t : small) {
+    bool found = false;
+    for (const auto& b : big) {
+      if (test_equal(t, b)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+/// If `a` and `b` agree on all tests except exactly one complementary pair,
+/// returns the merged conjunction without that pair (Quine-McCluskey-style
+/// adjacency merging).
+std::optional<Conj> conj_merge_complement(const Conj& a, const Conj& b) {
+  if (a.size() != b.size()) return std::nullopt;
+  // Find the unique test of `a` that has a complement in `b` while every
+  // other test matches exactly.
+  int comp_index = -1;
+  std::vector<bool> used(b.size(), false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bool matched = false;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (!used[j] && test_equal(a[i], b[j])) {
+        used[j] = true;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (!used[j] && test_complement(a[i], b[j])) {
+        used[j] = true;
+        if (comp_index >= 0) return std::nullopt;  // two mismatches
+        comp_index = static_cast<int>(i);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) return std::nullopt;
+  }
+  if (comp_index < 0) return std::nullopt;  // identical conjunctions
+  Conj merged;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (static_cast<int>(i) != comp_index) merged.push_back(a[i]);
+  }
+  return merged;
+}
+
+/// Simplifies a disjunction: absorption (A or A&B == A) and complementary
+/// adjacency merging ((A&x) or (A&!x) == A), to fixpoint. This is what turns
+/// a post-if join's path union back into "always".
+void simplify_disjunction(std::vector<Conj>& cs) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Absorption & duplicates.
+    for (std::size_t i = 0; i < cs.size() && !changed; ++i) {
+      for (std::size_t j = 0; j < cs.size(); ++j) {
+        if (i == j) continue;
+        if (conj_subsumes(cs[i], cs[j])) {
+          cs.erase(cs.begin() + static_cast<std::ptrdiff_t>(j));
+          changed = true;
+          break;
+        }
+      }
+    }
+    if (changed) continue;
+    // Complementary merges.
+    for (std::size_t i = 0; i < cs.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < cs.size(); ++j) {
+        if (auto merged = conj_merge_complement(cs[i], cs[j])) {
+          cs.erase(cs.begin() + static_cast<std::ptrdiff_t>(j));
+          cs[i] = std::move(*merged);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void append_guard(std::vector<Conj>& dst, const Conj& c) {
+  for (const auto& existing : dst) {
+    if (existing.size() == c.size() && conj_subsumes(existing, c)) {
+      return;  // duplicate
+    }
+  }
+  dst.push_back(c);
+}
+
+}  // namespace
+
+GuardedHandler inline_branches(const ir::HandlerGraph& g,
+                               DiagnosticEngine& diags, int max_conjs) {
+  GuardedHandler out;
+  out.handler = g.handler;
+  out.event_id = g.event_id;
+  if (g.entry < 0) return out;
+
+  // Path conditions per table. Table ids are in topological (program) order
+  // by construction, so a single forward sweep propagates them.
+  std::vector<std::vector<Conj>> paths(g.tables.size());
+  std::vector<bool> reachable(g.tables.size(), false);
+  paths[static_cast<std::size_t>(g.entry)] = {Conj{}};
+  reachable[static_cast<std::size_t>(g.entry)] = true;
+
+  auto propagate = [&](int to, const std::vector<Conj>& conds) {
+    if (to < 0) return;
+    auto& dst = paths[static_cast<std::size_t>(to)];
+    reachable[static_cast<std::size_t>(to)] = true;
+    if (is_always(dst)) return;
+    for (const auto& c : conds) {
+      if (c.empty()) {
+        dst = {Conj{}};
+        return;
+      }
+      append_guard(dst, c);
+    }
+    simplify_disjunction(dst);
+    if (static_cast<int>(dst.size()) > max_conjs) {
+      diags.warning({}, "opt-guard-blowup",
+                    "handler '" + g.handler +
+                        "': path-condition disjunction exceeded " +
+                        std::to_string(max_conjs) +
+                        " rules; guard over-approximated");
+      dst = {Conj{}};
+    }
+  };
+
+  for (std::size_t id = 0; id < g.tables.size(); ++id) {
+    if (!reachable[id]) continue;
+    const AtomicTable& t = g.tables[id];
+    const auto& my_paths = paths[id];
+    if (t.kind == TableKind::Branch) {
+      // Branch subjects are always ==/!= against a constant (the lowering
+      // canonicalizes everything else into one-bit predicates).
+      MatchTest then_test{t.branch.subject.var,
+                          t.branch.cmp == ir::CmpOp::Eq,
+                          t.branch.constant};
+      if (t.branch.subject.is_const()) {
+        // Constant-folded branch: exactly one side is live.
+        const bool truth = t.branch.cmp == ir::CmpOp::Eq
+                               ? t.branch.subject.value == t.branch.constant
+                               : t.branch.subject.value != t.branch.constant;
+        propagate(t.next[truth ? 0 : 1], my_paths);
+        continue;
+      }
+      MatchTest else_test = then_test;
+      else_test.eq = !else_test.eq;
+      std::vector<Conj> then_conds;
+      std::vector<Conj> else_conds;
+      for (const auto& c : my_paths) {
+        if (auto tc = conj_and(c, then_test)) {
+          then_conds.push_back(std::move(*tc));
+        }
+        if (auto ec = conj_and(c, else_test)) {
+          else_conds.push_back(std::move(*ec));
+        }
+      }
+      if (!then_conds.empty()) propagate(t.next[0], then_conds);
+      if (!else_conds.empty()) propagate(t.next[1], else_conds);
+    } else {
+      for (const int n : t.next) propagate(n, my_paths);
+    }
+  }
+
+  for (std::size_t id = 0; id < g.tables.size(); ++id) {
+    if (!reachable[id]) continue;
+    const AtomicTable& t = g.tables[id];
+    if (t.kind == TableKind::Branch) continue;
+    AtomicTable copy = t;
+    copy.next.clear();
+    copy.guards = is_always(paths[id]) ? std::vector<Conj>{} : paths[id];
+    out.tables.push_back(std::move(copy));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: dependency analysis
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<int>> dependency_edges(const GuardedHandler& h,
+                                               const ir::ProgramIR& ir) {
+  const std::size_t n = h.tables.size();
+  std::vector<std::vector<int>> deps(n);
+  std::vector<std::set<std::string>> reads(n);
+  std::vector<std::set<std::string>> writes(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (auto& v : h.tables[i].reads()) reads[i].insert(std::move(v));
+    for (auto& v : h.tables[i].guard_reads()) reads[i].insert(std::move(v));
+    for (auto& v : h.tables[i].writes()) writes[i].insert(std::move(v));
+  }
+  auto intersects = [](const std::set<std::string>& a,
+                       const std::set<std::string>& b) {
+    for (const auto& x : a) {
+      if (b.count(x)) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      // Tables that can never fire for the same packet have no runtime
+      // dataflow; leaving them unordered is what lets mutually exclusive
+      // branch arms share a stage (Fig 8's idx_eq_0 / idx_eq_1).
+      if (guards_disjoint(h.tables[i], h.tables[j])) continue;
+      // Only real dataflow orders tables — including stateful ones: the
+      // paper's Fig 6(3) moves hcts_fset next to nexthops_get precisely
+      // because independent stateful tables may share or swap stages.
+      const bool raw = intersects(writes[i], reads[j]);
+      const bool war = intersects(reads[i], writes[j]);
+      const bool waw = intersects(writes[i], writes[j]);
+      if (raw || war || waw) deps[j].push_back(static_cast<int>(i));
+    }
+  }
+  (void)ir;
+  for (auto& d : deps) {
+    std::sort(d.begin(), d.end());
+    d.erase(std::unique(d.begin(), d.end()), d.end());
+  }
+  return deps;
+}
+
+std::vector<int> asap_levels(const GuardedHandler& h,
+                             const std::vector<std::vector<int>>& deps) {
+  std::vector<int> level(h.tables.size(), 0);
+  for (std::size_t j = 0; j < h.tables.size(); ++j) {
+    for (const int i : deps[j]) {
+      level[j] = std::max(level[j], level[static_cast<std::size_t>(i)] + 1);
+    }
+  }
+  return level;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: greedy merging
+// ---------------------------------------------------------------------------
+
+long MergedTable::total_rules() const {
+  long total = 0;
+  for (const auto& [h, r] : rules_per_handler) total += r;
+  return std::max<long>(total, 1);
+}
+
+int StageLayout::atomic_ops() const {
+  int n = 0;
+  for (const auto& t : tables) n += static_cast<int>(t.members.size());
+  return n;
+}
+
+int StageLayout::salus() const {
+  std::set<std::string> arrays;
+  for (const auto& t : tables) {
+    if (!t.array.empty()) arrays.insert(t.array);
+  }
+  return static_cast<int>(arrays.size());
+}
+
+std::vector<int> Pipeline::ops_per_stage() const {
+  std::vector<int> out;
+  out.reserve(stages.size());
+  for (const auto& s : stages) out.push_back(s.atomic_ops());
+  return out;
+}
+
+std::string Pipeline::str() const {
+  std::string s;
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    s += "stage " + std::to_string(i) + ": ";
+    for (const auto& t : stages[i].tables) {
+      s += "[";
+      for (std::size_t m = 0; m < t.members.size(); ++m) {
+        if (m > 0) s += " ";
+        s += t.members[m].handler + "#" + std::to_string(t.members[m].id);
+      }
+      if (!t.array.empty()) s += " @" + t.array;
+      s += "] ";
+    }
+    s += "\n";
+  }
+  return s;
+}
+
+namespace {
+
+long rules_of(const AtomicTable& t) {
+  // Guard conjunctions plus the default (miss) rule.
+  return static_cast<long>(std::max<std::size_t>(t.guards.size(), 1)) + 1;
+}
+
+struct Item {
+  int handler = 0;   // index into guarded handlers
+  int index = 0;     // index into handler's tables
+  int level = 0;
+  const AtomicTable* t = nullptr;
+};
+
+}  // namespace
+
+Pipeline layout(const ir::ProgramIR& ir, const ResourceModel& model,
+                DiagnosticEngine& diags) {
+  Pipeline pipe;
+
+  // Pass 1 + 2 per handler.
+  std::vector<GuardedHandler> guarded;
+  std::vector<std::vector<std::vector<int>>> deps;
+  std::vector<std::vector<int>> levels;
+  guarded.reserve(ir.handlers.size());
+  for (const auto& hg : ir.handlers) {
+    guarded.push_back(inline_branches(hg, diags));
+    deps.push_back(dependency_edges(guarded.back(), ir));
+    levels.push_back(asap_levels(guarded.back(), deps.back()));
+  }
+
+  // Array stage lower bounds: max ASAP level of any access, then propagate
+  // the per-handler stateful-order edges across handlers (the dependency
+  // edges already skip mutually exclusive accesses). Non-disjoint accesses
+  // always follow declaration order (the effect system proved it), so the
+  // constraint graph is acyclic and a few passes converge.
+  std::map<std::string, int> array_lb;
+  for (std::size_t h = 0; h < guarded.size(); ++h) {
+    for (std::size_t i = 0; i < guarded[h].tables.size(); ++i) {
+      const AtomicTable& t = guarded[h].tables[i];
+      if (t.kind != TableKind::Mem) continue;
+      auto& lb = array_lb[t.mem.array];
+      lb = std::max(lb, levels[h][i]);
+    }
+  }
+  for (std::size_t pass = 0; pass < ir.arrays.size() + 1; ++pass) {
+    bool changed = false;
+    for (std::size_t h = 0; h < guarded.size(); ++h) {
+      for (std::size_t j = 0; j < guarded[h].tables.size(); ++j) {
+        const AtomicTable& tj = guarded[h].tables[j];
+        if (tj.kind != TableKind::Mem) continue;
+        for (const int i : deps[h][j]) {
+          const AtomicTable& ti =
+              guarded[h].tables[static_cast<std::size_t>(i)];
+          if (ti.kind != TableKind::Mem) continue;
+          const int need = array_lb[ti.mem.array] + 1;
+          if (array_lb[tj.mem.array] < need) {
+            array_lb[tj.mem.array] = need;
+            changed = true;
+          }
+        }
+      }
+    }
+    if (!changed) break;
+  }
+
+  // Greedy placement, restarting when an array must move later than where a
+  // prior placement pinned it.
+  std::map<std::string, int> array_pin = array_lb;
+  const int max_restarts =
+      static_cast<int>(ir.arrays.size()) * (model.max_stages + 4) + 8;
+
+  for (int attempt = 0; attempt <= max_restarts; ++attempt) {
+    pipe.stages.clear();
+    pipe.array_stage.clear();
+    pipe.feasible = true;
+    bool restart = false;
+
+    // Items in (level, handler, index) order: a global topological order.
+    std::vector<Item> items;
+    for (std::size_t h = 0; h < guarded.size(); ++h) {
+      for (std::size_t i = 0; i < guarded[h].tables.size(); ++i) {
+        items.push_back(Item{static_cast<int>(h), static_cast<int>(i),
+                             levels[h][i], &guarded[h].tables[i]});
+      }
+    }
+    std::stable_sort(items.begin(), items.end(),
+                     [](const Item& a, const Item& b) {
+                       if (a.level != b.level) return a.level < b.level;
+                       if (a.handler != b.handler) return a.handler < b.handler;
+                       return a.index < b.index;
+                     });
+
+    // placed[h][i] = stage of that table.
+    std::vector<std::vector<int>> placed(guarded.size());
+    for (std::size_t h = 0; h < guarded.size(); ++h) {
+      placed[h].assign(guarded[h].tables.size(), -1);
+    }
+
+    auto ensure_stage = [&](int s) -> StageLayout& {
+      while (static_cast<int>(pipe.stages.size()) <= s) {
+        pipe.stages.emplace_back();
+      }
+      return pipe.stages[static_cast<std::size_t>(s)];
+    };
+
+    for (const Item& item : items) {
+      const AtomicTable& t = *item.t;
+      int earliest = 0;
+      for (const int d :
+           deps[static_cast<std::size_t>(item.handler)]
+               [static_cast<std::size_t>(item.index)]) {
+        earliest = std::max(
+            earliest,
+            placed[static_cast<std::size_t>(item.handler)]
+                  [static_cast<std::size_t>(d)] + 1);
+      }
+
+      const bool is_mem = t.kind == TableKind::Mem;
+      const std::string& array = t.mem.array;
+      if (is_mem) {
+        const auto pin = pipe.array_stage.find(array);
+        if (pin != pipe.array_stage.end() && earliest > pin->second) {
+          // The array was already placed earlier than this access needs:
+          // push the pin and restart the placement.
+          array_pin[array] = earliest;
+          restart = true;
+          break;
+        }
+        earliest = std::max(earliest, array_pin[array]);
+        if (pin != pipe.array_stage.end()) earliest = pin->second;
+      }
+
+      // Scan stages from `earliest` for a merged table (or a slot for a new
+      // one) that fits.
+      int chosen = -1;
+      for (int s = earliest; s < earliest + 4 * model.max_stages; ++s) {
+        StageLayout& stage = ensure_stage(s);
+        if (stage.atomic_ops() + 1 >
+            model.alu_ops_per_stage * std::max(1, model.tables_per_stage)) {
+          continue;
+        }
+        const bool array_new_here =
+            is_mem && [&] {
+              for (const auto& mt : stage.tables) {
+                if (mt.array == array) return false;
+              }
+              return true;
+            }();
+        if (is_mem && array_new_here &&
+            stage.salus() >= model.salus_per_stage) {
+          if (pipe.array_stage.count(array)) {
+            // Pinned stage is full of other arrays: infeasible pin.
+            array_pin[array] = s + 1;
+            restart = true;
+          }
+          continue;
+        }
+        // Try to join an existing merged table. Same-handler members must be
+        // either all unconditional (their ops combine into one action) or
+        // pairwise disjoint (each gets its own rules) — mirroring the merged
+        // tables of Fig 8. Members of different handlers are always disjoint
+        // on the event id.
+        MergedTable* target = nullptr;
+        for (auto& mt : stage.tables) {
+          if (static_cast<int>(mt.members.size()) >=
+              model.members_per_table) {
+            continue;
+          }
+          if (is_mem && !mt.array.empty() && mt.array != array) continue;
+          const bool my_uncond = t.guards.empty();
+          bool compatible = true;
+          for (const auto& member : mt.members) {
+            if (member.handler != t.handler) continue;
+            if (member.guards.empty() != my_uncond) {
+              compatible = false;
+              break;
+            }
+            if (!my_uncond && !tables_disjoint(member, t)) {
+              compatible = false;
+              break;
+            }
+          }
+          if (!compatible) continue;
+          // Rules add: disjoint same-handler members, disjoint handlers.
+          std::map<std::string, long> next_rules = mt.rules_per_handler;
+          next_rules[t.handler] += rules_of(t);
+          long new_rules = 0;
+          for (const auto& [hname, r] : next_rules) new_rules += r;
+          if (new_rules > model.rules_per_table) continue;
+          target = &mt;
+          mt.rules_per_handler = std::move(next_rules);
+          break;
+        }
+        if (target == nullptr) {
+          if (static_cast<int>(stage.tables.size()) >=
+              model.tables_per_stage) {
+            continue;
+          }
+          stage.tables.emplace_back();
+          target = &stage.tables.back();
+          target->rules_per_handler[t.handler] = rules_of(t);
+        }
+        target->members.push_back(t);
+        if (is_mem) {
+          target->array = array;
+          pipe.array_stage[array] = s;
+          if (s > array_pin[array]) array_pin[array] = s;
+        }
+        chosen = s;
+        break;
+      }
+      if (restart) break;
+      if (chosen < 0) {
+        pipe.feasible = false;
+        diags.warning({}, "opt-layout-infeasible",
+                      "could not place table '" + t.str() + "' of handler '" +
+                          t.handler + "'");
+        break;
+      }
+      placed[static_cast<std::size_t>(item.handler)]
+            [static_cast<std::size_t>(item.index)] = chosen;
+    }
+
+    if (!restart) break;
+    if (attempt == max_restarts) {
+      pipe.feasible = false;
+      diags.warning({}, "opt-layout-restarts",
+                    "layout did not converge; resource model too tight");
+    }
+  }
+
+  // Trim trailing empty stages.
+  while (!pipe.stages.empty() && pipe.stages.back().tables.empty()) {
+    pipe.stages.pop_back();
+  }
+  pipe.fits = pipe.stage_count() <= model.max_stages && pipe.feasible;
+  return pipe;
+}
+
+LayoutStats layout_stats(const ir::ProgramIR& ir, const ResourceModel& model,
+                         DiagnosticEngine& diags) {
+  LayoutStats stats;
+  stats.unoptimized_stages = ir.total_longest_path();
+  const Pipeline p = layout(ir, model, diags);
+  stats.optimized_stages = p.stage_count();
+  stats.ops_per_stage = p.ops_per_stage();
+  stats.fits = p.fits;
+  return stats;
+}
+
+}  // namespace lucid::opt

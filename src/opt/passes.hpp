@@ -1,0 +1,147 @@
+// The Lucid compiler's pipeline-layout optimizer (paper section 6.2).
+//
+// Three passes reduce the stage requirements of the atomic table graph:
+//
+//  1. *Branch inlining*: every non-branch table learns the path conditions
+//     under which it executes, expressed as static match rules
+//     (disjunctions of var==const / var!=const conjunctions); branch tables
+//     are then deleted (Fig 6(2)).
+//  2. *Rearranging tables*: tables are re-ordered by real data flow — RAW,
+//     WAR, and WAW dependencies over locals (including guard reads), the
+//     declaration-order chain between stateful tables, and generate-order —
+//     so independent tables can share a stage (Fig 6(3)).
+//  3. *Merging tables and actions*: a greedy walk in topological order packs
+//     atomic tables into merged tables ("cross products", Fig 8) under an
+//     explicit Tofino-like resource model, producing M stages with N merged
+//     tables each.
+//
+// The merger is program-wide: handlers share one physical pipeline (the event
+// dispatcher selects among them), tables of different handlers are disjoint
+// by event id and can share stages, and each register array is pinned to a
+// single stage consistent with every handler's access order — which the
+// ordered type system has already guaranteed is possible.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lucid::opt {
+
+// ---------------------------------------------------------------------------
+// Resource model
+// ---------------------------------------------------------------------------
+
+/// A simple model of one PISA pipeline's per-stage resources, calibrated to
+/// the Tofino 1 numbers the paper's evaluation uses.
+struct ResourceModel {
+  int max_stages = 12;        // MAU stages in one Tofino pipeline
+  int tables_per_stage = 8;   // logical tables per stage
+  int salus_per_stage = 4;    // stateful ALUs (register arrays) per stage
+  int rules_per_table = 512;  // static entries after cross-producting
+  int members_per_table = 12; // atomic tables merged into one logical table
+  int alu_ops_per_stage = 14; // ALU instructions (PHV ops) per stage
+
+  static ResourceModel tofino() { return ResourceModel{}; }
+};
+
+// ---------------------------------------------------------------------------
+// Pass 1: branch inlining
+// ---------------------------------------------------------------------------
+
+/// A handler whose branch tables have been dissolved into per-table guards.
+/// `tables` keeps the original topological order.
+struct GuardedHandler {
+  std::string handler;
+  int event_id = -1;
+  std::vector<ir::AtomicTable> tables;  // no Branch tables; guards filled
+};
+
+/// Computes path conditions and deletes branch tables. If a guard
+/// disjunction exceeds `max_conjs` the handler is reported through `diags`
+/// (code "opt-guard-blowup") and the offending table keeps an
+/// over-approximate guard — the layout still works, but emission refuses.
+[[nodiscard]] GuardedHandler inline_branches(const ir::HandlerGraph& g,
+                                             DiagnosticEngine& diags,
+                                             int max_conjs = 64);
+
+/// True when `a && b` is unsatisfiable.
+[[nodiscard]] bool conjs_contradict(const ir::Conj& a, const ir::Conj& b);
+
+/// True when two guarded tables can never execute for the same packet:
+/// different handlers (selected by event id) or pairwise-contradictory
+/// guards.
+[[nodiscard]] bool tables_disjoint(const ir::AtomicTable& a,
+                                   const ir::AtomicTable& b);
+
+// ---------------------------------------------------------------------------
+// Pass 2: dependency analysis
+// ---------------------------------------------------------------------------
+
+/// Adjacency list: deps[j] holds the indices i (< j positions in
+/// `h.tables`) that must be placed in a strictly earlier stage than j.
+[[nodiscard]] std::vector<std::vector<int>> dependency_edges(
+    const GuardedHandler& h, const ir::ProgramIR& ir);
+
+/// Longest-path (ASAP) level of every table given `deps`.
+[[nodiscard]] std::vector<int> asap_levels(
+    const GuardedHandler& h, const std::vector<std::vector<int>>& deps);
+
+// ---------------------------------------------------------------------------
+// Pass 3: greedy merging / pipeline layout
+// ---------------------------------------------------------------------------
+
+struct MergedTable {
+  std::vector<ir::AtomicTable> members;
+  std::string array;  // the single register array bound to this table ("")
+  /// Rule count after cross-producting, per owning handler (rules from
+  /// different handlers are disjoint on the event id, so they add).
+  std::map<std::string, long> rules_per_handler;
+  [[nodiscard]] long total_rules() const;
+};
+
+struct StageLayout {
+  std::vector<MergedTable> tables;
+  [[nodiscard]] int atomic_ops() const;  // total member atomic tables
+  [[nodiscard]] int salus() const;       // distinct arrays
+};
+
+struct Pipeline {
+  std::vector<StageLayout> stages;
+  std::map<std::string, int> array_stage;
+  bool fits = true;       // stage count within the model
+  bool feasible = true;   // layout algorithm completed
+  [[nodiscard]] int stage_count() const {
+    return static_cast<int>(stages.size());
+  }
+  [[nodiscard]] std::vector<int> ops_per_stage() const;
+  [[nodiscard]] std::string str() const;
+};
+
+/// Lays out the whole program. `optimize == false` skips merging and
+/// reordering entirely: every atomic table (branch tables included) gets its
+/// own stage along the longest path — the paper's "unoptimized" baseline.
+[[nodiscard]] Pipeline layout(const ir::ProgramIR& ir,
+                              const ResourceModel& model,
+                              DiagnosticEngine& diags);
+
+/// Fig 12/13 data for one program.
+struct LayoutStats {
+  int unoptimized_stages = 0;  // atomic tables on the longest code path
+  int optimized_stages = 0;    // merged pipeline depth
+  std::vector<int> ops_per_stage;
+  bool fits = false;
+  [[nodiscard]] double stage_ratio() const {
+    return optimized_stages == 0
+               ? 0.0
+               : static_cast<double>(unoptimized_stages) / optimized_stages;
+  }
+};
+[[nodiscard]] LayoutStats layout_stats(const ir::ProgramIR& ir,
+                                       const ResourceModel& model,
+                                       DiagnosticEngine& diags);
+
+}  // namespace lucid::opt

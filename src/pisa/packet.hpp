@@ -1,0 +1,41 @@
+// The simulated packet: an event packet in parsed form. On the wire this is
+// ethernet + lucid_event_h + the event's argument header (see the P4
+// backend); the simulator keeps the parsed representation and models size
+// for serialization/bandwidth purposes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace lucid::pisa {
+
+struct Packet {
+  // Wire accounting.
+  int size_bytes = 64;  // minimum frame; grows with argument payload
+
+  // Lucid event metadata (mirrors lucid_event_h).
+  int event_id = -1;
+  std::vector<std::int64_t> args;
+  std::int64_t location = -1;  // destination switch id; -1 = local
+  bool multicast = false;
+  std::vector<std::int64_t> mcast_members;
+
+  // Delay bookkeeping: the event must not execute before `due_ns`.
+  sim::Time created_ns = 0;
+  sim::Time due_ns = 0;
+
+  // PFC pause frames (queue control).
+  bool is_pfc = false;
+  bool pfc_pause = false;
+
+  // Diagnostics.
+  int recirc_count = 0;
+  std::uint64_t uid = 0;
+
+  /// Wire size including preamble + IFG overhead (Ethernet: 20 bytes).
+  [[nodiscard]] int wire_bytes() const { return size_bytes + 20; }
+};
+
+}  // namespace lucid::pisa

@@ -1,0 +1,60 @@
+// Stage-local SRAM register arrays and the stateful-ALU access discipline:
+// one read-modify-write per packet pass, on a single cell (section 2.4).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lucid::pisa {
+
+class RegisterArray {
+ public:
+  RegisterArray() = default;
+  RegisterArray(std::string name, int width_bits, std::int64_t size)
+      : name_(std::move(name)),
+        width_(width_bits),
+        cells_(static_cast<std::size_t>(size), 0) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] std::int64_t size() const {
+    return static_cast<std::int64_t>(cells_.size());
+  }
+
+  /// Values are truncated to the cell width, like hardware SRAM words.
+  [[nodiscard]] std::int64_t get(std::int64_t index) const {
+    return cells_[clamp(index)];
+  }
+  void set(std::int64_t index, std::int64_t value) {
+    cells_[clamp(index)] = mask(value);
+  }
+
+  [[nodiscard]] std::int64_t mask(std::int64_t value) const {
+    if (width_ >= 64) return value;
+    const std::uint64_t m = (std::uint64_t{1} << width_) - 1;
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(value) & m);
+  }
+
+  /// Out-of-range indexes wrap (hardware indexes are width-masked; the apps
+  /// always mask explicitly, this is the safety net).
+  [[nodiscard]] std::size_t clamp(std::int64_t index) const {
+    assert(!cells_.empty());
+    const auto n = static_cast<std::int64_t>(cells_.size());
+    std::int64_t i = index % n;
+    if (i < 0) i += n;
+    return static_cast<std::size_t>(i);
+  }
+
+  void fill(std::int64_t value) {
+    for (auto& c : cells_) c = mask(value);
+  }
+
+ private:
+  std::string name_;
+  int width_ = 32;
+  std::vector<std::int64_t> cells_;
+};
+
+}  // namespace lucid::pisa

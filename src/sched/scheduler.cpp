@@ -1,0 +1,96 @@
+#include "sched/scheduler.hpp"
+
+namespace lucid::sched {
+
+EventScheduler::EventScheduler(pisa::Switch& sw, SchedulerConfig config)
+    : switch_(sw), config_(config) {
+  switch_.set_ingress([this](pisa::Packet p) { on_ingress(std::move(p)); });
+  if (config_.mode == DelayMode::PausableQueue) {
+    switch_.start_pfc_stream(config_.release_interval_ns,
+                             config_.release_window_ns);
+  }
+}
+
+pisa::Packet EventScheduler::to_packet(GenEvent&& ev) const {
+  pisa::Packet p;
+  p.size_bytes = ev.wire_size();
+  p.event_id = ev.event_id;
+  p.args = std::move(ev.args);
+  p.location = ev.location;
+  p.multicast = ev.multicast;
+  p.mcast_members = std::move(ev.members);
+  p.created_ns = switch_.sim().now();
+  p.due_ns = p.created_ns + ev.delay_ns;
+  return p;
+}
+
+void EventScheduler::inject(GenEvent ev) {
+  switch_.inject(to_packet(std::move(ev)));
+}
+
+void EventScheduler::generate(GenEvent ev) {
+  // Serializer: one event packet per generated event; multicast expands
+  // through the multicast engine into unicast clones.
+  pisa::Packet p = to_packet(std::move(ev));
+  if (p.multicast && !p.mcast_members.empty()) {
+    switch_.multicast(p, [this](std::int64_t member, pisa::Packet clone) {
+      if (member == self()) {
+        switch_.recirculate(std::move(clone));
+      } else {
+        route_out(std::move(clone));
+      }
+    });
+    return;
+  }
+  if (p.location >= 0 && p.location != self()) {
+    route_out(std::move(p));
+    return;
+  }
+  // Local event: serialized to the recirculation port.
+  p.location = -1;
+  switch_.recirculate(std::move(p));
+}
+
+void EventScheduler::route_out(pisa::Packet p) {
+  ++stats_.forwarded;
+  switch_.send_external(std::move(p), [this](pisa::Packet q) {
+    if (net_send_) net_send_(std::move(q));
+  });
+}
+
+void EventScheduler::on_ingress(pisa::Packet p) {
+  const sim::Time now = switch_.sim().now();
+
+  // Non-local events are forwarded like any other packet.
+  if (p.location >= 0 && p.location != self()) {
+    route_out(std::move(p));
+    return;
+  }
+
+  // Delayed events.
+  if (now < p.due_ns) {
+    if (config_.mode == DelayMode::BaselineRecirculation) {
+      switch_.recirculate(std::move(p));
+      return;
+    }
+    if (switch_.delay_queue_open()) {
+      // Mid-release window: keep looping until the window closes or the
+      // event comes due.
+      switch_.recirculate(std::move(p));
+    } else {
+      ++stats_.delayed_enqueues;
+      switch_.delay_enqueue(std::move(p));
+    }
+    return;
+  }
+
+  // Processable.
+  ++stats_.executed;
+  if (p.due_ns > p.created_ns) {
+    stats_.delay_samples.emplace_back(p.due_ns - p.created_ns,
+                                      now - p.due_ns);
+  }
+  if (execute_) execute_(p);
+}
+
+}  // namespace lucid::sched

@@ -1,0 +1,125 @@
+#include "sema/effects.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lucid::sema {
+
+std::string StageAtom::str() const {
+  if (concrete()) return std::to_string(offset);
+  std::string s = "s" + std::to_string(var);
+  if (offset != 0) s += "+" + std::to_string(offset);
+  return s;
+}
+
+EffectTerm EffectTerm::join(const EffectTerm& other) const {
+  EffectTerm out = *this;
+  for (const auto& a : other.atoms) out.atoms.push_back(a);
+
+  // Keep one concrete atom (the max) and, per variable, the max offset.
+  std::vector<StageAtom> compact;
+  std::optional<StageAtom> best_concrete;
+  for (const auto& a : out.atoms) {
+    if (a.concrete()) {
+      if (!best_concrete || a.offset > best_concrete->offset) {
+        best_concrete = a;
+      }
+    } else {
+      bool merged = false;
+      for (auto& c : compact) {
+        if (!c.concrete() && c.var == a.var) {
+          if (a.offset > c.offset) c = a;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) compact.push_back(a);
+    }
+  }
+  if (best_concrete) compact.push_back(*best_concrete);
+  out.atoms = std::move(compact);
+  if (out.atoms.empty()) out.atoms.push_back(StageAtom::concrete_at(0));
+  return out;
+}
+
+EffectTerm EffectTerm::plus(int delta) const {
+  EffectTerm out = *this;
+  for (auto& a : out.atoms) a.offset += delta;
+  return out;
+}
+
+std::optional<int> EffectTerm::concrete_value() const {
+  int best = 0;
+  for (const auto& a : atoms) {
+    if (!a.concrete()) return std::nullopt;
+    best = std::max(best, a.offset);
+  }
+  return best;
+}
+
+std::string EffectTerm::str() const {
+  if (atoms.size() == 1) return atoms[0].str();
+  std::ostringstream os;
+  os << "max(";
+  for (std::size_t i = 0; i < atoms.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << atoms[i].str();
+  }
+  os << ")";
+  return os.str();
+}
+
+EffectTerm EffectSubst::apply(const EffectTerm& t) const {
+  EffectTerm out;
+  for (const auto& a : t.atoms) {
+    if (a.concrete()) {
+      out.atoms.push_back(a);
+      continue;
+    }
+    if (a.var == start_var) {
+      for (const auto& s : start_term.atoms) {
+        StageAtom shifted = s;
+        shifted.offset += a.offset;
+        if (shifted.origin.empty()) shifted.origin = a.origin;
+        out.atoms.push_back(shifted);
+      }
+      continue;
+    }
+    if (a.var >= 0 &&
+        static_cast<std::size_t>(a.var) < atom_for_var.size() &&
+        atom_for_var[a.var]) {
+      StageAtom sub = *atom_for_var[a.var];
+      sub.offset += a.offset;
+      if (!a.origin.empty()) sub.origin = a.origin;
+      if (a.site.valid()) sub.site = a.site;
+      out.atoms.push_back(sub);
+      continue;
+    }
+    out.atoms.push_back(a);  // unbound variable: keep symbolic
+  }
+  if (out.atoms.empty()) out.atoms.push_back(StageAtom::concrete_at(0));
+  // Normalize via join with itself (dedup).
+  return EffectTerm{}.join(out);
+}
+
+StageAtom EffectSubst::apply_rhs(const StageAtom& a) const {
+  if (a.concrete()) return a;
+  if (a.var >= 0 && static_cast<std::size_t>(a.var) < atom_for_var.size() &&
+      atom_for_var[a.var]) {
+    StageAtom sub = *atom_for_var[a.var];
+    sub.offset += a.offset;
+    if (!a.origin.empty()) sub.origin = a.origin;
+    if (a.site.valid()) sub.site = a.site;
+    return sub;
+  }
+  return a;
+}
+
+std::optional<bool> evaluate(const EffectConstraint& c) {
+  if (!c.rhs.concrete()) return std::nullopt;
+  const auto lhs = c.lhs.concrete_value();
+  if (!lhs) return std::nullopt;
+  return *lhs <= c.rhs.offset;
+}
+
+}  // namespace lucid::sema

@@ -1,0 +1,111 @@
+// The ordered type-and-effect system's effect language (paper section 5 and
+// Appendix A).
+//
+// Every global array is assigned an integer *stage* by declaration order; the
+// declaration order is the programmer's implicit layout specification. While
+// checking a handler or function body we thread a *current stage* effect.
+// Accessing array `g_i` requires `cur <= i` and continues at `i + 1`.
+//
+// To check functions separately from their call sites (the paper's key
+// simplification over prior ordered type systems), effects are symbolic:
+//
+//   atom   ::=  k  |  alpha + k          (concrete stage, or stage var + k)
+//   term   ::=  max(atom, ..., atom)     (join of control-flow paths)
+//   constraint ::=  term <= atom
+//
+// A function's effect signature introduces one stage variable per Array
+// parameter plus a start variable sigma; its body yields a set of constraints
+// and an end term. Call sites substitute atoms for variables (an Array
+// argument is always a single array, so the right-hand side of a constraint
+// stays atomic) and re-check. Constraints whose variables are all concrete
+// are decided immediately, producing the paper's source-level ordering
+// diagnostics.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace lucid::sema {
+
+using EffectVar = int;  // index into a checker-owned variable table
+
+/// `var + offset` when var >= 0, otherwise the concrete stage `offset`.
+struct StageAtom {
+  EffectVar var = -1;
+  int offset = 0;
+  // Provenance for diagnostics: which access produced this stage.
+  std::string origin;  // e.g. "access to 'arr2'"
+  SrcRange site;
+
+  [[nodiscard]] bool concrete() const { return var < 0; }
+  static StageAtom concrete_at(int stage, std::string origin = {},
+                               SrcRange site = {}) {
+    return StageAtom{-1, stage, std::move(origin), site};
+  }
+  static StageAtom var_at(EffectVar v, int offset = 0, std::string origin = {},
+                          SrcRange site = {}) {
+    return StageAtom{v, offset, std::move(origin), site};
+  }
+  [[nodiscard]] std::string str() const;
+};
+
+/// max() over atoms. Invariant: never empty.
+struct EffectTerm {
+  std::vector<StageAtom> atoms;
+
+  static EffectTerm at(StageAtom a) { return EffectTerm{{std::move(a)}}; }
+  static EffectTerm concrete(int stage) {
+    return at(StageAtom::concrete_at(stage));
+  }
+
+  /// Join of two control-flow paths: max of both sets, deduplicated and with
+  /// dominated concrete atoms removed.
+  [[nodiscard]] EffectTerm join(const EffectTerm& other) const;
+
+  /// Add `delta` to every atom (used for "stage + 1 after access").
+  [[nodiscard]] EffectTerm plus(int delta) const;
+
+  /// If the term mentions no variables, its concrete value.
+  [[nodiscard]] std::optional<int> concrete_value() const;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// `lhs <= rhs`. `why` describes the access being guarded (for diagnostics).
+struct EffectConstraint {
+  EffectTerm lhs;
+  StageAtom rhs;
+  std::string why;
+  SrcRange site;
+};
+
+/// Effect signature of a function: stage variables for its Array parameters,
+/// a start variable, accumulated constraints, and the end term.
+struct FunEffectSig {
+  std::vector<EffectVar> param_vars;  // one slot per parameter; -1 if not Array
+  EffectVar start_var = -1;
+  EffectTerm end = EffectTerm::concrete(0);
+  std::vector<EffectConstraint> constraints;
+};
+
+/// A substitution maps effect variables to atoms (array params) or to a whole
+/// term (the start variable).
+struct EffectSubst {
+  std::vector<std::optional<StageAtom>> atom_for_var;
+  EffectVar start_var = -1;
+  EffectTerm start_term = EffectTerm::concrete(0);
+
+  [[nodiscard]] EffectTerm apply(const EffectTerm& t) const;
+  /// RHS atoms stay atomic: the start variable never appears on a constraint
+  /// RHS, and array-param variables substitute to single atoms.
+  [[nodiscard]] StageAtom apply_rhs(const StageAtom& a) const;
+};
+
+/// Evaluates `c` if fully concrete. Returns nullopt when variables remain
+/// (the constraint must be propagated to the caller), true/false otherwise.
+[[nodiscard]] std::optional<bool> evaluate(const EffectConstraint& c);
+
+}  // namespace lucid::sema

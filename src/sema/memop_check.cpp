@@ -1,0 +1,251 @@
+#include "sema/memop_check.hpp"
+
+#include <set>
+#include <string>
+
+namespace lucid::sema {
+
+using namespace frontend;
+
+namespace {
+
+class MemopChecker {
+ public:
+  MemopChecker(const MemopDecl& decl,
+               const std::function<bool(std::string_view)>& is_const_name,
+               DiagnosticEngine& diags)
+      : decl_(decl), is_const_name_(is_const_name), diags_(diags) {}
+
+  bool run() {
+    check_params();
+    check_body_shape();
+    return ok_;
+  }
+
+ private:
+  void fail(SrcRange range, std::string code, std::string msg) {
+    diags_.error(range, std::move(code),
+                 "memop '" + decl_.name + "': " + std::move(msg));
+    ok_ = false;
+  }
+
+  void check_params() {
+    if (decl_.params.size() != 2) {
+      fail(decl_.range, "memop-param-count",
+           "memops take exactly two parameters (the stored value and one "
+           "local operand); found " +
+               std::to_string(decl_.params.size()) +
+               " — a stateful ALU can read at most one word of local state "
+               "(Appendix C)");
+    }
+    for (const auto& p : decl_.params) {
+      if (!p.type.is_int()) {
+        fail(p.range, "memop-param-type",
+             "memop parameter '" + p.name + "' must be an int type");
+      }
+    }
+  }
+
+  void check_body_shape() {
+    // Shape 1: single return.
+    if (decl_.body.size() == 1 &&
+        decl_.body[0]->kind == StmtKind::Return) {
+      const auto* ret = decl_.body[0]->as<ReturnStmt>();
+      if (!ret->value) {
+        fail(ret->range, "memop-body-shape", "memops must return a value");
+        return;
+      }
+      check_value_expr(*ret->value);
+      return;
+    }
+    // Shape 2: single if with one return per branch.
+    if (decl_.body.size() == 1 && decl_.body[0]->kind == StmtKind::If) {
+      const auto* ifs = decl_.body[0]->as<IfStmt>();
+      check_condition(*ifs->cond);
+      check_branch(ifs->then_block, ifs->range, "then");
+      check_branch(ifs->else_block, ifs->range, "else");
+      return;
+    }
+    fail(decl_.body.empty() ? decl_.range : decl_.body[0]->range,
+         "memop-body-shape",
+         "a memop body must be a single return statement, or one if "
+         "statement containing one return in each branch (section 4.2)");
+  }
+
+  void check_branch(const Block& block, SrcRange if_range,
+                    std::string_view which) {
+    if (block.size() != 1 || block[0]->kind != StmtKind::Return) {
+      fail(block.empty() ? if_range : block[0]->range, "memop-body-shape",
+           "the " + std::string(which) +
+               " branch must contain exactly one return statement");
+      return;
+    }
+    const auto* ret = block[0]->as<ReturnStmt>();
+    if (!ret->value) {
+      fail(ret->range, "memop-body-shape", "memops must return a value");
+      return;
+    }
+    check_value_expr(*ret->value);
+  }
+
+  // An operand is a parameter reference or a compile-time constant.
+  bool is_operand(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::IntLit:
+        return true;
+      case ExprKind::VarRef: {
+        const auto& name = e.as<VarRefExpr>()->name;
+        for (const auto& p : decl_.params) {
+          if (p.name == name) return true;
+        }
+        if (is_const_name_(name)) return true;
+        fail(e.range, "memop-bad-operand",
+             "'" + name +
+                 "' is neither a memop parameter nor a compile-time "
+                 "constant");
+        return false;
+      }
+      default:
+        return false;
+    }
+  }
+
+  static bool alu_value_op(BinOp op) {
+    switch (op) {
+      case BinOp::Add:
+      case BinOp::Sub:
+      case BinOp::BitAnd:
+      case BinOp::BitOr:
+      case BinOp::BitXor:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void check_var_reuse(const Expr& e) {
+    std::set<std::string> seen;
+    bool reused = false;
+    SrcRange where = e.range;
+    std::string offender;
+    const std::function<void(const Expr&)> walk = [&](const Expr& x) {
+      if (x.kind == ExprKind::VarRef) {
+        const auto& name = x.as<VarRefExpr>()->name;
+        if (!is_const_name_(name) && !seen.insert(name).second && !reused) {
+          reused = true;
+          where = x.range;
+          offender = name;
+        }
+      } else if (x.kind == ExprKind::Binary) {
+        walk(*x.as<BinaryExpr>()->lhs);
+        walk(*x.as<BinaryExpr>()->rhs);
+      } else if (x.kind == ExprKind::Unary) {
+        walk(*x.as<UnaryExpr>()->sub);
+      }
+    };
+    walk(e);
+    if (reused) {
+      fail(where, "memop-var-reuse",
+           "variable '" + offender +
+               "' is used more than once in this expression; each variable "
+               "may be used at most once per expression (section 4.2)");
+    }
+  }
+
+  void check_value_expr(const Expr& e) {
+    check_var_reuse(e);
+    if (is_operand(e)) return;
+    if (e.kind == ExprKind::Binary) {
+      const auto* b = e.as<BinaryExpr>();
+      if (binop_is_logical(b->op) || binop_is_comparison(b->op)) {
+        fail(e.range, "memop-bad-operator",
+             "comparison/logical operators are only allowed in the memop "
+             "condition");
+        return;
+      }
+      if (!alu_value_op(b->op)) {
+        fail(e.range, "memop-bad-operator",
+             std::string("operator '") + std::string(binop_name(b->op)) +
+                 "' is not supported by a stateful ALU (only + - & | ^); "
+                 "see Appendix C");
+        return;
+      }
+      const bool lhs_simple =
+          b->lhs->kind == ExprKind::IntLit || b->lhs->kind == ExprKind::VarRef;
+      const bool rhs_simple =
+          b->rhs->kind == ExprKind::IntLit || b->rhs->kind == ExprKind::VarRef;
+      if (!lhs_simple || !rhs_simple) {
+        fail((!lhs_simple ? b->lhs : b->rhs)->range, "memop-too-complex",
+             "nested arithmetic does not fit in a single stateful ALU "
+             "instruction; decompose this memop (Appendix C)");
+        return;
+      }
+      (void)is_operand(*b->lhs);
+      (void)is_operand(*b->rhs);
+      return;
+    }
+    if (e.kind == ExprKind::Call) {
+      fail(e.range, "memop-bad-operand",
+           "calls are not allowed inside memops");
+      return;
+    }
+    if (e.kind == ExprKind::Unary) {
+      fail(e.range, "memop-bad-operator",
+           "unary operators are not supported inside memops");
+      return;
+    }
+    if (e.kind != ExprKind::IntLit && e.kind != ExprKind::VarRef) {
+      fail(e.range, "memop-too-complex",
+           "expression is too complex for a stateful ALU");
+    }
+  }
+
+  void check_condition(const Expr& e) {
+    if (e.kind == ExprKind::Binary) {
+      const auto* b = e.as<BinaryExpr>();
+      if (binop_is_logical(b->op)) {
+        fail(e.range, "memop-compound-condition",
+             "compound conditional expressions ('&&'/'||') cannot be used in "
+             "a memop: an Array.update with two compound-condition memops "
+             "cannot compile to a legal sALU instruction (Appendix C)");
+        return;
+      }
+      if (!binop_is_comparison(b->op)) {
+        fail(e.range, "memop-bad-operator",
+             "a memop condition must be a single comparison");
+        return;
+      }
+      check_var_reuse(e);
+      const bool lhs_simple =
+          b->lhs->kind == ExprKind::IntLit || b->lhs->kind == ExprKind::VarRef;
+      const bool rhs_simple =
+          b->rhs->kind == ExprKind::IntLit || b->rhs->kind == ExprKind::VarRef;
+      if (!lhs_simple || !rhs_simple) {
+        fail((!lhs_simple ? b->lhs : b->rhs)->range, "memop-too-complex",
+             "memop conditions compare simple operands only");
+        return;
+      }
+      (void)is_operand(*b->lhs);
+      (void)is_operand(*b->rhs);
+      return;
+    }
+    fail(e.range, "memop-bad-operator",
+         "a memop condition must be a single comparison between simple "
+         "operands");
+  }
+
+  const MemopDecl& decl_;
+  const std::function<bool(std::string_view)>& is_const_name_;
+  DiagnosticEngine& diags_;
+  bool ok_ = true;
+};
+
+}  // namespace
+
+bool check_memop(const MemopDecl& decl,
+                 const std::function<bool(std::string_view)>& is_const_name,
+                 DiagnosticEngine& diags) {
+  return MemopChecker(decl, is_const_name, diags).run();
+}
+
+}  // namespace lucid::sema

@@ -1,0 +1,36 @@
+// Syntactic memop validation (paper section 4.2 and Appendix C).
+//
+// A memop is the only code allowed to run inside a single stateful ALU, so
+// its body is restricted so that *every* valid memop is guaranteed to compile
+// to one sALU instruction, in any Array method (get/set/update alike):
+//
+//   1. exactly two parameters (the stored cell and one local operand);
+//   2. the body is a single `return expr;`, or a single `if` with exactly one
+//      `return` in each of its two branches;
+//   3. the condition is a single comparison between simple operands — no
+//      compound conditionals (`&&`, `||`), matching Appendix C;
+//   4. expressions are at most one ALU operation over simple operands
+//      (variable or constant) — no nesting, no calls;
+//   5. only ALU-supported operators: + - & | ^ in value expressions, and the
+//      six comparisons in conditions (no * / % << >>, per Appendix C's
+//      "multiply" example);
+//   6. each variable is used at most once per expression.
+//
+// Violations produce source-level diagnostics with stable codes so tests (and
+// programmers) can see exactly which rule failed and where.
+#pragma once
+
+#include <functional>
+
+#include "frontend/ast.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lucid::sema {
+
+/// Returns true if `decl` is a valid memop. `is_const_name` tells the checker
+/// which identifiers refer to compile-time constants (allowed as operands).
+bool check_memop(const frontend::MemopDecl& decl,
+                 const std::function<bool(std::string_view)>& is_const_name,
+                 DiagnosticEngine& diags);
+
+}  // namespace lucid::sema

@@ -1,0 +1,66 @@
+// Type checking + the ordered type-and-effect system (paper section 5,
+// Appendix A), plus name resolution and memop validation.
+//
+// After `TypeChecker::check` succeeds the AST is fully annotated:
+//   - every Expr has a Type;
+//   - every CallExpr has a resolved CallKind;
+//   - consts/global sizes/group members are evaluated;
+//   - globals carry their declaration-order stage index;
+//   - events carry dense ids;
+// and every handler is proven *well-ordered*: its global accesses follow the
+// global declaration order, so the layout problem is guaranteed solvable
+// (section 5.1). Ill-ordered programs — like the paper's Figure 5 example —
+// are rejected with diagnostics that cite both conflicting accesses.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "frontend/ast.hpp"
+#include "sema/effects.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lucid::sema {
+
+/// Result facts that later stages and tests consume.
+struct AnalysisInfo {
+  /// Handler name -> concrete end stage (the "pipeline depth" its global
+  /// accesses require).
+  std::map<std::string, int> handler_end_stage;
+  /// Function name -> inferred effect signature (for tests).
+  std::map<std::string, FunEffectSig> fun_sigs;
+};
+
+class TypeChecker {
+ public:
+  explicit TypeChecker(DiagnosticEngine& diags) : diags_(diags) {}
+
+  /// Checks and annotates `program` in place. Returns true on success.
+  bool check(frontend::Program& program);
+
+  [[nodiscard]] const AnalysisInfo& info() const { return info_; }
+
+ private:
+  struct Impl;
+  DiagnosticEngine& diags_;
+  AnalysisInfo info_;
+};
+
+/// Convenience: parse + check. On failure `ok` is false and `diags` holds
+/// the errors.
+struct FrontendResult {
+  frontend::Program program;
+  AnalysisInfo info;
+  bool ok = false;
+};
+[[nodiscard]] FrontendResult parse_and_check(std::string_view source,
+                                             DiagnosticEngine& diags);
+
+/// Constant-expression evaluation over `const` declarations; exposed for the
+/// parser-level tests and group member resolution.
+[[nodiscard]] bool const_eval(const frontend::Expr& e,
+                              const std::map<std::string, std::int64_t>& env,
+                              std::int64_t& out);
+
+}  // namespace lucid::sema

@@ -1,0 +1,43 @@
+// Seedable random utilities for workloads and latency models. Everything is
+// mt19937_64-based so benches are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace lucid::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi].
+  [[nodiscard]] std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    std::uniform_int_distribution<std::int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    std::uniform_real_distribution<double> d(0.0, 1.0);
+    return d(engine_);
+  }
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential(double mean) {
+    std::exponential_distribution<double> d(1.0 / mean);
+    return d(engine_);
+  }
+
+  /// Random 32-bit value.
+  [[nodiscard]] std::uint32_t next_u32() {
+    return static_cast<std::uint32_t>(engine_());
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace lucid::sim

@@ -1,0 +1,78 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace lucid {
+
+std::string_view severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << range.begin.str() << ": " << severity_name(severity) << " [" << code
+     << "]: " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::add(Severity sev, SrcRange range, std::string code,
+                           std::string message) {
+  if (sev == Severity::Error) ++error_count_;
+  diags_.push_back(
+      Diagnostic{sev, std::move(code), std::move(message), range});
+}
+
+bool DiagnosticEngine::has_code(std::string_view code) const {
+  for (const auto& d : diags_) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Returns line `n` (1-based) of `text`, without the trailing newline.
+std::string_view source_line(std::string_view text, std::uint32_t n) {
+  std::uint32_t line = 1;
+  std::size_t start = 0;
+  while (line < n) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string_view::npos) return {};
+    start = nl + 1;
+    ++line;
+  }
+  const std::size_t end = text.find('\n', start);
+  return text.substr(start,
+                     end == std::string_view::npos ? end : end - start);
+}
+
+}  // namespace
+
+std::string DiagnosticEngine::render() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) {
+    os << d.str() << "\n";
+    if (!source_.empty() && d.range.valid()) {
+      const std::string_view line = source_line(source_, d.range.begin.line);
+      if (!line.empty()) {
+        os << "    " << line << "\n";
+        os << "    ";
+        for (std::uint32_t i = 1; i < d.range.begin.col; ++i) {
+          os << (i <= line.size() && line[i - 1] == '\t' ? '\t' : ' ');
+        }
+        os << "^\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace lucid

@@ -1,0 +1,80 @@
+// Diagnostic engine: collects errors/warnings/notes with source locations and
+// renders them with the offending source line and a caret, clang-style.
+//
+// Lucid's pitch is that static checks fail *early* with *actionable*
+// source-level messages (sections 4 and 5 of the paper), in contrast to P4
+// backends that fail deep inside target-specific assemblers. Every analysis in
+// this repository reports through this engine so tests can assert on both the
+// presence and the location of diagnostics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace lucid {
+
+enum class Severity { Note, Warning, Error };
+
+[[nodiscard]] std::string_view severity_name(Severity s);
+
+/// One rendered diagnostic. `code` is a short stable identifier (e.g.
+/// "memop-compound-condition") that tests match on.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;
+  std::string message;
+  SrcRange range;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Accumulates diagnostics for one compilation. Not thread-safe; each
+/// compilation owns its engine.
+class DiagnosticEngine {
+ public:
+  DiagnosticEngine() = default;
+  explicit DiagnosticEngine(std::string source_text)
+      : source_(std::move(source_text)) {}
+
+  /// Provide/replace the source text used to render carets.
+  void set_source(std::string source_text) { source_ = std::move(source_text); }
+
+  void error(SrcRange range, std::string code, std::string message) {
+    add(Severity::Error, range, std::move(code), std::move(message));
+  }
+  void warning(SrcRange range, std::string code, std::string message) {
+    add(Severity::Warning, range, std::move(code), std::move(message));
+  }
+  void note(SrcRange range, std::string code, std::string message) {
+    add(Severity::Note, range, std::move(code), std::move(message));
+  }
+
+  void add(Severity sev, SrcRange range, std::string code,
+           std::string message);
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// True if any diagnostic carries the given stable code.
+  [[nodiscard]] bool has_code(std::string_view code) const;
+
+  /// Render every diagnostic, including the source line and caret when the
+  /// source text is known.
+  [[nodiscard]] std::string render() const;
+
+  void clear() {
+    diags_.clear();
+    error_count_ = 0;
+  }
+
+ private:
+  std::string source_;
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+}  // namespace lucid

@@ -1,0 +1,38 @@
+// Source locations and ranges used by every compiler stage to report
+// source-level diagnostics, one of Lucid's headline usability features
+// (paper section 4: "source-level error messages point out exactly where
+// any such mistakes occur").
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace lucid {
+
+/// A position in a source buffer. Lines and columns are 1-based; a value of
+/// zero means "unknown" (e.g., compiler-synthesized nodes).
+struct SrcLoc {
+  std::uint32_t line = 0;
+  std::uint32_t col = 0;
+
+  [[nodiscard]] bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const {
+    if (!valid()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+
+  friend bool operator==(const SrcLoc&, const SrcLoc&) = default;
+};
+
+/// A half-open range of source text, [begin, end).
+struct SrcRange {
+  SrcLoc begin;
+  SrcLoc end;
+
+  [[nodiscard]] bool valid() const { return begin.valid(); }
+  [[nodiscard]] std::string str() const { return begin.str(); }
+
+  friend bool operator==(const SrcRange&, const SrcRange&) = default;
+};
+
+}  // namespace lucid

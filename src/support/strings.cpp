@@ -1,0 +1,71 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace lucid {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  std::size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) os << sep;
+    os << parts[i];
+  }
+  return os.str();
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::size_t count_loc(std::string_view text) {
+  std::size_t count = 0;
+  for (const auto& raw : split(text, '\n')) {
+    const std::string_view line = trim(raw);
+    if (line.empty()) continue;
+    if (starts_with(line, "//")) continue;
+    ++count;
+  }
+  return count;
+}
+
+std::string indent(std::string_view text, int n) {
+  const std::string pad(static_cast<std::size_t>(n), ' ');
+  std::ostringstream os;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    const std::string_view line =
+        text.substr(start, nl == std::string_view::npos ? nl : nl - start);
+    if (!line.empty()) os << pad << line;
+    if (nl == std::string_view::npos) break;
+    os << "\n";
+    start = nl + 1;
+  }
+  return os.str();
+}
+
+}  // namespace lucid

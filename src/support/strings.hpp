@@ -1,0 +1,31 @@
+// Small string utilities shared across the compiler and simulator.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lucid {
+
+/// Split `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Join `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Count the lines of `text` that contain something other than whitespace or
+/// a `//` line comment. This is the "lines of code" metric used to reproduce
+/// the Figure 9/10 LoC comparisons.
+[[nodiscard]] std::size_t count_loc(std::string_view text);
+
+/// Indent every line of `text` by `n` spaces.
+[[nodiscard]] std::string indent(std::string_view text, int n);
+
+}  // namespace lucid

@@ -1,0 +1,47 @@
+#include "workload/workload.hpp"
+
+#include <set>
+
+namespace lucid::workload {
+
+void FlowGenerator::start(sim::Time horizon, PacketFn on_packet) {
+  sim::Time t = sim_.now();
+  const double mean_gap_ns = 1e9 / config_.flows_per_sec;
+  while (true) {
+    const auto gap = static_cast<sim::Time>(
+        config_.poisson ? rng_.exponential(mean_gap_ns) : mean_gap_ns);
+    t += std::max<sim::Time>(gap, 1);
+    if (t > horizon) break;
+    Flow f;
+    f.src = rng_.uniform(1, config_.hosts);
+    f.dst = rng_.uniform(1, config_.hosts);
+    f.id = static_cast<std::int64_t>(rng_.next_u32());
+    f.packets = config_.packets_per_flow;
+    f.start_ns = t;
+    f.inter_packet_ns = config_.inter_packet_ns;
+    ++flows_;
+    for (int seq = 0; seq < f.packets; ++seq) {
+      const sim::Time when = f.start_ns + seq * f.inter_packet_ns;
+      sim_.at(when, [on_packet, f, seq] { on_packet(f, seq); });
+    }
+  }
+}
+
+std::vector<Flow> distinct_flows(int count, std::int64_t hosts,
+                                 std::uint64_t seed) {
+  sim::Rng rng(seed);
+  std::set<std::int64_t> seen;
+  std::vector<Flow> flows;
+  flows.reserve(static_cast<std::size_t>(count));
+  while (static_cast<int>(flows.size()) < count) {
+    Flow f;
+    f.src = rng.uniform(1, hosts);
+    f.dst = rng.uniform(1, hosts);
+    f.id = static_cast<std::int64_t>(rng.next_u32());
+    if (!seen.insert(f.id).second) continue;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace lucid::workload

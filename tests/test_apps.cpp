@@ -1,0 +1,423 @@
+// Application integration tests: every Figure 9 app compiles through the
+// full pipeline (front end, effects, lowering, layout), and each app's core
+// behaviour is exercised end-to-end in the interpreter on simulated
+// switches.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "interp/testbed.hpp"
+#include "support/strings.hpp"
+
+namespace lucid::apps {
+namespace {
+
+using interp::Testbed;
+using interp::TestbedConfig;
+using interp::hash32;
+
+// ---------------------------------------------------------------------------
+// Every app compiles and fits the Tofino-like resource model.
+// ---------------------------------------------------------------------------
+
+class AllAppsCompile : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllAppsCompile, CompilesAndFits) {
+  const AppSpec& spec = all_apps()[static_cast<std::size_t>(GetParam())];
+  DiagnosticEngine diags(spec.source);
+  const CompileResult r = compile(spec.source, diags);
+  ASSERT_TRUE(r.ok) << spec.key << ":\n" << diags.render();
+  EXPECT_GT(r.stats.optimized_stages, 0) << spec.key;
+  EXPECT_TRUE(r.stats.fits) << spec.key << " needs "
+                            << r.stats.optimized_stages << " stages";
+  // Optimization must not make things worse.
+  EXPECT_LE(r.stats.optimized_stages, r.stats.unoptimized_stages)
+      << spec.key;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTen, AllAppsCompile, ::testing::Range(0, 10),
+                         [](const auto& info) {
+                           return all_apps()[static_cast<std::size_t>(
+                                                 info.param)]
+                               .key;
+                         });
+
+TEST(Apps, LucidLocIsSmall) {
+  // The dialect sources stay within ~2x of the paper's per-app Lucid LoC
+  // (they are independent rewrites, not transcriptions).
+  for (const auto& spec : all_apps()) {
+    const auto loc = count_loc(spec.source);
+    EXPECT_GT(loc, 20u) << spec.key;
+    EXPECT_LT(loc, static_cast<std::size_t>(2 * spec.paper_lucid_loc + 60))
+        << spec.key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SFW
+// ---------------------------------------------------------------------------
+
+std::int64_t sfw_flowkey(std::int64_t src, std::int64_t dst) {
+  return static_cast<std::int64_t>(hash32(77, {src, dst})) | 1;
+}
+
+TEST(Sfw, ReturnTrafficAllowedUnsolicitedDenied) {
+  Testbed tb(app("SFW").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  // Outbound A(10) -> B(20) installs the flow.
+  tb.inject_and_run(1, "pkt_out", {10, 20});
+  // Return traffic B -> A is admitted.
+  tb.inject_and_run(1, "pkt_in", {20, 10});
+  EXPECT_EQ(tb.node(1).array("allowed")->get(0), 1);
+  EXPECT_EQ(tb.node(1).array("denied")->get(0), 0);
+  // Unsolicited C -> A is dropped.
+  tb.inject_and_run(1, "pkt_in", {99, 10});
+  EXPECT_EQ(tb.node(1).array("denied")->get(0), 1);
+}
+
+TEST(Sfw, FirstPacketInstallsWithoutRecirculation) {
+  Testbed tb(app("SFW").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "pkt_out", {10, 20});
+  // Empty table: the claim memop installs in the same pass.
+  EXPECT_EQ(tb.switch_at(1).recirculations(), 0u);
+}
+
+TEST(Sfw, CuckooChainResolvesCollisions) {
+  Testbed tb(app("SFW").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  // Force a double collision: occupy both candidate slots of a victim flow.
+  const std::int64_t k = sfw_flowkey(10, 20);
+  const std::int64_t i1 = hash32(1, {k}) & 1023;
+  const std::int64_t i2 = hash32(2, {k}) & 1023;
+  tb.node(1).array("key1")->set(i1, 555);  // some other flow
+  tb.node(1).array("key2")->set(i2, 777);
+  tb.inject_and_run(1, "pkt_out", {10, 20});
+  // The install went through the cuckoo chain (>= 1 recirculation)...
+  EXPECT_GE(tb.switch_at(1).recirculations(), 1u);
+  EXPECT_GE(tb.node(1).stats().executions.count("cuckoo_insert") ? tb.node(1).stats().executions.at("cuckoo_insert") : 0u, 1u);
+  // ...and afterwards the flow is in bank 1 (cuckoo_insert displaces into
+  // bank 1 and re-homes the victim).
+  EXPECT_EQ(tb.node(1).array("key1")->get(i1), k);
+  // Return traffic is admitted.
+  tb.inject_and_run(1, "pkt_in", {20, 10});
+  EXPECT_EQ(tb.node(1).array("allowed")->get(0), 1);
+}
+
+TEST(Sfw, ScanDeletesIdleFlows) {
+  Testbed tb(app("SFW").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "pkt_out", {10, 20});
+  const std::int64_t k = sfw_flowkey(10, 20);
+  const std::int64_t i1 = hash32(1, {k}) & 1023;
+  ASSERT_EQ(tb.node(1).array("key1")->get(i1), k);
+  // 150 ms later (> 100 ms timeout), a scan step at exactly that slot
+  // triggers deletion.
+  tb.sim().run_until(150 * sim::kMs);
+  tb.node(1).inject("scan1", {i1});
+  tb.sim().run_until(155 * sim::kMs);
+  EXPECT_EQ(tb.node(1).array("key1")->get(i1), 0);
+  EXPECT_GE(tb.node(1).stats().executions.count("del1") ? tb.node(1).stats().executions.at("del1") : 0u, 1u);
+  // Return traffic is now denied again.
+  tb.node(1).inject("pkt_in", {20, 10});
+  tb.sim().run_until(156 * sim::kMs);
+  EXPECT_EQ(tb.node(1).array("denied")->get(0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// RR
+// ---------------------------------------------------------------------------
+
+TEST(Rr, ProbesRefreshLinkState) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(app("RR").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.node(1).inject("probe_timer", {0});
+  tb.sim().run_until(2 * sim::kMs);
+  // Node 1 pinged 2 and 3; replies refreshed linkstate[2] and [3].
+  EXPECT_GT(tb.node(1).array("linkstate")->get(2), 0);
+  EXPECT_GT(tb.node(1).array("linkstate")->get(3), 0);
+  EXPECT_GE(tb.node(2).stats().executions.count("probe") ? tb.node(2).stats().executions.at("probe") : 0u, 1u);
+  EXPECT_GE(tb.node(3).stats().executions.count("probe") ? tb.node(3).stats().executions.at("probe") : 0u, 1u);
+}
+
+TEST(Rr, DeadLinkTriggersQueryAndAdoptsRoute) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(app("RR").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  const int dst = 7;
+  // Initialize: node 1 knows nothing (pathlen INF); node 2 has a 1-hop
+  // path; node 3 is far.
+  tb.node(1).array("pathlens")->fill(1000000);
+  tb.node(2).array("pathlens")->fill(1000000);
+  tb.node(3).array("pathlens")->fill(1000000);
+  tb.node(2).array("pathlens")->set(dst, 1);
+  tb.node(3).array("pathlens")->set(dst, 5);
+  // Let virtual time pass the staleness horizon first: right after boot,
+  // `now - 0` is below STALE and every link still looks alive.
+  tb.sim().run_until(60 * sim::kMs);
+  // Node 1 forwards to a next hop whose link is stale (linkstate == 0) —
+  // this triggers the distributed route query.
+  tb.inject_and_run(1, "pkt", {dst});
+  EXPECT_EQ(tb.node(1).array("drop_count")->get(0), 1);
+  // Replies arrived; node 1 adopted the best (node 2's) route.
+  EXPECT_EQ(tb.node(1).array("pathlens")->get(dst), 2);
+  EXPECT_EQ(tb.node(1).array("nexthops")->get(dst), 2);
+}
+
+TEST(Rr, FreshLinkForwardsWithoutQuery) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(app("RR").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.node(1).inject("probe_timer", {0});
+  tb.sim().run_until(1 * sim::kMs);
+  tb.node(1).array("nexthops")->set(7, 2);
+  tb.node(1).inject("pkt", {7});
+  tb.sim().run_until(2 * sim::kMs);
+  EXPECT_EQ(tb.node(1).array("fwd_count")->get(0), 1);
+  EXPECT_EQ(tb.node(1).array("drop_count")->get(0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// DNS
+// ---------------------------------------------------------------------------
+
+TEST(Dns, HeavyQueriedVictimGetsBlocked) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 9};  // 9 is the collector
+  Testbed tb(app("DNS").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  const int victim = 1234;
+  // Below threshold: responses pass.
+  tb.inject_and_run(1, "dns_resp", {55, victim, 1});
+  EXPECT_EQ(tb.node(1).array("passed")->get(0), 1);
+  // 150 spoofed queries "from" the victim push the sketch over THRESH=100.
+  for (int i = 0; i < 150; ++i) {
+    tb.node(1).inject("dns_req", {victim, 8, i});
+  }
+  tb.settle();
+  // Responses to the victim are now blocked; others still pass.
+  tb.inject_and_run(1, "dns_resp", {55, victim, 2});
+  EXPECT_EQ(tb.node(1).array("blocked")->get(0), 1);
+  tb.inject_and_run(1, "dns_resp", {55, 4321, 3});
+  EXPECT_EQ(tb.node(1).array("passed")->get(0), 2);
+  // The collector heard about it.
+  EXPECT_GE(tb.node(9).array("reports")->get(0), 1);
+}
+
+TEST(Dns, DecaySweepClearsSketch) {
+  Testbed tb(app("DNS").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  const int victim = 777;
+  for (int i = 0; i < 10; ++i) tb.node(1).inject("dns_req", {victim, 8, i});
+  tb.settle();
+  const auto h0 = hash32(10, {victim}) & 1023;
+  ASSERT_EQ(tb.node(1).array("cm0")->get(h0), 10);
+  // One decay step at exactly that column clears it.
+  tb.node(1).inject("decay_step", {h0});
+  tb.sim().run_until(tb.sim().now() + 500 * sim::kUs);
+  EXPECT_EQ(tb.node(1).array("cm0")->get(h0), 0);
+}
+
+TEST(Dns, BankSwapFlipsActiveBank) {
+  Testbed tb(app("DNS").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  EXPECT_EQ(tb.node(1).array("active_bank")->get(0), 0);
+  // age_step at the last index wraps and triggers the swap.
+  tb.node(1).inject("age_step", {2047});
+  tb.sim().run_until(tb.sim().now() + 500 * sim::kUs);
+  EXPECT_EQ(tb.node(1).array("active_bank")->get(0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// *Flow
+// ---------------------------------------------------------------------------
+
+TEST(StarFlow, FullBatchEvictsAndExports) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 9};
+  Testbed tb(app("StarFlow").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  const int flow = 4242;
+  for (int seq = 0; seq < 4; ++seq) {
+    tb.node(1).inject("pkt", {flow, 100 + seq});
+  }
+  tb.settle();
+  EXPECT_EQ(tb.node(1).array("evicted")->get(0), 1);
+  EXPECT_EQ(tb.node(9).array("exported")->get(0), 1);
+  // The cache line was freed for reuse.
+  const auto idx = hash32(30, {flow}) & 1023;
+  EXPECT_EQ(tb.node(1).array("ft_key")->get(idx), 0);
+  EXPECT_EQ(tb.node(1).array("ft_cnt")->get(idx), 0);
+  EXPECT_EQ(tb.node(1).array("buf0")->get(idx), 0);
+}
+
+TEST(StarFlow, CollidingFlowIsSampledAway) {
+  Testbed tb(app("StarFlow").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  const int flow = 4242;
+  const auto idx = hash32(30, {flow}) & 1023;
+  tb.node(1).array("ft_key")->set(idx, 999);  // line owned by another flow
+  tb.inject_and_run(1, "pkt", {flow, 5});
+  EXPECT_EQ(tb.node(1).array("collisions")->get(0), 1);
+  EXPECT_EQ(tb.node(1).array("buf0")->get(idx), 0);
+}
+
+// ---------------------------------------------------------------------------
+// SRO
+// ---------------------------------------------------------------------------
+
+TEST(Sro, WriteReplicatesToPeersAndAcks) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(app("SRO").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "write", {5, 42});
+  EXPECT_EQ(tb.node(1).array("vals")->get(5), 42);
+  EXPECT_EQ(tb.node(2).array("vals")->get(5), 42);
+  EXPECT_EQ(tb.node(3).array("vals")->get(5), 42);
+  // Two replicas acked the writer.
+  EXPECT_EQ(tb.node(1).array("acks")->get(0), 2);
+}
+
+TEST(Sro, StaleSyncIsIgnored) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(app("SRO").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  // Replica 2 already saw sequence number 10 for cell 5.
+  tb.node(2).array("seqs")->set(5, 10);
+  tb.node(2).array("vals")->set(5, 1000);
+  // A stale sync (seq 3) arrives directly.
+  tb.node(1).inject("sync", {1, 5, 42, 3}, 0, 2);
+  tb.settle();
+  EXPECT_EQ(tb.node(2).array("vals")->get(5), 1000);  // unchanged
+  // A newer sync applies.
+  tb.node(1).inject("sync", {1, 5, 77, 11}, 0, 2);
+  tb.settle();
+  EXPECT_EQ(tb.node(2).array("vals")->get(5), 77);
+}
+
+// ---------------------------------------------------------------------------
+// DFW / DFW + aging
+// ---------------------------------------------------------------------------
+
+TEST(Dfw, ReturnTrafficAdmittedAtAnyPeer) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(app("DFW").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "pkt_out", {10, 20});
+  // The reverse flow is admitted at peer switch 2 (synced Bloom filter).
+  tb.inject_and_run(2, "pkt_in", {20, 10});
+  EXPECT_EQ(tb.node(2).array("allowed")->get(0), 1);
+  // Unknown traffic is denied at node 3.
+  tb.inject_and_run(3, "pkt_in", {8, 9});
+  EXPECT_EQ(tb.node(3).array("denied")->get(0), 1);
+}
+
+TEST(DfwAging, SwapAndSweepExpireOldFlows) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(app("DFWA").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "pkt_out", {10, 20});
+  tb.inject_and_run(1, "pkt_in", {20, 10});
+  EXPECT_EQ(tb.node(1).array("allowed")->get(0), 1);
+  // Swap: bank B becomes active. The flow (in bank A) must still match.
+  tb.inject_and_run(1, "swap_banks", {0});
+  EXPECT_EQ(tb.node(1).array("active_bank")->get(0), 1);
+  tb.inject_and_run(1, "pkt_in", {20, 10});
+  EXPECT_EQ(tb.node(1).array("allowed")->get(0), 2);
+  // Clear the (now inactive) bank A slots for this flow, then swap again:
+  // the authorization has aged out.
+  const auto h0 = hash32(40, {10, 20}) & 4095;
+  const auto h1 = hash32(41, {10, 20}) & 4095;
+  tb.inject_and_run(1, "age_step", {h0});
+  tb.inject_and_run(1, "age_step", {h1});
+  tb.inject_and_run(1, "pkt_in", {20, 10});
+  EXPECT_EQ(tb.node(1).array("denied")->get(0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// RIP
+// ---------------------------------------------------------------------------
+
+TEST(Rip, AdvertisementRelaxesDistance) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(app("RIP").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  // Node 3 is the destination; 1 and 2 boot at INF.
+  tb.inject_and_run(1, "boot", {1000000});
+  tb.inject_and_run(2, "boot", {1000000});
+  tb.inject_and_run(3, "boot", {0});
+  // Node 3 advertises (its group {2,3} covers node 2).
+  tb.node(3).inject("adv_timer", {0});
+  tb.settle(10 * sim::kMs);
+  EXPECT_EQ(tb.node(2).array("dist")->get(0), 1);
+  EXPECT_EQ(tb.node(2).array("nexthop")->get(0), 3);
+  // Node 2 forwards packets along the adopted route.
+  tb.node(2).inject("pkt", {64});
+  tb.settle(sim::kMs);
+  EXPECT_EQ(tb.node(2).array("fwd")->get(0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// NAT
+// ---------------------------------------------------------------------------
+
+TEST(Nat, FirstPacketAllocatesMapping) {
+  Testbed tb(app("NAT").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "pkt_out", {10, 5555});
+  EXPECT_EQ(tb.node(1).array("translated")->get(0), 1);
+  EXPECT_EQ(tb.node(1).array("next_port")->get(0), 1);
+  // The reverse mapping points back at the flow.
+  const auto k = (static_cast<std::int64_t>(hash32(50, {10, 5555})) | 1);
+  EXPECT_EQ(tb.node(1).array("rev_key")->get(0), k);
+  // Inbound to the allocated external port 0 translates.
+  tb.inject_and_run(1, "pkt_in", {0});
+  EXPECT_EQ(tb.node(1).array("translated")->get(0), 2);
+  // Inbound to an unallocated port drops.
+  tb.inject_and_run(1, "pkt_in", {123});
+  EXPECT_EQ(tb.node(1).array("dropped")->get(0), 1);
+}
+
+TEST(Nat, SecondPacketReusesMapping) {
+  Testbed tb(app("NAT").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "pkt_out", {10, 5555});
+  tb.inject_and_run(1, "pkt_out", {10, 5555});
+  EXPECT_EQ(tb.node(1).array("next_port")->get(0), 1);  // one allocation
+  EXPECT_EQ(tb.node(1).array("translated")->get(0), 2);
+}
+
+// ---------------------------------------------------------------------------
+// CM
+// ---------------------------------------------------------------------------
+
+TEST(Cm, SketchCountsAndExportClears) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 9};
+  Testbed tb(app("CM").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  const int flow = 31337;
+  for (int i = 0; i < 5; ++i) tb.node(1).inject("pkt", {flow});
+  tb.settle();
+  const auto h0 = hash32(60, {flow}) & 1023;
+  EXPECT_EQ(tb.node(1).array("cm0")->get(h0), 5);
+  // Query is served from the live sketch.
+  tb.inject_and_run(1, "query", {flow});
+  EXPECT_EQ(tb.node(1).array("queries")->get(0), 1);
+  // An export step at that column read-and-clears and ships a report.
+  tb.node(1).inject("export_step", {h0});
+  tb.sim().run_until(tb.sim().now() + 500 * sim::kUs);
+  EXPECT_EQ(tb.node(1).array("cm0")->get(h0), 0);
+  EXPECT_GE(tb.node(9).array("reports")->get(0), 1);
+}
+
+}  // namespace
+}  // namespace lucid::apps

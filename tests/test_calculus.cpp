@@ -1,0 +1,241 @@
+// Tests for the Appendix A/B calculus: every typing rule, every reduction
+// rule, the canonical stuck-program demonstration, and mechanical checks of
+// the soundness theorem (progress + preservation) over thousands of randomly
+// generated well-typed terms.
+#include <gtest/gtest.h>
+
+#include "calculus/calculus.hpp"
+#include "calculus/generator.hpp"
+
+namespace lucid::calculus {
+namespace {
+
+GlobalSig int_sig(int n) {
+  GlobalSig sig;
+  for (int i = 0; i < n; ++i) sig.push_back(Ty::int_ty());
+  return sig;
+}
+
+std::vector<ExPtr> int_globals(std::initializer_list<std::int64_t> vals) {
+  std::vector<ExPtr> g;
+  for (const auto v : vals) g.push_back(lit(v));
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Typing rules
+// ---------------------------------------------------------------------------
+
+TEST(CalculusTyping, LiteralsAndUnitPreserveStage) {
+  const auto sig = int_sig(2);
+  const auto t = type_of(sig, {}, 3, lit(7));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->type->kind, TyKind::Int);
+  EXPECT_EQ(t->end_stage, 3);
+  const auto u = type_of(sig, {}, 5, unit());
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->type->kind, TyKind::Unit);
+  EXPECT_EQ(u->end_stage, 5);
+}
+
+TEST(CalculusTyping, GlobalHasRefTypeAtItsStage) {
+  const auto sig = int_sig(3);
+  const auto t = type_of(sig, {}, 0, global(2));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->type->kind, TyKind::Ref);
+  EXPECT_EQ(t->type->ref_stage, 2);
+}
+
+TEST(CalculusTyping, DerefAdvancesStage) {
+  const auto sig = int_sig(3);
+  const auto t = type_of(sig, {}, 0, deref(global(1)));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->type->kind, TyKind::Int);
+  EXPECT_EQ(t->end_stage, 2);  // stage(g1) + 1
+}
+
+TEST(CalculusTyping, DerefPastStageIsRejected) {
+  const auto sig = int_sig(3);
+  // After !g2 (stage -> 3), !g0 is inaccessible.
+  const auto t =
+      type_of(sig, {}, 0, plus(deref(global(2)), deref(global(0))));
+  EXPECT_FALSE(t.has_value());
+}
+
+TEST(CalculusTyping, InOrderDerefsAccepted) {
+  const auto sig = int_sig(3);
+  const auto t =
+      type_of(sig, {}, 0, plus(deref(global(0)), deref(global(2))));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->end_stage, 3);
+}
+
+TEST(CalculusTyping, UpdateTypesAsUnitAndAdvances) {
+  const auto sig = int_sig(2);
+  const auto t = type_of(sig, {}, 0, update(global(1), lit(5)));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->type->kind, TyKind::Unit);
+  EXPECT_EQ(t->end_stage, 2);
+}
+
+TEST(CalculusTyping, UpdateValueMustMatchRefBase) {
+  const auto sig = int_sig(2);
+  const auto t = type_of(sig, {}, 0, update(global(1), unit()));
+  EXPECT_FALSE(t.has_value());
+}
+
+TEST(CalculusTyping, UpdateAfterStageIsRejected) {
+  const auto sig = int_sig(2);
+  // The value expression reads g1 (stage -> 2) before writing g0.
+  const auto t = type_of(sig, {}, 0, update(global(0), deref(global(1))));
+  EXPECT_FALSE(t.has_value());
+}
+
+TEST(CalculusTyping, LambdaTypeRecordsStages) {
+  const auto sig = int_sig(3);
+  // fun (x : Int, 1) -> x + !g1
+  const auto f = lam("x", Ty::int_ty(), 1, plus(var("x"), deref(global(1))));
+  const auto t = type_of(sig, {}, 0, f);
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->type->kind, TyKind::Fun);
+  EXPECT_EQ(t->type->fun_eps_in, 1);
+  EXPECT_EQ(t->type->fun_eps_out, 2);
+}
+
+TEST(CalculusTyping, AppChecksStartingStage) {
+  const auto sig = int_sig(3);
+  const auto f = lam("x", Ty::int_ty(), 1, plus(var("x"), deref(global(1))));
+  // Applying after !g2 (stage 3 > eps_in 1) must be rejected.
+  const auto bad = type_of(sig, {}, 0, app(f, deref(global(2))));
+  EXPECT_FALSE(bad.has_value());
+  // Applying at stage 0 with a pure argument is fine.
+  const auto good = type_of(sig, {}, 0, app(f, lit(3)));
+  ASSERT_TRUE(good.has_value());
+  EXPECT_EQ(good->end_stage, 2);
+}
+
+TEST(CalculusTyping, FreeVariableIsIllTyped) {
+  EXPECT_FALSE(type_of(int_sig(1), {}, 0, var("nope")).has_value());
+}
+
+TEST(CalculusTyping, LetThreadsStages) {
+  const auto sig = int_sig(3);
+  const auto e = let("x", deref(global(0)),
+                     let("y", deref(global(2)), plus(var("x"), var("y"))));
+  const auto t = type_of(sig, {}, 0, e);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->end_stage, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Operational semantics
+// ---------------------------------------------------------------------------
+
+TEST(CalculusSemantics, PlusEvaluatesLeftToRight) {
+  const auto sig = int_sig(2);
+  State s{int_globals({10, 20}), 0,
+          plus(deref(global(0)), deref(global(1)))};
+  auto s1 = step(sig, s);
+  ASSERT_TRUE(s1.has_value());
+  EXPECT_EQ(s1->next_stage, 1);  // left deref fired first
+  auto s2 = step(sig, *s1);
+  ASSERT_TRUE(s2.has_value());
+  EXPECT_EQ(s2->next_stage, 2);
+  auto s3 = step(sig, *s2);
+  ASSERT_TRUE(s3.has_value());
+  EXPECT_EQ(s3->expr->kind, ExKind::Int);
+  EXPECT_EQ(s3->expr->int_value, 30);
+}
+
+TEST(CalculusSemantics, UpdateWritesGlobalAndYieldsUnit) {
+  const auto sig = int_sig(2);
+  State s{int_globals({1, 2}), 0, update(global(1), lit(42))};
+  const auto r = run(sig, s);
+  ASSERT_TRUE(r.reached_value);
+  EXPECT_EQ(r.final.expr->kind, ExKind::Unit);
+  EXPECT_EQ(r.final.globals[1]->int_value, 42);
+  EXPECT_EQ(r.final.next_stage, 2);
+}
+
+TEST(CalculusSemantics, AppSubstitutes) {
+  const auto sig = int_sig(1);
+  const auto f = lam("x", Ty::int_ty(), 0, plus(var("x"), lit(1)));
+  const auto r = run(sig, State{int_globals({0}), 0, app(f, lit(41))});
+  ASSERT_TRUE(r.reached_value);
+  EXPECT_EQ(r.final.expr->int_value, 42);
+}
+
+TEST(CalculusSemantics, SubstitutionRespectsShadowing) {
+  // let x = 1 in (let x = 2 in x) + x  ==>  2 + 1
+  const auto sig = int_sig(0);
+  const auto e =
+      let("x", lit(1), plus(let("x", lit(2), var("x")), var("x")));
+  const auto r = run(sig, State{{}, 0, e});
+  ASSERT_TRUE(r.reached_value);
+  EXPECT_EQ(r.final.expr->int_value, 3);
+}
+
+// The motivating "stuck" program: an ill-ordered access sequence that the
+// type system rejects really does wedge the machine — exactly what the
+// soundness theorem says cannot happen to well-typed terms.
+TEST(CalculusSemantics, IllOrderedProgramGetsStuck) {
+  const auto sig = int_sig(2);
+  const auto e = plus(deref(global(1)), deref(global(0)));
+  EXPECT_FALSE(type_of(sig, {}, 0, e).has_value());
+  const auto r = run(sig, State{int_globals({5, 6}), 0, e});
+  EXPECT_FALSE(r.reached_value);  // stuck at !g0 with next_stage == 2
+}
+
+TEST(CalculusSemantics, ValueDoesNotStep) {
+  const auto sig = int_sig(0);
+  EXPECT_FALSE(step(sig, State{{}, 0, lit(1)}).has_value());
+  EXPECT_FALSE(step(sig, State{{}, 0, unit()}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Soundness: progress + preservation over random well-typed terms
+// ---------------------------------------------------------------------------
+
+class CalculusSoundness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CalculusSoundness, ProgressAndPreservationHold) {
+  TermGenerator gen(GenConfig{}, GetParam());
+  const GlobalSig sig = gen.signature();
+
+  for (int trial = 0; trial < 40; ++trial) {
+    State s{gen.initial_globals(), 0, gen.gen_int_term()};
+    ASSERT_TRUE(globals_well_typed(sig, s.globals));
+
+    auto typed = type_of(sig, {}, s.next_stage, s.expr);
+    ASSERT_TRUE(typed.has_value())
+        << "generator produced ill-typed term: " << s.expr->str();
+    ASSERT_EQ(typed->type->kind, TyKind::Int);
+    int end_stage_bound = typed->end_stage;
+
+    for (int i = 0; i < 2000; ++i) {
+      if (s.expr->is_value()) break;
+      // Progress: a well-typed non-value must step.
+      auto next = step(sig, s);
+      ASSERT_TRUE(next.has_value())
+          << "well-typed term got stuck: " << s.expr->str();
+      s = std::move(*next);
+      // Preservation: same type; globals stay well-typed; the end stage
+      // never increases.
+      ASSERT_TRUE(globals_well_typed(sig, s.globals));
+      auto retyped = type_of(sig, {}, s.next_stage, s.expr);
+      ASSERT_TRUE(retyped.has_value())
+          << "step broke typing: " << s.expr->str();
+      ASSERT_TRUE(ty_equal(retyped->type, typed->type));
+      ASSERT_LE(retyped->end_stage, end_stage_bound);
+      end_stage_bound = retyped->end_stage;
+    }
+    ASSERT_TRUE(s.expr->is_value()) << "term did not terminate";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CalculusSoundness,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace lucid::calculus

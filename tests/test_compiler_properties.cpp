@@ -1,0 +1,163 @@
+// Cross-cutting compiler properties, swept over all ten applications:
+// layout invariants, determinism, P4 emission completeness, and
+// failure-injection for the resource model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/apps.hpp"
+#include "p4/emit.hpp"
+
+namespace lucid {
+namespace {
+
+class AppProperty : public ::testing::TestWithParam<int> {
+ protected:
+  const apps::AppSpec& spec() const {
+    return apps::all_apps()[static_cast<std::size_t>(GetParam())];
+  }
+  CompileResult compile_spec(const CompileOptions& opts = {}) {
+    DiagnosticEngine diags(spec().source);
+    CompileResult r = compile(spec().source, diags, opts);
+    EXPECT_TRUE(r.ok) << spec().key << "\n" << diags.render();
+    return r;
+  }
+};
+
+TEST_P(AppProperty, EveryArrayPinnedToExactlyOneStage) {
+  const auto r = compile_spec();
+  // Every declared array that is accessed appears in exactly one stage.
+  for (const auto& arr : r.ir.arrays) {
+    int stages_hosting = 0;
+    for (const auto& stage : r.pipeline.stages) {
+      bool here = false;
+      for (const auto& mt : stage.tables) {
+        if (mt.array == arr.name) here = true;
+      }
+      if (here) ++stages_hosting;
+    }
+    EXPECT_LE(stages_hosting, 1) << spec().key << " array " << arr.name;
+    if (stages_hosting == 1) {
+      ASSERT_TRUE(r.pipeline.array_stage.count(arr.name));
+    }
+  }
+}
+
+TEST_P(AppProperty, StageBudgetsAreRespected) {
+  opt::ResourceModel model;
+  const auto r = compile_spec();
+  for (const auto& stage : r.pipeline.stages) {
+    EXPECT_LE(static_cast<int>(stage.tables.size()),
+              model.tables_per_stage)
+        << spec().key;
+    EXPECT_LE(stage.salus(), model.salus_per_stage) << spec().key;
+    for (const auto& mt : stage.tables) {
+      EXPECT_LE(static_cast<int>(mt.members.size()),
+                model.members_per_table)
+          << spec().key;
+      EXPECT_LE(mt.total_rules(), model.rules_per_table) << spec().key;
+    }
+  }
+}
+
+TEST_P(AppProperty, AllGuardedTablesArePlaced) {
+  const auto r = compile_spec();
+  // The merged pipeline contains every reachable non-branch atomic table.
+  std::size_t placed = 0;
+  for (const auto& stage : r.pipeline.stages) {
+    for (const auto& mt : stage.tables) placed += mt.members.size();
+  }
+  std::size_t expected = 0;
+  DiagnosticEngine diags;
+  for (const auto& hg : r.ir.handlers) {
+    expected += opt::inline_branches(hg, diags).tables.size();
+  }
+  EXPECT_EQ(placed, expected) << spec().key;
+}
+
+TEST_P(AppProperty, MergedTablesBindAtMostOneArray) {
+  const auto r = compile_spec();
+  for (const auto& stage : r.pipeline.stages) {
+    for (const auto& mt : stage.tables) {
+      std::set<std::string> arrays;
+      for (const auto& member : mt.members) {
+        if (member.kind == ir::TableKind::Mem) {
+          arrays.insert(member.mem.array);
+        }
+      }
+      EXPECT_LE(arrays.size(), 1u) << spec().key;
+      if (!arrays.empty()) {
+        EXPECT_EQ(*arrays.begin(), mt.array) << spec().key;
+      }
+    }
+  }
+}
+
+TEST_P(AppProperty, SameHandlerMembersAreDisjointOrAllUnconditional) {
+  const auto r = compile_spec();
+  for (const auto& stage : r.pipeline.stages) {
+    for (const auto& mt : stage.tables) {
+      for (std::size_t i = 0; i < mt.members.size(); ++i) {
+        for (std::size_t j = i + 1; j < mt.members.size(); ++j) {
+          const auto& a = mt.members[i];
+          const auto& b = mt.members[j];
+          if (a.handler != b.handler) continue;
+          const bool both_uncond = a.guards.empty() && b.guards.empty();
+          EXPECT_TRUE(both_uncond || opt::tables_disjoint(a, b))
+              << spec().key << " merged-table members overlap";
+        }
+      }
+    }
+  }
+}
+
+TEST_P(AppProperty, CompilationIsDeterministic) {
+  const auto a = compile_spec();
+  const auto b = compile_spec();
+  EXPECT_EQ(a.stats.optimized_stages, b.stats.optimized_stages);
+  EXPECT_EQ(a.stats.unoptimized_stages, b.stats.unoptimized_stages);
+  EXPECT_EQ(a.stats.ops_per_stage, b.stats.ops_per_stage);
+  EXPECT_EQ(a.pipeline.array_stage, b.pipeline.array_stage);
+  const auto p1 = p4::emit(a, spec().key);
+  const auto p2 = p4::emit(b, spec().key);
+  EXPECT_EQ(p1.text, p2.text);
+}
+
+TEST_P(AppProperty, P4ContainsEveryArrayAndEvent) {
+  const auto r = compile_spec();
+  const auto p = p4::emit(r, spec().key);
+  for (const auto& arr : r.ir.arrays) {
+    EXPECT_NE(p.text.find("reg_" + arr.name), std::string::npos)
+        << spec().key << " missing register for " << arr.name;
+  }
+  for (const auto& ev : r.ir.events) {
+    EXPECT_NE(p.text.find("header ev_" + ev.name + "_h"), std::string::npos)
+        << spec().key << " missing header for " << ev.name;
+    EXPECT_NE(p.text.find("parse_ev_" + ev.name), std::string::npos)
+        << spec().key << " missing parser state for " << ev.name;
+  }
+}
+
+TEST_P(AppProperty, TightModelDegradesGracefully) {
+  // Failure injection: an absurdly tight model must not crash or loop; it
+  // either lays out long (fits == false) or reports infeasibility.
+  DiagnosticEngine diags(spec().source);
+  CompileOptions opts;
+  opts.model.max_stages = 2;
+  opts.model.tables_per_stage = 1;
+  opts.model.salus_per_stage = 1;
+  opts.model.members_per_table = 1;
+  const CompileResult r = compile(spec().source, diags, opts);
+  ASSERT_TRUE(r.ok) << diags.render();  // front end is unaffected
+  EXPECT_FALSE(r.stats.fits) << spec().key;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTen, AppProperty, ::testing::Range(0, 10),
+                         [](const auto& info) {
+                           return apps::all_apps()[static_cast<std::size_t>(
+                                                       info.param)]
+                               .key;
+                         });
+
+}  // namespace
+}  // namespace lucid

@@ -1,0 +1,124 @@
+// Unit tests for the effect-term algebra underlying the ordered type system.
+#include <gtest/gtest.h>
+
+#include "sema/effects.hpp"
+
+namespace lucid::sema {
+namespace {
+
+TEST(EffectTerm, ConcreteValue) {
+  EXPECT_EQ(EffectTerm::concrete(3).concrete_value(), 3);
+  const EffectTerm t = EffectTerm::at(StageAtom::var_at(0));
+  EXPECT_FALSE(t.concrete_value().has_value());
+}
+
+TEST(EffectTerm, PlusShiftsAllAtoms) {
+  EffectTerm t = EffectTerm::concrete(2).join(EffectTerm::at(
+      StageAtom::var_at(1, 1)));
+  const EffectTerm t2 = t.plus(3);
+  bool saw_concrete = false;
+  bool saw_var = false;
+  for (const auto& a : t2.atoms) {
+    if (a.concrete()) {
+      EXPECT_EQ(a.offset, 5);
+      saw_concrete = true;
+    } else {
+      EXPECT_EQ(a.var, 1);
+      EXPECT_EQ(a.offset, 4);
+      saw_var = true;
+    }
+  }
+  EXPECT_TRUE(saw_concrete);
+  EXPECT_TRUE(saw_var);
+}
+
+TEST(EffectTerm, JoinKeepsMaxConcrete) {
+  const EffectTerm t = EffectTerm::concrete(2).join(EffectTerm::concrete(5));
+  EXPECT_EQ(t.concrete_value(), 5);
+  EXPECT_EQ(t.atoms.size(), 1u);
+}
+
+TEST(EffectTerm, JoinMergesSameVariableByMaxOffset) {
+  const EffectTerm a = EffectTerm::at(StageAtom::var_at(7, 1));
+  const EffectTerm b = EffectTerm::at(StageAtom::var_at(7, 4));
+  const EffectTerm j = a.join(b);
+  ASSERT_EQ(j.atoms.size(), 1u);
+  EXPECT_EQ(j.atoms[0].var, 7);
+  EXPECT_EQ(j.atoms[0].offset, 4);
+}
+
+TEST(EffectTerm, JoinKeepsDistinctVariables) {
+  const EffectTerm a = EffectTerm::at(StageAtom::var_at(1));
+  const EffectTerm b = EffectTerm::at(StageAtom::var_at(2));
+  EXPECT_EQ(a.join(b).atoms.size(), 2u);
+}
+
+TEST(EffectConstraint, ConcreteEvaluation) {
+  EffectConstraint ok{EffectTerm::concrete(2), StageAtom::concrete_at(2),
+                      "", {}};
+  EXPECT_EQ(evaluate(ok), true);
+  EffectConstraint bad{EffectTerm::concrete(3), StageAtom::concrete_at(2),
+                       "", {}};
+  EXPECT_EQ(evaluate(bad), false);
+}
+
+TEST(EffectConstraint, SymbolicIsUndecided) {
+  EffectConstraint c{EffectTerm::at(StageAtom::var_at(0)),
+                     StageAtom::concrete_at(5), "", {}};
+  EXPECT_FALSE(evaluate(c).has_value());
+  EffectConstraint c2{EffectTerm::concrete(1), StageAtom::var_at(3), "", {}};
+  EXPECT_FALSE(evaluate(c2).has_value());
+}
+
+TEST(EffectSubst, SubstitutesArrayParamVariables) {
+  EffectSubst subst;
+  subst.atom_for_var.resize(4);
+  subst.atom_for_var[2] = StageAtom::concrete_at(7);
+  const EffectTerm t = EffectTerm::at(StageAtom::var_at(2, 1));
+  const EffectTerm out = subst.apply(t);
+  EXPECT_EQ(out.concrete_value(), 8);
+}
+
+TEST(EffectSubst, SubstitutesStartVariableWithWholeTerm) {
+  EffectSubst subst;
+  subst.start_var = 0;
+  subst.start_term =
+      EffectTerm::concrete(3).join(EffectTerm::at(StageAtom::var_at(9)));
+  const EffectTerm t = EffectTerm::at(StageAtom::var_at(0, 2));
+  const EffectTerm out = subst.apply(t);
+  // Both atoms shifted by the +2 offset.
+  bool concrete5 = false;
+  bool var9plus2 = false;
+  for (const auto& a : out.atoms) {
+    if (a.concrete() && a.offset == 5) concrete5 = true;
+    if (!a.concrete() && a.var == 9 && a.offset == 2) var9plus2 = true;
+  }
+  EXPECT_TRUE(concrete5);
+  EXPECT_TRUE(var9plus2);
+}
+
+TEST(EffectSubst, RhsSubstitutionKeepsAtomAtomic) {
+  EffectSubst subst;
+  subst.atom_for_var.resize(1);
+  subst.atom_for_var[0] = StageAtom::concrete_at(4);
+  const StageAtom out = subst.apply_rhs(StageAtom::var_at(0));
+  EXPECT_TRUE(out.concrete());
+  EXPECT_EQ(out.offset, 4);
+}
+
+TEST(EffectSubst, UnboundVariableStaysSymbolic) {
+  EffectSubst subst;
+  const EffectTerm t = EffectTerm::at(StageAtom::var_at(5));
+  const EffectTerm out = subst.apply(t);
+  ASSERT_EQ(out.atoms.size(), 1u);
+  EXPECT_EQ(out.atoms[0].var, 5);
+}
+
+TEST(StageAtom, Printing) {
+  EXPECT_EQ(StageAtom::concrete_at(3).str(), "3");
+  EXPECT_EQ(StageAtom::var_at(2).str(), "s2");
+  EXPECT_EQ(StageAtom::var_at(2, 1).str(), "s2+1");
+}
+
+}  // namespace
+}  // namespace lucid::sema

@@ -1,0 +1,164 @@
+// Failure injection at the system level: dead neighbors, partitioned
+// fabrics, table pressure, and adversarial event streams. These scenarios
+// are where data-plane-integrated control earns its keep — the apps must
+// degrade and recover without any controller.
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "interp/testbed.hpp"
+
+namespace lucid {
+namespace {
+
+using interp::Testbed;
+using interp::TestbedConfig;
+using interp::hash32;
+
+// ---------------------------------------------------------------------------
+// RR: a neighbor that stops answering probes is detected as dead.
+// ---------------------------------------------------------------------------
+TEST(FailureInjection, RerouterDetectsSilentNeighbor) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(apps::app("RR").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+
+  // Probes run; both neighbors answer.
+  tb.node(1).inject("probe_timer", {0});
+  tb.settle(25 * sim::kMs);
+  const auto ls2_before = tb.node(1).array("linkstate")->get(2);
+  ASSERT_GT(ls2_before, 0);
+
+  // Fail node 2: its scheduler stops executing handlers entirely (switch
+  // power-off). Probe replies from node 2 cease; node 3 keeps answering.
+  tb.node(2).node().set_execute([](const pisa::Packet&) {});
+  tb.settle(80 * sim::kMs);
+
+  const auto now = tb.sim().now();
+  const auto ls2 = tb.node(1).array("linkstate")->get(2);
+  const auto ls3 = tb.node(1).array("linkstate")->get(3);
+  // Node 2's last reply is stale (> 50 ms), node 3's is fresh.
+  EXPECT_GT(now - ls2, 50 * sim::kMs);
+  EXPECT_LT(now - ls3, 50 * sim::kMs);
+}
+
+// ---------------------------------------------------------------------------
+// SFW: a full cuckoo neighborhood triggers the bounded-failure path rather
+// than looping forever.
+// ---------------------------------------------------------------------------
+TEST(FailureInjection, CuckooChainBoundsAndCountsFailures) {
+  Testbed tb(apps::app("SFW").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  // Adversarially fill both banks with distinct foreign keys: every insert
+  // displaces a new victim forever, so the MAX_DEPTH bound must fire.
+  // (Distinct values matter — a uniform fill self-collides and terminates
+  // the chain early.)
+  for (std::int64_t i = 0; i < 1024; ++i) {
+    tb.node(1).array("key1")->set(i, 1'000'000 + i);
+    tb.node(1).array("key2")->set(i, 2'000'000 + i);
+  }
+  tb.inject_and_run(1, "pkt_out", {10, 20});
+  EXPECT_GE(tb.node(1).array("failures")->get(0), 1);
+  // The chain was bounded: at most MAX_DEPTH+1 cuckoo passes.
+  EXPECT_LE(tb.switch_at(1).recirculations(), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// DFW: a partitioned peer misses sync updates; traffic through it is denied
+// until connectivity (and a retransmitted install) comes back.
+// ---------------------------------------------------------------------------
+TEST(FailureInjection, PartitionedFirewallPeerDeniesThenRecovers) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(apps::app("DFW").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+
+  // Partition node 3: drop everything it would execute.
+  bool partitioned = true;
+  auto* rt3 = &tb.node(3);
+  // Reinstall an execute hook that gates on the partition flag. (The
+  // runtime installed its own; emulate the partition at the scheduler
+  // level instead by swallowing packets.)
+  tb.sched_at(3).set_execute([&](const pisa::Packet&) {
+    (void)rt3;
+    if (partitioned) return;  // packets die at the dead switch
+  });
+
+  tb.inject_and_run(1, "pkt_out", {10, 20});
+  // Peer 2 got the sync; peer 3 did not.
+  tb.inject_and_run(2, "pkt_in", {20, 10});
+  EXPECT_EQ(tb.node(2).array("allowed")->get(0), 1);
+  tb.inject_and_run(3, "pkt_in", {20, 10});
+  EXPECT_EQ(tb.node(3).array("denied")->get(0), 0)
+      << "partitioned switch executes nothing at all";
+
+  // Heal the partition: node 3 resumes normal execution, and the next
+  // outbound packet re-syncs the flow.
+  partitioned = false;
+  interp::Runtime fresh(tb.program(), tb.sched_at(3));
+  tb.inject_and_run(1, "pkt_out", {10, 20});
+  tb.inject_and_run(3, "pkt_in", {20, 10});
+  EXPECT_EQ(fresh.array("allowed")->get(0), 1);
+}
+
+// ---------------------------------------------------------------------------
+// SRO: replicas converge even when syncs arrive out of order.
+// ---------------------------------------------------------------------------
+TEST(FailureInjection, SroOutOfOrderSyncsConverge) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(apps::app("SRO").source, cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  // Deliver a burst of syncs for the same cell directly to replica 2 in
+  // scrambled sequence order.
+  tb.node(1).inject("sync", {1, 9, 300, 3}, 0, 2);
+  tb.node(1).inject("sync", {1, 9, 100, 1}, 0, 2);
+  tb.node(1).inject("sync", {1, 9, 500, 5}, 0, 2);
+  tb.node(1).inject("sync", {1, 9, 200, 2}, 0, 2);
+  tb.settle();
+  // Highest sequence number wins regardless of arrival order.
+  EXPECT_EQ(tb.node(2).array("vals")->get(9), 500);
+  EXPECT_EQ(tb.node(2).array("seqs")->get(9), 5);
+}
+
+// ---------------------------------------------------------------------------
+// NAT: port-space pressure wraps the allocator without corrupting earlier
+// mappings beyond the wrapped slots.
+// ---------------------------------------------------------------------------
+TEST(FailureInjection, NatSurvivesAllocatorPressure) {
+  Testbed tb(apps::app("NAT").source);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  sim::Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    tb.node(1).inject("pkt_out",
+                      {rng.uniform(1, 1 << 20), rng.uniform(1, 60'000)});
+  }
+  tb.settle();
+  EXPECT_EQ(tb.node(1).array("translated")->get(0), 200);
+  // Every flow translates; ports are only burned for flows that won a
+  // mapping slot (hash collisions in the 1024-slot table don't allocate).
+  const auto ports = tb.node(1).array("next_port")->get(0);
+  EXPECT_LE(ports, 200);
+  EXPECT_GE(ports, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: events to unknown destinations are dropped, not wedged.
+// ---------------------------------------------------------------------------
+TEST(FailureInjection, UnroutableEventsAreDroppedCleanly) {
+  TestbedConfig cfg;
+  cfg.switch_ids = {1};
+  Testbed tb(
+      "event ping(int x);\n"
+      "handle ping(int x) {\n"
+      "  generate Event.locate(ping(x), 42);\n"  // no such switch
+      "}\n",
+      cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "ping", {1});
+  EXPECT_EQ(tb.network().dropped(), 1u);
+  EXPECT_EQ(tb.node(1).stats().executions.at("ping"), 1u);
+}
+
+}  // namespace
+}  // namespace lucid

@@ -1,0 +1,234 @@
+// Interpreter semantics tests: array ops, memops, event generation,
+// recursion via events, combinators, functions with array parameters,
+// width masking, and the hash builtin.
+#include <gtest/gtest.h>
+
+#include "interp/testbed.hpp"
+
+namespace lucid::interp {
+namespace {
+
+TEST(Interp, CounterIncrements) {
+  Testbed tb(
+      "global cnt = new Array<<32>>(4);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event bump(int i);\n"
+      "handle bump(int i) { Array.set(cnt, i, plus, 1); }\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  for (int i = 0; i < 5; ++i) tb.node(1).inject("bump", {2});
+  tb.settle();
+  EXPECT_EQ(tb.node(1).array("cnt")->get(2), 5);
+  EXPECT_EQ(tb.node(1).stats().executions.at("bump"), 5u);
+}
+
+TEST(Interp, UpdateReturnsMemopOfOldValue) {
+  Testbed tb(
+      "global a = new Array<<32>>(2);\n"
+      "global out = new Array<<32>>(2);\n"
+      "memop mget(int cur, int x) { return cur; }\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event e(int i);\n"
+      "handle e(int i) {\n"
+      "  int old = Array.update(a, i, mget, 0, plus, 10);\n"
+      "  Array.set(out, i, old);\n"
+      "}\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "e", {0});
+  EXPECT_EQ(tb.node(1).array("a")->get(0), 10);   // incremented
+  EXPECT_EQ(tb.node(1).array("out")->get(0), 0);  // old value returned
+  tb.inject_and_run(1, "e", {0});
+  EXPECT_EQ(tb.node(1).array("a")->get(0), 20);
+  EXPECT_EQ(tb.node(1).array("out")->get(0), 10);
+}
+
+TEST(Interp, ConditionalMemopBranches) {
+  Testbed tb(
+      "global m = new Array<<32>>(1);\n"
+      "memop maxm(int cur, int x) {\n"
+      "  if (cur < x) { return x; } else { return cur; }\n"
+      "}\n"
+      "event e(int v);\n"
+      "handle e(int v) { Array.setm(m, 0, maxm, v); }\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "e", {5});
+  tb.inject_and_run(1, "e", {3});
+  tb.inject_and_run(1, "e", {9});
+  EXPECT_EQ(tb.node(1).array("m")->get(0), 9);
+}
+
+TEST(Interp, RecursiveEventBoundedByCondition) {
+  Testbed tb(
+      "global steps = new Array<<32>>(1);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event tick(int n);\n"
+      "handle tick(int n) {\n"
+      "  Array.set(steps, 0, plus, 1);\n"
+      "  if (n > 1) { generate tick(n - 1); }\n"
+      "}\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "tick", {10});
+  EXPECT_EQ(tb.node(1).array("steps")->get(0), 10);
+  // Nine self-generations, each one recirculation.
+  EXPECT_EQ(tb.switch_at(1).recirculations(), 9u);
+}
+
+TEST(Interp, DelayCombinatorDefersExecution) {
+  Testbed tb(
+      "global t = new Array<<32>>(1);\n"
+      "event fire(int x);\n"
+      "event arm(int x);\n"
+      "handle arm(int x) { generate Event.delay(fire(x), 2ms); }\n"
+      "handle fire(int x) { Array.set(t, 0, Sys.time()); }\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.node(1).inject("arm", {1});
+  tb.sim().run_until(5 * sim::kMs);
+  const auto fired = tb.node(1).array("t")->get(0);
+  EXPECT_GE(fired, 2 * sim::kMs);
+  EXPECT_LE(fired, 2 * sim::kMs + 200 * sim::kUs);  // one release period
+}
+
+TEST(Interp, LocateSendsToPeer) {
+  interp::TestbedConfig cfg;
+  cfg.switch_ids = {1, 2};
+  Testbed tb(
+      "global got = new Array<<32>>(1);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event ping(int from);\n"
+      "event start(int dest);\n"
+      "handle start(int dest) { generate Event.locate(ping(SELF), dest); }\n"
+      "handle ping(int from) { Array.set(got, 0, plus, 1); }\n",
+      cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "start", {2});
+  EXPECT_EQ(tb.node(2).array("got")->get(0), 1);
+  EXPECT_EQ(tb.node(1).array("got")->get(0), 0);
+}
+
+TEST(Interp, MulticastGroupReachesMembers) {
+  interp::TestbedConfig cfg;
+  cfg.switch_ids = {1, 2, 3};
+  Testbed tb(
+      "const group PEERS = {2, 3};\n"
+      "global got = new Array<<32>>(1);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event notify(int from);\n"
+      "event start(int x);\n"
+      "handle start(int x) {\n"
+      "  mgenerate Event.locate(notify(SELF), PEERS);\n"
+      "}\n"
+      "handle notify(int from) { Array.set(got, 0, plus, 1); }\n",
+      cfg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "start", {0});
+  EXPECT_EQ(tb.node(2).array("got")->get(0), 1);
+  EXPECT_EQ(tb.node(3).array("got")->get(0), 1);
+  EXPECT_EQ(tb.node(1).array("got")->get(0), 0);
+}
+
+TEST(Interp, FunctionWithArrayParameterAliases) {
+  Testbed tb(
+      "global a = new Array<<32>>(2);\n"
+      "global b = new Array<<32>>(2);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "fun void bump(Array<<32>> arr, int i) {\n"
+      "  Array.set(arr, i, plus, 1);\n"
+      "}\n"
+      "event e(int i);\n"
+      "handle e(int i) {\n"
+      "  bump(a, i);\n"
+      "  bump(b, i);\n"
+      "}\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "e", {1});
+  EXPECT_EQ(tb.node(1).array("a")->get(1), 1);
+  EXPECT_EQ(tb.node(1).array("b")->get(1), 1);
+}
+
+TEST(Interp, FunctionReturnValue) {
+  Testbed tb(
+      "global vals = new Array<<32>>(4);\n"
+      "global out = new Array<<32>>(4);\n"
+      "fun int double_get(int i) {\n"
+      "  int v = Array.get(vals, i);\n"
+      "  return v + v;\n"
+      "}\n"
+      "event e(int i);\n"
+      "handle e(int i) { Array.set(out, i, double_get(i)); }\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.node(1).array("vals")->set(2, 21);
+  tb.inject_and_run(1, "e", {2});
+  EXPECT_EQ(tb.node(1).array("out")->get(2), 42);
+}
+
+TEST(Interp, WidthMaskingOnNarrowArrays) {
+  Testbed tb(
+      "global narrow = new Array<<8>>(2);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event e(int v);\n"
+      "handle e(int v) { Array.set(narrow, 0, plus, v); }\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "e", {200});
+  tb.inject_and_run(1, "e", {100});
+  // 300 mod 256 = 44.
+  EXPECT_EQ(tb.node(1).array("narrow")->get(0), 44);
+}
+
+TEST(Interp, EventValueSnapshotsAtBinding) {
+  Testbed tb(
+      "global out = new Array<<32>>(1);\n"
+      "event sink(int v);\n"
+      "event e(int x);\n"
+      "handle e(int x) {\n"
+      "  event pending = sink(x);\n"
+      "  x = x + 100;\n"
+      "  generate pending;\n"
+      "}\n"
+      "handle sink(int v) { Array.set(out, 0, v); }\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "e", {7});
+  EXPECT_EQ(tb.node(1).array("out")->get(0), 7);
+}
+
+TEST(Interp, HashIsDeterministicAndSeedSensitive) {
+  const auto h1 = hash32(1, {10, 20});
+  const auto h2 = hash32(1, {10, 20});
+  const auto h3 = hash32(2, {10, 20});
+  const auto h4 = hash32(1, {20, 10});
+  EXPECT_EQ(h1, h2);
+  EXPECT_NE(h1, h3);
+  EXPECT_NE(h1, h4);
+}
+
+TEST(Interp, GeneratedStatsTracked) {
+  Testbed tb(
+      "event a(int n);\n"
+      "event b();\n"
+      "handle a(int n) {\n"
+      "  if (n > 0) { generate b(); }\n"
+      "}\n"
+      "handle b() { int x = 0; }\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "a", {1});
+  tb.inject_and_run(1, "a", {0});
+  EXPECT_EQ(tb.node(1).stats().generated.at("b"), 1u);
+  EXPECT_EQ(tb.node(1).stats().executions.at("b"), 1u);
+  EXPECT_EQ(tb.node(1).stats().executions.at("a"), 2u);
+}
+
+TEST(Interp, ShortCircuitLogicalOps) {
+  Testbed tb(
+      "global out1 = new Array<<32>>(1);\n"
+      "global out2 = new Array<<32>>(1);\n"
+      "event e(int a, int b);\n"
+      "handle e(int a, int b) {\n"
+      "  if (a == 1 && b == 2) { Array.set(out1, 0, 1); }\n"
+      "  if (a == 9 || b == 2) { Array.set(out2, 0, 2); }\n"
+      "}\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "e", {1, 2});
+  EXPECT_EQ(tb.node(1).array("out1")->get(0), 1);
+  EXPECT_EQ(tb.node(1).array("out2")->get(0), 2);
+}
+
+}  // namespace
+}  // namespace lucid::interp

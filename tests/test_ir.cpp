@@ -1,0 +1,255 @@
+// Lowering tests: atomic table graphs (section 6.1), function inlining,
+// event-value snapshots, and the Figure 6 example program.
+#include <gtest/gtest.h>
+
+#include "core/compiler.hpp"
+
+namespace lucid::ir {
+namespace {
+
+// The paper's Figure 6 handler, verbatim modulo dialect constants.
+constexpr const char* kFigure6 = R"(
+const int NUM_HOSTS = 64;
+const int NUM_PORTS = 32;
+const int NUM_PORTS_X2 = 64;
+const int NUM_PORTS_X3 = 96;
+const int TCP = 6;
+const int UDP = 17;
+global nexthops = new Array<<32>>(NUM_HOSTS);
+global pcts = new Array<<32>>(NUM_PORTS_X3);
+global hcts = new Array<<32>>(NUM_HOSTS);
+memop plus(int cur, int x) { return cur + x; }
+event count_pkt(int dst, int proto);
+handle count_pkt(int dst, int proto) {
+  int idx = Array.get(nexthops, dst);
+  if (proto != TCP) {
+    if (proto == UDP) {
+      idx = idx + NUM_PORTS;
+    } else {
+      idx = idx + NUM_PORTS_X2;
+    }
+  }
+  Array.set(pcts, idx, plus, 1);
+  if (proto == TCP) {
+    Array.set(hcts, dst, plus, 1);
+  }
+}
+)";
+
+CompileResult compile_ok(std::string_view src) {
+  DiagnosticEngine diags{std::string(src)};
+  CompileResult r = compile(src, diags);
+  EXPECT_TRUE(r.ok) << diags.render();
+  return r;
+}
+
+const HandlerGraph& only_handler(const CompileResult& r) {
+  EXPECT_EQ(r.ir.handlers.size(), 1u);
+  return r.ir.handlers.front();
+}
+
+int count_kind(const HandlerGraph& g, TableKind k) {
+  int n = 0;
+  for (const auto& t : g.tables) {
+    if (t.kind == k) ++n;
+  }
+  return n;
+}
+
+TEST(Lowering, Figure6ProducesExpectedTables) {
+  const auto r = compile_ok(kFigure6);
+  const auto& g = only_handler(r);
+  // Three stateful accesses, three branch tables, two idx adjustments.
+  EXPECT_EQ(count_kind(g, TableKind::Mem), 3);
+  EXPECT_EQ(count_kind(g, TableKind::Branch), 3);
+  EXPECT_EQ(count_kind(g, TableKind::Op), 2);
+}
+
+TEST(Lowering, Figure6LongestPathMatchesAtomicChain) {
+  // Longest path: nexthops_get -> if0 -> if1 -> idx_eq -> pcts_fset -> if2 ->
+  // hcts_fset == 7 tables (the unoptimized stage count of Fig 6(1)).
+  const auto r = compile_ok(kFigure6);
+  EXPECT_EQ(only_handler(r).longest_path(), 7);
+}
+
+TEST(Lowering, ArrayMetadataCollected) {
+  const auto r = compile_ok(kFigure6);
+  ASSERT_EQ(r.ir.arrays.size(), 3u);
+  EXPECT_EQ(r.ir.arrays[0].name, "nexthops");
+  EXPECT_EQ(r.ir.arrays[0].decl_index, 0);
+  EXPECT_EQ(r.ir.arrays[1].name, "pcts");
+  EXPECT_EQ(r.ir.arrays[1].size, 96);
+  EXPECT_EQ(r.ir.arrays[2].decl_index, 2);
+}
+
+TEST(Lowering, MemopCanonicalized) {
+  const auto r = compile_ok(kFigure6);
+  const MemopInfo* m = r.ir.find_memop("plus");
+  ASSERT_NE(m, nullptr);
+  EXPECT_FALSE(m->has_condition);
+  EXPECT_EQ(m->then_lhs.var, "cell");
+  ASSERT_TRUE(m->then_op.has_value());
+  EXPECT_EQ(*m->then_op, frontend::BinOp::Add);
+  EXPECT_EQ(m->then_rhs.var, "arg");
+}
+
+TEST(Lowering, ConditionalMemopCanonicalized) {
+  const auto r = compile_ok(
+      "global a = new Array<<32>>(4);\n"
+      "memop newer(int cur, int t) {\n"
+      "  if (cur < t) { return t; } else { return cur; }\n"
+      "}\n"
+      "event e(int t);\n"
+      "handle e(int t) { Array.set(a, 0, newer, t); }\n");
+  const MemopInfo* m = r.ir.find_memop("newer");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->has_condition);
+  EXPECT_EQ(m->cond_lhs.var, "cell");
+  EXPECT_EQ(m->cond_op, CmpOp::Lt);
+  EXPECT_EQ(m->cond_rhs.var, "arg");
+  EXPECT_EQ(m->then_lhs.var, "arg");
+  EXPECT_EQ(m->else_lhs.var, "cell");
+}
+
+TEST(Lowering, FunctionInliningProducesMemTable) {
+  const auto r = compile_ok(
+      "global pathlens = new Array<<32>>(64);\n"
+      "fun int get_pathlen(int dst) { return Array.get(pathlens, dst); }\n"
+      "event q(int dst);\n"
+      "handle q(int dst) { int p = get_pathlen(dst); }\n");
+  const auto& g = only_handler(r);
+  EXPECT_EQ(count_kind(g, TableKind::Mem), 1);
+  // The inlined body references the real global.
+  for (const auto& t : g.tables) {
+    if (t.kind == TableKind::Mem) {
+      EXPECT_EQ(t.mem.array, "pathlens");
+    }
+  }
+}
+
+TEST(Lowering, ArrayParameterResolvedThroughInlining) {
+  const auto r = compile_ok(
+      "global arr1 = new Array<<32>>(4);\n"
+      "global arr2 = new Array<<32>>(4);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "fun void bump(Array<<32>> a, int i) { Array.set(a, i, plus, 1); }\n"
+      "event e(int i);\n"
+      "handle e(int i) { bump(arr1, i); bump(arr2, i); }\n");
+  const auto& g = only_handler(r);
+  std::vector<std::string> arrays;
+  for (const auto& t : g.tables) {
+    if (t.kind == TableKind::Mem) arrays.push_back(t.mem.array);
+  }
+  EXPECT_EQ(arrays, (std::vector<std::string>{"arr1", "arr2"}));
+}
+
+TEST(Lowering, GenerateCarriesCombinatorMetadata) {
+  const auto r = compile_ok(
+      "const group GRP = {2, 3};\n"
+      "event c(int x);\n"
+      "event a(int x);\n"
+      "handle a(int x) {\n"
+      "  mgenerate Event.delay(Event.locate(c(x), GRP), 10ms);\n"
+      "}\n");
+  const auto& g = only_handler(r);
+  const AtomicTable* gen = nullptr;
+  for (const auto& t : g.tables) {
+    if (t.kind == TableKind::Generate) gen = &t;
+  }
+  ASSERT_NE(gen, nullptr);
+  EXPECT_EQ(gen->gen.event, "c");
+  EXPECT_TRUE(gen->gen.multicast);
+  EXPECT_EQ(gen->gen.group, "GRP");
+  ASSERT_TRUE(gen->gen.delay.is_const());
+  EXPECT_EQ(gen->gen.delay.value, 10'000'000);
+}
+
+TEST(Lowering, EventLocalSnapshotsArguments) {
+  // Mutating x after binding the event must not change the generated value:
+  // the lowering snapshots operands at the binding point.
+  const auto r = compile_ok(
+      "event out(int v);\n"
+      "event in(int x);\n"
+      "handle in(int x) {\n"
+      "  event pending = out(x);\n"
+      "  x = x + 1;\n"
+      "  generate pending;\n"
+      "}\n");
+  const auto& g = only_handler(r);
+  const AtomicTable* gen = nullptr;
+  for (const auto& t : g.tables) {
+    if (t.kind == TableKind::Generate) gen = &t;
+  }
+  ASSERT_NE(gen, nullptr);
+  ASSERT_EQ(gen->gen.args.size(), 1u);
+  ASSERT_TRUE(gen->gen.args[0].is_var());
+  // Bound to a snapshot temp, not to x.
+  EXPECT_NE(gen->gen.args[0].var, "x");
+}
+
+TEST(Lowering, HashBecomesHashTable) {
+  const auto r = compile_ok(
+      "global t = new Array<<32>>(256);\n"
+      "event e(int a, int b);\n"
+      "handle e(int a, int b) {\n"
+      "  int h = hash(7, a, b);\n"
+      "  int v = Array.get(t, h);\n"
+      "}\n");
+  const auto& g = only_handler(r);
+  const AtomicTable* ht = nullptr;
+  for (const auto& t : g.tables) {
+    if (t.kind == TableKind::Hash) ht = &t;
+  }
+  ASSERT_NE(ht, nullptr);
+  EXPECT_EQ(ht->hash.seed, 7);
+  EXPECT_EQ(ht->hash.args.size(), 2u);
+}
+
+TEST(Lowering, SelfAndTimeAreMetadata) {
+  const auto r = compile_ok(
+      "event e(int peer);\n"
+      "handle e(int peer) {\n"
+      "  int me = SELF;\n"
+      "  int now = Sys.time();\n"
+      "  generate Event.locate(e(me + now), peer);\n"
+      "}\n");
+  (void)only_handler(r);
+}
+
+TEST(Lowering, CompoundConditionsShortCircuitIntoBranches) {
+  // `a == 1 && b == 2` lowers to two chained branch tables (which branch
+  // inlining later dissolves into match rules) — no ALU predicate ops are
+  // spent on constant comparisons.
+  const auto r = compile_ok(
+      "event e(int a, int b);\n"
+      "handle e(int a, int b) {\n"
+      "  int y = 0;\n"
+      "  if (a == 1 && b == 2) { y = 1; }\n"
+      "}\n");
+  const auto& g = only_handler(r);
+  EXPECT_EQ(count_kind(g, TableKind::Branch), 2);
+  // Only the y assignment(s) need ALU ops.
+  EXPECT_LE(count_kind(g, TableKind::Op), 2);
+}
+
+TEST(Lowering, VarVarComparisonStillNeedsPredicateAlu) {
+  const auto r = compile_ok(
+      "event e(int a, int b);\n"
+      "handle e(int a, int b) {\n"
+      "  int y = 0;\n"
+      "  if (a < b) { y = 1; }\n"
+      "}\n");
+  const auto& g = only_handler(r);
+  EXPECT_EQ(count_kind(g, TableKind::Branch), 1);
+  // The a<b predicate costs one ALU op.
+  EXPECT_GE(count_kind(g, TableKind::Op), 2);
+}
+
+TEST(Lowering, EmptyHandlerHasNoTables) {
+  const auto r = compile_ok("event e();\nhandle e() { return; }\n");
+  EXPECT_EQ(only_handler(r).entry, -1);
+  EXPECT_EQ(only_handler(r).longest_path(), 0);
+}
+
+}  // namespace
+}  // namespace lucid::ir

@@ -1,0 +1,127 @@
+// Lexer unit tests: token kinds, time literals, comments, locations, and
+// error recovery.
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+
+namespace lucid::frontend {
+namespace {
+
+std::vector<Token> lex(std::string_view src, DiagnosticEngine& diags) {
+  Lexer lexer(src, diags);
+  return lexer.lex_all();
+}
+
+std::vector<Token> lex_ok(std::string_view src) {
+  DiagnosticEngine diags;
+  auto toks = lex(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return toks;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  const auto toks = lex_ok("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::Eof);
+}
+
+TEST(Lexer, Keywords) {
+  const auto toks = lex_ok(
+      "const global memop fun event handle group if else return "
+      "generate mgenerate int bool void true false new");
+  const TokenKind expected[] = {
+      TokenKind::KwConst,  TokenKind::KwGlobal,   TokenKind::KwMemop,
+      TokenKind::KwFun,    TokenKind::KwEvent,    TokenKind::KwHandle,
+      TokenKind::KwGroup,  TokenKind::KwIf,       TokenKind::KwElse,
+      TokenKind::KwReturn, TokenKind::KwGenerate, TokenKind::KwMGenerate,
+      TokenKind::KwInt,    TokenKind::KwBool,     TokenKind::KwVoid,
+      TokenKind::KwTrue,   TokenKind::KwFalse,    TokenKind::KwNew,
+  };
+  ASSERT_EQ(toks.size(), std::size(expected) + 1);
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, DecimalAndHexLiterals) {
+  const auto toks = lex_ok("42 0xff 0");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].int_value, 42u);
+  EXPECT_EQ(toks[1].int_value, 255u);
+  EXPECT_EQ(toks[2].int_value, 0u);
+}
+
+TEST(Lexer, TimeLiteralsConvertToNanoseconds) {
+  const auto toks = lex_ok("250ns 7us 10ms 2s");
+  ASSERT_GE(toks.size(), 5u);
+  EXPECT_EQ(toks[0].int_value, 250u);
+  EXPECT_TRUE(toks[0].is_time);
+  EXPECT_EQ(toks[1].int_value, 7'000u);
+  EXPECT_EQ(toks[2].int_value, 10'000'000u);
+  EXPECT_EQ(toks[3].int_value, 2'000'000'000u);
+  EXPECT_TRUE(toks[3].is_time);
+}
+
+TEST(Lexer, BadSuffixIsAnError) {
+  DiagnosticEngine diags;
+  (void)lex("10xyz", diags);
+  EXPECT_TRUE(diags.has_code("lex-bad-number-suffix"));
+}
+
+TEST(Lexer, OperatorsIncludingTwoCharacterOnes) {
+  const auto toks = lex_ok("== != <= >= && || << >> < > = ! & |");
+  const TokenKind expected[] = {
+      TokenKind::EqEq, TokenKind::NotEq,    TokenKind::Le,
+      TokenKind::Ge,   TokenKind::AmpAmp,   TokenKind::PipePipe,
+      TokenKind::Shl,  TokenKind::Shr,      TokenKind::Lt,
+      TokenKind::Gt,   TokenKind::Assign,   TokenKind::Bang,
+      TokenKind::Amp,  TokenKind::Pipe,
+  };
+  ASSERT_EQ(toks.size(), std::size(expected) + 1);
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, LineAndBlockComments) {
+  const auto toks = lex_ok("a // comment\nb /* multi\nline */ c");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsAnError) {
+  DiagnosticEngine diags;
+  (void)lex("a /* never closed", diags);
+  EXPECT_TRUE(diags.has_code("lex-unterminated-comment"));
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = lex_ok("one\n  two");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].range.begin.line, 1u);
+  EXPECT_EQ(toks[0].range.begin.col, 1u);
+  EXPECT_EQ(toks[1].range.begin.line, 2u);
+  EXPECT_EQ(toks[1].range.begin.col, 3u);
+}
+
+TEST(Lexer, UnknownCharacterRecovers) {
+  DiagnosticEngine diags;
+  const auto toks = lex("a ` b", diags);
+  EXPECT_TRUE(diags.has_code("lex-bad-char"));
+  // Both identifiers still lexed.
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, IdentifiersWithUnderscoresAndDigits) {
+  const auto toks = lex_ok("_x x1 snake_case_2");
+  EXPECT_EQ(toks[0].text, "_x");
+  EXPECT_EQ(toks[1].text, "x1");
+  EXPECT_EQ(toks[2].text, "snake_case_2");
+}
+
+}  // namespace
+}  // namespace lucid::frontend

@@ -1,0 +1,224 @@
+// Memop validator tests, directly mirroring section 4.2 and Appendix C:
+// the valid forms, and each of the paper's invalid examples with its
+// specific diagnostic.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "sema/memop_check.hpp"
+
+namespace lucid::sema {
+namespace {
+
+using frontend::MemopDecl;
+using frontend::Parser;
+using frontend::Program;
+
+// Parses a program whose first declaration is the memop under test and runs
+// the checker. `consts` lists identifiers to treat as compile-time constants.
+bool check(std::string_view src, DiagnosticEngine& diags,
+           std::initializer_list<std::string_view> consts = {}) {
+  Program p = Parser::parse(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  const MemopDecl* m = nullptr;
+  for (const auto& d : p.decls) {
+    if (d->kind == frontend::DeclKind::Memop) {
+      m = d->as<MemopDecl>();
+      break;
+    }
+  }
+  EXPECT_NE(m, nullptr);
+  auto is_const = [&](std::string_view name) {
+    for (const auto c : consts) {
+      if (c == name) return true;
+    }
+    return false;
+  };
+  return check_memop(*m, is_const, diags);
+}
+
+TEST(Memop, PlainReturnOfParameterIsValid) {
+  DiagnosticEngine diags;
+  EXPECT_TRUE(check("memop m(int cur, int x) { return cur; }", diags))
+      << diags.render();
+}
+
+TEST(Memop, SingleAluOpIsValid) {
+  DiagnosticEngine diags;
+  EXPECT_TRUE(
+      check("memop incr(int stored, int added) { return stored + added; }",
+            diags))
+      << diags.render();
+}
+
+TEST(Memop, IfElseWithOneReturnPerBranchIsValid) {
+  // The paper's route-freshness idiom.
+  DiagnosticEngine diags;
+  EXPECT_TRUE(check(
+      "memop newer(int stored, int t) {\n"
+      "  if (stored < t) { return t; } else { return stored; }\n"
+      "}",
+      diags))
+      << diags.render();
+}
+
+TEST(Memop, ConstOperandsAreValid) {
+  DiagnosticEngine diags;
+  EXPECT_TRUE(check("memop m(int cur, int x) { return cur + N; }", diags,
+                    {"N"}))
+      << diags.render();
+}
+
+TEST(Memop, BitwiseOperatorsAreValid) {
+  for (const char* op : {"&", "|", "^", "-"}) {
+    DiagnosticEngine diags;
+    const std::string src = std::string("memop m(int cur, int x) { return "
+                                        "cur ") +
+                            op + " x; }";
+    EXPECT_TRUE(check(src, diags)) << op << "\n" << diags.render();
+  }
+}
+
+// --- Appendix C example 1: compound conditional expressions ---------------
+TEST(Memop, CompoundConditionIsRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check(
+      "memop compoundCondition(int memval, int y) {\n"
+      "  if (memval == 1 || memval == 2) { return memval; }\n"
+      "  else { return y; }\n"
+      "}",
+      diags));
+  EXPECT_TRUE(diags.has_code("memop-compound-condition")) << diags.render();
+}
+
+// --- Appendix C example 2: too much local state ----------------------------
+TEST(Memop, ThreeParametersAreRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check(
+      "memop twoLocalArgs(int memval, int y, int z) {\n"
+      "  if (memval == 1) { return y; } else { return z; }\n"
+      "}",
+      diags));
+  EXPECT_TRUE(diags.has_code("memop-param-count")) << diags.render();
+}
+
+// --- Appendix C example 3: arithmetic too complex --------------------------
+TEST(Memop, NestedArithmeticIsRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check(
+      "memop multiply(int memval, int x) {\n"
+      "  return (N * memval) + x;\n"
+      "}",
+      diags, {"N"}));
+  // Rejected for nesting and/or the unsupported operator.
+  EXPECT_TRUE(diags.has_code("memop-too-complex") ||
+              diags.has_code("memop-bad-operator"))
+      << diags.render();
+}
+
+TEST(Memop, MultiplyOperatorIsRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check("memop m(int cur, int x) { return cur * x; }", diags));
+  EXPECT_TRUE(diags.has_code("memop-bad-operator")) << diags.render();
+}
+
+TEST(Memop, ShiftOperatorIsRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check("memop m(int cur, int x) { return cur << x; }", diags));
+  EXPECT_TRUE(diags.has_code("memop-bad-operator")) << diags.render();
+}
+
+TEST(Memop, VariableReusedInExpressionIsRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check("memop m(int cur, int x) { return cur + cur; }", diags));
+  EXPECT_TRUE(diags.has_code("memop-var-reuse")) << diags.render();
+}
+
+TEST(Memop, VariableMayAppearInConditionAndBothBranches) {
+  // "At most once per expression" is per-expression, not per-memop.
+  DiagnosticEngine diags;
+  EXPECT_TRUE(check(
+      "memop m(int cur, int x) {\n"
+      "  if (cur > x) { return cur; } else { return x; }\n"
+      "}",
+      diags))
+      << diags.render();
+}
+
+TEST(Memop, MultipleStatementsAreRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check(
+      "memop m(int cur, int x) {\n"
+      "  int y = cur + x;\n"
+      "  return y;\n"
+      "}",
+      diags));
+  EXPECT_TRUE(diags.has_code("memop-body-shape")) << diags.render();
+}
+
+TEST(Memop, MissingElseBranchIsRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check(
+      "memop m(int cur, int x) {\n"
+      "  if (cur > x) { return cur; }\n"
+      "}",
+      diags));
+  EXPECT_TRUE(diags.has_code("memop-body-shape")) << diags.render();
+}
+
+TEST(Memop, UnknownOperandIsRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check("memop m(int cur, int x) { return cur + stray; }",
+                     diags));
+  EXPECT_TRUE(diags.has_code("memop-bad-operand")) << diags.render();
+}
+
+TEST(Memop, CallInBodyIsRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check("memop m(int cur, int x) { return hash(1, cur); }",
+                     diags));
+  EXPECT_TRUE(diags.has_code("memop-bad-operand")) << diags.render();
+}
+
+TEST(Memop, NonIntParameterIsRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(check("memop m(bool cur, int x) { return x; }", diags));
+  EXPECT_TRUE(diags.has_code("memop-param-type")) << diags.render();
+}
+
+// Parameterized sweep: all comparison operators are accepted in conditions.
+class MemopComparisons : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MemopComparisons, ComparisonOperatorsValidInCondition) {
+  DiagnosticEngine diags;
+  const std::string src = std::string(
+                              "memop m(int cur, int x) {\n"
+                              "  if (cur ") +
+                          GetParam() +
+                          " x) { return cur; } else { return x; }\n"
+                          "}";
+  EXPECT_TRUE(check(src, diags)) << GetParam() << "\n" << diags.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllComparisons, MemopComparisons,
+                         ::testing::Values("==", "!=", "<", ">", "<=", ">="));
+
+// Parameterized sweep: value operators rejected in conditions.
+class MemopBadConditionOps : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MemopBadConditionOps, ValueOperatorsRejectedInCondition) {
+  DiagnosticEngine diags;
+  const std::string src = std::string(
+                              "memop m(int cur, int x) {\n"
+                              "  if (cur ") +
+                          GetParam() +
+                          " x) { return cur; } else { return x; }\n"
+                          "}";
+  EXPECT_FALSE(check(src, diags)) << GetParam();
+  EXPECT_TRUE(diags.has_code("memop-bad-operator")) << diags.render();
+}
+
+INSTANTIATE_TEST_SUITE_P(ValueOps, MemopBadConditionOps,
+                         ::testing::Values("+", "-", "&", "|", "^"));
+
+}  // namespace
+}  // namespace lucid::sema

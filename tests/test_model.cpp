@@ -1,0 +1,68 @@
+// Analytic model tests against the exact numbers the paper reports in
+// Figure 16 and section 2.5.
+#include <gtest/gtest.h>
+
+#include "model/recirc_model.hpp"
+
+namespace lucid::model {
+namespace {
+
+TEST(SfwModel, Figure16Row10kFlows) {
+  SfwModelParams p;
+  p.flow_rate = 10'000;
+  const auto r = sfw_recirc_model(p);
+  // Paper: 815K pkts/s, 0.08% utilization, min packet ~125B.
+  EXPECT_NEAR(r.recirc_pps, 815'360, 1'000);
+  EXPECT_NEAR(r.pipeline_utilization * 100, 0.08, 0.01);
+  EXPECT_NEAR(r.min_pkt_bytes, 125.1, 0.3);
+}
+
+TEST(SfwModel, Figure16Row100kFlows) {
+  SfwModelParams p;
+  p.flow_rate = 100'000;
+  const auto r = sfw_recirc_model(p);
+  // Paper: 2M pkts/s (rounded), 0.22%, 125.55B.
+  EXPECT_NEAR(r.recirc_pps, 2'255'360, 10'000);
+  EXPECT_NEAR(r.pipeline_utilization * 100, 0.22, 0.02);
+  EXPECT_NEAR(r.min_pkt_bytes, 125.55, 0.4);
+}
+
+TEST(SfwModel, Figure16Row1MFlows) {
+  SfwModelParams p;
+  p.flow_rate = 1'000'000;
+  const auto r = sfw_recirc_model(p);
+  // Paper: 16M pkts/s, 1.66%, 127.67B.
+  EXPECT_NEAR(r.recirc_pps, 16'655'360, 100'000);
+  EXPECT_NEAR(r.pipeline_utilization * 100, 1.66, 0.1);
+  EXPECT_NEAR(r.min_pkt_bytes, 127.4, 0.8);
+}
+
+TEST(SfwModel, ScanTermDominatesAtLowFlowRates) {
+  SfwModelParams p;
+  p.flow_rate = 0;
+  const auto r = sfw_recirc_model(p);
+  EXPECT_NEAR(r.recirc_pps, 65536.0 / 0.1, 1.0);
+}
+
+TEST(SfwModel, UtilizationGrowsMonotonically) {
+  double last = 0;
+  for (double f : {1e3, 1e4, 1e5, 1e6, 1e7}) {
+    SfwModelParams p;
+    p.flow_rate = f;
+    const auto r = sfw_recirc_model(p);
+    EXPECT_GT(r.pipeline_utilization, last);
+    last = r.pipeline_utilization;
+  }
+}
+
+TEST(LinkScan, Section25Numbers) {
+  // 128 ports, one scan step per microsecond: 1M pkts/s, 0.1% of a 1 GHz
+  // pipeline, each port checked once per 128 us.
+  const auto r = link_scan_overhead(128, 1.0);
+  EXPECT_NEAR(r.recirc_pps, 1e6, 1.0);
+  EXPECT_NEAR(r.pipeline_fraction * 100, 0.1, 0.001);
+  EXPECT_NEAR(r.per_port_scan_interval_us, 128.0, 0.1);
+}
+
+}  // namespace
+}  // namespace lucid::model

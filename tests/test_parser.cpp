@@ -1,0 +1,258 @@
+// Parser unit tests: declarations, statements, expressions, precedence,
+// error recovery, and the print -> reparse round trip.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "frontend/printer.hpp"
+
+namespace lucid::frontend {
+namespace {
+
+Program parse_ok(std::string_view src) {
+  DiagnosticEngine diags{std::string(src)};
+  Program p = Parser::parse(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return p;
+}
+
+TEST(Parser, ConstDecl) {
+  const Program p = parse_ok("const int SIZE = 16;");
+  ASSERT_EQ(p.decls.size(), 1u);
+  const auto* c = p.decls[0]->as<ConstDecl>();
+  EXPECT_EQ(c->name, "SIZE");
+  EXPECT_EQ(c->declared_type, Type::int_ty());
+  EXPECT_EQ(c->value->as<IntLitExpr>()->value, 16u);
+}
+
+TEST(Parser, GlobalArrayDecl) {
+  const Program p = parse_ok("global arr = new Array<<16>>(1024);");
+  const auto* g = p.decls[0]->as<GlobalDecl>();
+  EXPECT_EQ(g->name, "arr");
+  EXPECT_EQ(g->width, 16);
+  EXPECT_EQ(g->size->as<IntLitExpr>()->value, 1024u);
+}
+
+TEST(Parser, GlobalWithConstSize) {
+  const Program p = parse_ok(
+      "const int N = 8;\n"
+      "global tbl = new Array<<32>>(N);");
+  const auto* g = p.decls[1]->as<GlobalDecl>();
+  EXPECT_EQ(g->size->kind, ExprKind::VarRef);
+}
+
+TEST(Parser, MemopDecl) {
+  const Program p = parse_ok(
+      "memop incr(int stored, int added) { return stored + added; }");
+  const auto* m = p.decls[0]->as<MemopDecl>();
+  EXPECT_EQ(m->name, "incr");
+  ASSERT_EQ(m->params.size(), 2u);
+  EXPECT_EQ(m->params[0].name, "stored");
+  ASSERT_EQ(m->body.size(), 1u);
+  EXPECT_EQ(m->body[0]->kind, StmtKind::Return);
+}
+
+TEST(Parser, EventAndHandler) {
+  const Program p = parse_ok(
+      "event route_query(int sender_id, int dst);\n"
+      "handle route_query(int sender_id, int dst) {\n"
+      "  int pathlen = get_pathlen(dst);\n"
+      "  event reply = route_reply(SELF, dst, pathlen);\n"
+      "  generate Event.locate(reply, sender_id);\n"
+      "}\n");
+  ASSERT_EQ(p.decls.size(), 2u);
+  const auto* ev = p.decls[0]->as<EventDecl>();
+  EXPECT_EQ(ev->params.size(), 2u);
+  const auto* h = p.decls[1]->as<HandlerDecl>();
+  ASSERT_EQ(h->body.size(), 3u);
+  EXPECT_EQ(h->body[0]->kind, StmtKind::LocalDecl);
+  EXPECT_EQ(h->body[1]->kind, StmtKind::LocalDecl);
+  EXPECT_EQ(h->body[1]->as<LocalDeclStmt>()->declared_type,
+            Type::event_ty());
+  EXPECT_EQ(h->body[2]->kind, StmtKind::Generate);
+}
+
+TEST(Parser, GroupDeclWithConstPrefix) {
+  const Program p = parse_ok("const group GRP = {2, 3};");
+  const auto* g = p.decls[0]->as<GroupDecl>();
+  EXPECT_EQ(g->name, "GRP");
+  EXPECT_EQ(g->members.size(), 2u);
+}
+
+TEST(Parser, MGenerateWithCombinators) {
+  const Program p = parse_ok(
+      "event c();\n"
+      "const group GRP = {2, 3};\n"
+      "event a();\n"
+      "handle a() {\n"
+      "  mgenerate Event.delay(Event.locate(c(), GRP), 10ms);\n"
+      "}\n");
+  const auto* h = p.decls[3]->as<HandlerDecl>();
+  const auto* gen = h->body[0]->as<GenerateStmt>();
+  EXPECT_TRUE(gen->multicast);
+  const auto* delay = gen->event->as<CallExpr>();
+  EXPECT_EQ(delay->callee, "Event.delay");
+  ASSERT_EQ(delay->args.size(), 2u);
+  EXPECT_EQ(delay->args[0]->as<CallExpr>()->callee, "Event.locate");
+  EXPECT_EQ(delay->args[1]->as<IntLitExpr>()->value, 10'000'000u);
+}
+
+TEST(Parser, IfElseChain) {
+  const Program p = parse_ok(
+      "event e(int proto);\n"
+      "handle e(int proto) {\n"
+      "  int idx = 0;\n"
+      "  if (proto != 6) {\n"
+      "    if (proto == 17) { idx = idx + 1; } else { idx = idx + 2; }\n"
+      "  }\n"
+      "}\n");
+  const auto* h = p.decls[1]->as<HandlerDecl>();
+  const auto* outer = h->body[1]->as<IfStmt>();
+  EXPECT_TRUE(outer->else_block.empty());
+  const auto* inner = outer->then_block[0]->as<IfStmt>();
+  EXPECT_EQ(inner->then_block.size(), 1u);
+  EXPECT_EQ(inner->else_block.size(), 1u);
+}
+
+TEST(Parser, ElseIfDesugarsToNestedIf) {
+  const Program p = parse_ok(
+      "event e(int x);\n"
+      "handle e(int x) {\n"
+      "  int y = 0;\n"
+      "  if (x == 1) { y = 1; } else if (x == 2) { y = 2; } else { y = 3; }\n"
+      "}\n");
+  const auto* h = p.decls[1]->as<HandlerDecl>();
+  const auto* outer = h->body[1]->as<IfStmt>();
+  ASSERT_EQ(outer->else_block.size(), 1u);
+  EXPECT_EQ(outer->else_block[0]->kind, StmtKind::If);
+}
+
+TEST(Parser, PrecedenceMulBeforeAddBeforeCompare) {
+  const Program p = parse_ok(
+      "event e(int a, int b, int c);\n"
+      "handle e(int a, int b, int c) {\n"
+      "  bool r = a + b * c == a;\n"
+      "}\n");
+  const auto* h = p.decls[1]->as<HandlerDecl>();
+  const auto* d = h->body[0]->as<LocalDeclStmt>();
+  const auto* eq = d->init->as<BinaryExpr>();
+  EXPECT_EQ(eq->op, BinOp::Eq);
+  const auto* add = eq->lhs->as<BinaryExpr>();
+  EXPECT_EQ(add->op, BinOp::Add);
+  EXPECT_EQ(add->rhs->as<BinaryExpr>()->op, BinOp::Mul);
+}
+
+TEST(Parser, ShiftInExpressionContext) {
+  const Program p = parse_ok(
+      "event e(int a);\n"
+      "handle e(int a) { int b = a << 2; int c = a >> 1; }\n");
+  const auto* h = p.decls[1]->as<HandlerDecl>();
+  EXPECT_EQ(h->body[0]->as<LocalDeclStmt>()->init->as<BinaryExpr>()->op,
+            BinOp::Shl);
+  EXPECT_EQ(h->body[1]->as<LocalDeclStmt>()->init->as<BinaryExpr>()->op,
+            BinOp::Shr);
+}
+
+TEST(Parser, ArrayMethodCalls) {
+  const Program p = parse_ok(
+      "global arr = new Array<<32>>(4);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event e(int i);\n"
+      "handle e(int i) {\n"
+      "  int v = Array.get(arr, i);\n"
+      "  Array.set(arr, i, plus, 1);\n"
+      "  int w = Array.update(arr, i, plus, 0, plus, 1);\n"
+      "}\n");
+  const auto* h = p.decls[3]->as<HandlerDecl>();
+  EXPECT_EQ(h->body[0]
+                ->as<LocalDeclStmt>()
+                ->init->as<CallExpr>()
+                ->callee,
+            "Array.get");
+  EXPECT_EQ(h->body[1]->as<ExprStmt>()->expr->as<CallExpr>()->args.size(),
+            4u);
+}
+
+TEST(Parser, IntWidthTypes) {
+  const Program p = parse_ok(
+      "event e(int<<16>> port, int<<8>> proto);\n");
+  const auto* ev = p.decls[0]->as<EventDecl>();
+  EXPECT_EQ(ev->params[0].type, Type::int_ty(16));
+  EXPECT_EQ(ev->params[1].type, Type::int_ty(8));
+}
+
+TEST(Parser, SyntaxErrorRecoversToNextDecl) {
+  DiagnosticEngine diags;
+  const Program p = Parser::parse(
+      "const int = 5;\n"  // missing name
+      "const int GOOD = 6;\n",
+      diags);
+  EXPECT_TRUE(diags.has_errors());
+  // The second declaration is still parsed.
+  bool found = false;
+  for (const auto& d : p.decls) {
+    if (d->name == "GOOD") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Parser, MissingSemicolonIsReported) {
+  DiagnosticEngine diags;
+  (void)Parser::parse("const int A = 5", diags);
+  EXPECT_TRUE(diags.has_code("parse-expected"));
+}
+
+// Round-trip: parse -> print -> parse must be structurally identical.
+class ParserRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParserRoundTrip, PrintReparse) {
+  const Program p1 = parse_ok(GetParam());
+  const std::string printed = print_program(p1);
+  DiagnosticEngine diags2{printed};
+  const Program p2 = Parser::parse(printed, diags2);
+  ASSERT_FALSE(diags2.has_errors()) << diags2.render() << "\n" << printed;
+  EXPECT_TRUE(program_equal(p1, p2)) << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, ParserRoundTrip,
+    ::testing::Values(
+        "const int SIZE = 16;\n"
+        "global arr1 = new Array<<32>>(SIZE);\n"
+        "global arr2 = new Array<<32>>(SIZE);\n"
+        "event setArr1(int idx, int data);\n"
+        "handle setArr1(int idx, int data) {\n"
+        "  int x = Array.get(arr2, idx);\n"
+        "  Array.set(arr1, idx, x);\n"
+        "}\n",
+
+        "memop incr(int stored, int added) { return stored + added; }\n"
+        "global pathlens = new Array<<32>>(64);\n"
+        "fun int get_pathlen(int dst) {\n"
+        "  return Array.get(pathlens, dst);\n"
+        "}\n"
+        "event route_query(int sender_id, int dst);\n"
+        "event route_reply(int sender_id, int dst, int pathlen);\n"
+        "handle route_query(int sender_id, int dst) {\n"
+        "  int pathlen = get_pathlen(dst);\n"
+        "  event reply = route_reply(SELF, dst, pathlen);\n"
+        "  generate Event.locate(reply, sender_id);\n"
+        "}\n",
+
+        "event a();\n"
+        "event b();\n"
+        "event c();\n"
+        "const group GRP = {2, 3};\n"
+        "handle a() {\n"
+        "  generate b();\n"
+        "  mgenerate Event.delay(Event.locate(c(), GRP), 10ms);\n"
+        "}\n",
+
+        "event e(int x);\n"
+        "handle e(int x) {\n"
+        "  int y = 0;\n"
+        "  if (x == 1) { y = 1; } else if (x == 2) { y = 2; } else { y = 3; }\n"
+        "  if (x > 3 && x < 10) { y = x + 1; }\n"
+        "}\n"));
+
+}  // namespace
+}  // namespace lucid::frontend

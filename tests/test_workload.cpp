@@ -1,0 +1,75 @@
+// Workload generator tests: arrival rates, per-flow packet trains,
+// determinism, and the distinct-flow helper.
+#include <gtest/gtest.h>
+
+#include "workload/workload.hpp"
+
+namespace lucid::workload {
+namespace {
+
+TEST(FlowGenerator, RoughlyMatchesTargetRate) {
+  sim::Simulator sim;
+  FlowGenConfig cfg;
+  cfg.flows_per_sec = 50'000;
+  cfg.packets_per_flow = 1;
+  FlowGenerator gen(sim, cfg, 42);
+  std::uint64_t packets = 0;
+  gen.start(100 * sim::kMs, [&](const Flow&, int) { ++packets; });
+  sim.run();
+  // 50k flows/s over 100 ms ~= 5000 flows (Poisson, +-10%).
+  EXPECT_GT(gen.flows_emitted(), 4'400u);
+  EXPECT_LT(gen.flows_emitted(), 5'600u);
+  EXPECT_EQ(packets, gen.flows_emitted());
+}
+
+TEST(FlowGenerator, EmitsPacketTrainsPerFlow) {
+  sim::Simulator sim;
+  FlowGenConfig cfg;
+  cfg.flows_per_sec = 1'000;
+  cfg.packets_per_flow = 4;
+  cfg.inter_packet_ns = 5 * sim::kUs;
+  cfg.poisson = false;
+  FlowGenerator gen(sim, cfg, 7);
+  std::map<std::int64_t, std::vector<int>> seqs;
+  std::map<std::int64_t, std::vector<sim::Time>> times;
+  gen.start(10 * sim::kMs, [&](const Flow& f, int seq) {
+    seqs[f.id].push_back(seq);
+    times[f.id].push_back(sim.now());
+  });
+  sim.run();
+  ASSERT_FALSE(seqs.empty());
+  for (const auto& [id, v] : seqs) {
+    EXPECT_EQ(v.size(), 4u) << id;
+    EXPECT_EQ(v[0], 0);
+  }
+  for (const auto& [id, v] : times) {
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      EXPECT_EQ(v[i] - v[i - 1], 5 * sim::kUs);
+    }
+  }
+}
+
+TEST(FlowGenerator, DeterministicAcrossRuns) {
+  auto run = [] {
+    sim::Simulator sim;
+    FlowGenerator gen(sim, FlowGenConfig{}, 99);
+    std::vector<std::int64_t> ids;
+    gen.start(20 * sim::kMs, [&](const Flow& f, int seq) {
+      if (seq == 0) ids.push_back(f.id);
+    });
+    sim.run();
+    return ids;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(DistinctFlows, KeysAreUniqueAndCountExact) {
+  const auto flows = distinct_flows(640, 1000, 5);
+  EXPECT_EQ(flows.size(), 640u);
+  std::set<std::int64_t> ids;
+  for (const auto& f : flows) ids.insert(f.id);
+  EXPECT_EQ(ids.size(), 640u);
+}
+
+}  // namespace
+}  // namespace lucid::workload
