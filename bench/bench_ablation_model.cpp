@@ -15,11 +15,11 @@ namespace {
 
 int stages_with(const lucid::apps::AppSpec& spec,
                 const lucid::opt::ResourceModel& model) {
-  lucid::DiagnosticEngine diags(spec.source);
-  lucid::CompileOptions opts;
+  lucid::DriverOptions opts;
   opts.model = model;
-  const auto r = lucid::compile(spec.source, diags, opts);
-  return r.ok ? r.stats.optimized_stages : -1;
+  const lucid::CompilerDriver driver(opts);
+  const auto r = driver.run(spec.source);
+  return r->ok() ? r->layout_stats().optimized_stages : -1;
 }
 
 }  // namespace

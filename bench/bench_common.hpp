@@ -6,19 +6,22 @@
 #include <vector>
 
 #include "apps/apps.hpp"
-#include "core/compiler.hpp"
+#include "core/driver.hpp"
 #include "support/strings.hpp"
 
 namespace lucid::bench {
 
-/// Compiles an app, aborting the bench with a message on failure (benches
-/// regenerate paper figures; a non-compiling app is a hard error).
-inline CompileResult compile_app(const apps::AppSpec& spec) {
-  DiagnosticEngine diags(spec.source);
-  CompileResult r = compile(spec.source, diags);
-  if (!r.ok) {
+/// Compiles an app through the staged driver, aborting the bench with a
+/// message on failure (benches regenerate paper figures; a non-compiling app
+/// is a hard error).
+inline CompilationPtr compile_app(const apps::AppSpec& spec) {
+  DriverOptions opts;
+  opts.program_name = spec.key;
+  const CompilerDriver driver(opts);
+  CompilationPtr r = driver.run(spec.source);
+  if (!r->ok()) {
     std::fprintf(stderr, "FATAL: app %s failed to compile:\n%s\n",
-                 spec.key.c_str(), diags.render().c_str());
+                 spec.key.c_str(), r->diags().render().c_str());
     std::exit(1);
   }
   return r;

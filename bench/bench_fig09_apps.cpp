@@ -22,13 +22,13 @@ int main() {
   double loc_ratio_sum = 0;
   int n = 0;
   for (const auto& spec : apps::all_apps()) {
-    const CompileResult r = bench::compile_app(spec);
-    const p4::P4Program p4prog = p4::emit(r, spec.key);
+    const CompilationPtr r = bench::compile_app(spec);
+    const p4::P4Program p4prog = p4::emit(*r, spec.key);
     const std::size_t lucid_loc = count_loc(spec.source);
     const std::size_t p4_loc = p4prog.total_loc();
     std::printf("%-10s | %11zu | %11d | %11zu | %11d | %9d | %9d\n",
                 spec.key.c_str(), lucid_loc, spec.paper_lucid_loc, p4_loc,
-                spec.paper_p4_loc, r.stats.optimized_stages,
+                spec.paper_p4_loc, r->layout_stats().optimized_stages,
                 spec.paper_stages);
     loc_ratio_sum += static_cast<double>(p4_loc) /
                      static_cast<double>(lucid_loc);

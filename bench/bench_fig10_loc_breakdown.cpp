@@ -20,8 +20,8 @@ int main() {
 
   int lucid_shorter_than_actions = 0;
   for (const auto& spec : apps::all_apps()) {
-    const CompileResult r = bench::compile_app(spec);
-    const p4::P4Program p = p4::emit(r, spec.key);
+    const CompilationPtr r = bench::compile_app(spec);
+    const p4::P4Program p = p4::emit(*r, spec.key);
     auto cat = [&](p4::LineCategory c) -> std::size_t {
       const auto it = p.loc_by_category.find(c);
       return it == p.loc_by_category.end() ? 0 : it->second;

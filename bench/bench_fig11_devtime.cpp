@@ -16,10 +16,10 @@ void BM_CompileApp(benchmark::State& state) {
   const auto& spec =
       lucid::apps::all_apps()[static_cast<std::size_t>(state.range(0))];
   state.SetLabel(spec.key);
+  const lucid::CompilerDriver driver;
   for (auto _ : state) {
-    lucid::DiagnosticEngine diags(spec.source);
-    auto r = lucid::compile(spec.source, diags);
-    benchmark::DoNotOptimize(r.ok);
+    auto r = driver.run(spec.source);
+    benchmark::DoNotOptimize(r->ok());
   }
 }
 

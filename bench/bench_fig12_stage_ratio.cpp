@@ -17,11 +17,11 @@ int main() {
   double min_ratio = 1e9;
   double max_ratio = 0;
   for (const auto& spec : apps::all_apps()) {
-    const CompileResult r = bench::compile_app(spec);
-    const double ratio = r.stats.stage_ratio();
+    const CompilationPtr r = bench::compile_app(spec);
+    const double ratio = r->layout_stats().stage_ratio();
     std::printf("%-10s | %11d | %9d | %5.1fx | %13s\n", spec.key.c_str(),
-                r.stats.unoptimized_stages, r.stats.optimized_stages, ratio,
-                r.stats.unoptimized_stages > 12 ? "no (>12)" : "yes");
+                r->layout_stats().unoptimized_stages, r->layout_stats().optimized_stages, ratio,
+                r->layout_stats().unoptimized_stages > 12 ? "no (>12)" : "yes");
     min_ratio = std::min(min_ratio, ratio);
     max_ratio = std::max(max_ratio, ratio);
   }

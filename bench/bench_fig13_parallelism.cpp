@@ -14,8 +14,8 @@ int main() {
   bench::print_rule();
   int global_max = 0;
   for (const auto& spec : apps::all_apps()) {
-    const CompileResult r = bench::compile_app(spec);
-    const auto& ops = r.stats.ops_per_stage;
+    const CompilationPtr r = bench::compile_app(spec);
+    const auto& ops = r->layout_stats().ops_per_stage;
     int mn = 1 << 30;
     int mx = 0;
     int total = 0;

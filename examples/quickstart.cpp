@@ -5,8 +5,8 @@
 //   $ ./examples/quickstart
 #include <cstdio>
 
+#include "core/backends.hpp"
 #include "interp/testbed.hpp"
-#include "p4/emit.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -48,24 +48,35 @@ int main() {
 
   std::printf("== Lucid quickstart ==\n\n");
 
-  // 1. Compile.
-  interp::Testbed tb(kProgram);
+  // 1. Compile (the Testbed runs the staged CompilerDriver internally).
+  interp::TestbedConfig cfg;
+  cfg.program_name = "quickstart";
+  interp::Testbed tb(kProgram, cfg);
   if (!tb.ok()) {
     std::printf("compilation failed:\n%s\n", tb.diagnostics().c_str());
     return 1;
   }
-  const CompileResult& r = tb.program();
+  const Compilation& r = tb.compilation();
   std::printf("compiled OK: %d events, %d arrays\n",
-              static_cast<int>(r.ir.events.size()),
-              static_cast<int>(r.ir.arrays.size()));
+              static_cast<int>(r.ir().events.size()),
+              static_cast<int>(r.ir().arrays.size()));
   std::printf("pipeline: %d stages optimized (vs %d unoptimized atomic "
               "tables)\n",
-              r.stats.optimized_stages, r.stats.unoptimized_stages);
+              r.layout_stats().optimized_stages,
+              r.layout_stats().unoptimized_stages);
 
-  // 2. Emit P4.
-  const p4::P4Program p4prog = p4::emit(r, "quickstart");
-  std::printf("generated P4: %zu LoC (vs %zu LoC of Lucid)\n\n",
-              p4prog.total_loc(), count_loc(kProgram));
+  // 2. Emit P4 through the backend registry.
+  register_default_backends();
+  const CompilerDriver driver;
+  const BackendArtifact p4prog = driver.emit(tb.compilation_ptr(), "p4");
+  if (!p4prog.ok) {
+    std::printf("P4 emission failed:\n%s\n",
+                tb.compilation().diags().render().c_str());
+    return 1;
+  }
+  std::printf("generated P4: %lld LoC (vs %zu LoC of Lucid)\n\n",
+              static_cast<long long>(p4prog.metrics.at("loc_total")),
+              count_loc(kProgram));
 
   // 3. Run: 1000 packets from 50 sources, with the decay thread running.
   sim::Rng rng(7);

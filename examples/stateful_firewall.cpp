@@ -19,7 +19,7 @@ int main() {
     return 1;
   }
   std::printf("compiled: %d pipeline stages (paper: %d)\n\n",
-              tb.program().stats.optimized_stages,
+              tb.compilation().layout_stats().optimized_stages,
               apps::app("SFW").paper_stages);
 
   // Start the two timeout-scan threads.

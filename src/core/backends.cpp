@@ -1,0 +1,13 @@
+#include "core/backends.hpp"
+
+#include "interp/backend.hpp"
+#include "p4/emit.hpp"
+
+namespace lucid {
+
+void register_default_backends(BackendRegistry& registry) {
+  p4::register_backend(registry);
+  interp::register_backend(registry);
+}
+
+}  // namespace lucid

@@ -1,0 +1,16 @@
+// Default backend registrations. This is the one translation unit allowed to
+// depend on every backend implementation; the driver itself (core/driver)
+// knows only the abstract Backend interface.
+#pragma once
+
+#include "core/driver.hpp"
+
+namespace lucid {
+
+/// Registers the stock backends ("p4", "interp") with `registry` (the
+/// process-wide global registry by default). Idempotent: already-registered
+/// names are left untouched.
+void register_default_backends(BackendRegistry& registry =
+                                   BackendRegistry::global());
+
+}  // namespace lucid

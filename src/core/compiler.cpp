@@ -1,26 +1,29 @@
 #include "core/compiler.hpp"
 
+#include <utility>
+
 namespace lucid {
 
 CompileResult compile(std::string_view source, DiagnosticEngine& diags,
                       const CompileOptions& options) {
+  DriverOptions dopts;
+  dopts.model = options.model;
+  const CompilerDriver driver(std::move(dopts));
+  CompilationPtr comp = driver.run(source, Stage::Layout);
+
+  // Replay the driver's diagnostics into the caller's engine.
+  for (const Diagnostic& d : comp->diags().all()) {
+    diags.add(d.severity, d.range, d.code, d.message);
+  }
+
   CompileResult result;
-
-  sema::FrontendResult fe = sema::parse_and_check(source, diags);
-  result.program = std::move(fe.program);
-  result.info = std::move(fe.info);
-  if (!fe.ok) return result;
-
-  result.ir = ir::lower(result.program, diags);
-  if (diags.has_errors()) return result;
-
-  result.pipeline = opt::layout(result.ir, options.model, diags);
-  result.stats.unoptimized_stages = result.ir.total_longest_path();
-  result.stats.optimized_stages = result.pipeline.stage_count();
-  result.stats.ops_per_stage = result.pipeline.ops_per_stage();
-  result.stats.fits = result.pipeline.fits;
-
-  result.ok = !diags.has_errors();
+  result.ok = comp->ok() && comp->succeeded(Stage::Layout);
+  Artifacts a = std::move(*comp).release_artifacts();
+  result.program = std::move(a.program);
+  result.info = std::move(a.info);
+  result.ir = std::move(a.ir);
+  result.pipeline = std::move(a.pipeline);
+  result.stats = std::move(a.stats);
   return result;
 }
 

@@ -1,12 +1,20 @@
-// Public compiler API: one call takes Lucid source through parsing, memop
-// validation, the ordered type-and-effect system, lowering to atomic tables,
-// and pipeline layout. The P4 backend (src/p4) renders CompileResult into
-// Tofino-style P4_16; the interpreter (src/interp) executes the annotated
-// AST directly.
+// Deprecated one-shot compiler API.
+//
+// The staged pipeline lives in core/driver.hpp: `CompilerDriver` runs
+// Parse → Sema → Lower → Layout as individually-runnable stages over a
+// ref-counted `Compilation`, and Emit goes through the pluggable backend
+// registry (see core/backends.hpp for the stock "p4"/"interp" backends).
+//
+// `compile()` below is a thin shim over that driver, kept for one release so
+// out-of-tree callers migrate gradually: it runs the full middle end and
+// copies the artifacts out into a by-value CompileResult. New code should
+// use CompilerDriver — it is the only way to stop after a stage, read
+// per-stage diagnostics/timings, or reach a backend by name.
 #pragma once
 
 #include <string>
 
+#include "core/driver.hpp"
 #include "frontend/ast.hpp"
 #include "ir/ir.hpp"
 #include "opt/passes.hpp"
@@ -28,8 +36,9 @@ struct CompileResult {
   opt::LayoutStats stats;      // Fig 12/13 numbers
 };
 
-/// Compiles `source`. Diagnostics accumulate in `diags`; `result.ok` is true
-/// only if every phase succeeded.
+/// DEPRECATED: compiles `source` in one shot via the staged CompilerDriver.
+/// Diagnostics accumulate in `diags`; `result.ok` is true only if every
+/// stage succeeded. Prefer CompilerDriver::run (core/driver.hpp).
 [[nodiscard]] CompileResult compile(std::string_view source,
                                     DiagnosticEngine& diags,
                                     const CompileOptions& options = {});

@@ -1,0 +1,293 @@
+#include "core/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "frontend/parser.hpp"
+#include "ir/ir.hpp"
+
+namespace lucid {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+constexpr std::array<std::string_view, kNumStages> kStageNames = {
+    "parse", "sema", "lower", "layout", "emit"};
+
+}  // namespace
+
+std::string_view stage_name(Stage s) {
+  return kStageNames[static_cast<std::size_t>(s)];
+}
+
+std::optional<Stage> stage_from_name(std::string_view name) {
+  for (int i = 0; i < kNumStages; ++i) {
+    if (kStageNames[static_cast<std::size_t>(i)] == name) {
+      return static_cast<Stage>(i);
+    }
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+Compilation::Compilation(std::string source, DriverOptions options)
+    : source_(std::move(source)),
+      options_(std::move(options)),
+      diags_(source_) {
+  for (int i = 0; i < kNumStages; ++i) {
+    records_[static_cast<std::size_t>(i)].stage = static_cast<Stage>(i);
+  }
+}
+
+bool Compilation::ok() const {
+  for (const auto& r : records_) {
+    if (r.ran && !r.ok) return false;
+  }
+  return true;
+}
+
+std::optional<Stage> Compilation::last_stage() const {
+  std::optional<Stage> last;
+  for (const auto& r : records_) {
+    if (r.ran) last = r.stage;
+  }
+  return last;
+}
+
+Artifacts Compilation::release_artifacts() && { return std::move(artifacts_); }
+
+std::vector<Diagnostic> Compilation::stage_diagnostics(Stage s) const {
+  const StageRecord& r = record(s);
+  std::vector<Diagnostic> out;
+  if (!r.ran) return out;
+  const auto& all = diags_.all();
+  if (s == Stage::Emit) {
+    // Exact per-emit spans: middle-end stages that emit() ran lazily sit
+    // between them and must not be attributed to Emit.
+    for (const auto& [begin, end] : emit_diag_ranges_) {
+      for (std::size_t i = begin; i < end && i < all.size(); ++i) {
+        out.push_back(all[i]);
+      }
+    }
+    return out;
+  }
+  for (std::size_t i = r.diag_begin; i < r.diag_end && i < all.size(); ++i) {
+    out.push_back(all[i]);
+  }
+  return out;
+}
+
+std::vector<StageRecord> Compilation::records() const {
+  std::vector<StageRecord> out;
+  for (const auto& r : records_) {
+    if (r.ran) out.push_back(r);
+  }
+  return out;
+}
+
+double Compilation::total_wall_ms() const {
+  double total = 0.0;
+  for (const auto& r : records_) {
+    if (r.ran) total += r.wall_ms;
+  }
+  return total;
+}
+
+std::string Compilation::timing_report() const {
+  std::ostringstream os;
+  os << "=== pass timings (" << options_.program_name << ") ===\n";
+  char buf[64];
+  for (const auto& r : records_) {
+    if (!r.ran) continue;
+    std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms  %s\n",
+                  std::string(stage_name(r.stage)).c_str(), r.wall_ms,
+                  r.ok ? "ok" : "FAILED");
+    os << buf;
+  }
+  std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms\n", "total",
+                total_wall_ms());
+  os << buf;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// BackendRegistry
+// ---------------------------------------------------------------------------
+
+BackendRegistry& BackendRegistry::global() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+bool BackendRegistry::add(std::unique_ptr<Backend> backend) {
+  if (!backend) return false;
+  if (find(backend->name()) != nullptr) return false;
+  backends_.push_back(std::move(backend));
+  return true;
+}
+
+Backend* BackendRegistry::find(std::string_view name) const {
+  for (const auto& b : backends_) {
+    if (b->name() == name) return b.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) out.push_back(b->name());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CompilerDriver
+// ---------------------------------------------------------------------------
+
+CompilerDriver::CompilerDriver(DriverOptions options, BackendRegistry* registry)
+    : options_(std::move(options)),
+      registry_(registry != nullptr ? registry : &BackendRegistry::global()) {}
+
+CompilationPtr CompilerDriver::start(std::string_view source) const {
+  return std::make_shared<Compilation>(std::string(source), options_);
+}
+
+bool CompilerDriver::run_stage(Compilation& c, Stage s) const {
+  StageRecord& rec = c.mutable_record(s);
+  if (rec.ran) return rec.ok;
+
+  rec.diag_begin = c.diags_.all().size();
+  // Success is judged on the errors *this* stage adds, so diagnostics from
+  // unrelated sources (e.g. an earlier unknown-backend emit attempt) cannot
+  // retroactively fail a clean stage.
+  const std::size_t errors_before = c.diags_.error_count();
+  const auto t0 = Clock::now();
+  bool ok = false;
+  switch (s) {
+    case Stage::Parse: {
+      c.artifacts_.program = frontend::Parser::parse(c.source_, c.diags_);
+      ok = c.diags_.error_count() == errors_before;
+      break;
+    }
+    case Stage::Sema: {
+      sema::TypeChecker tc(c.diags_);
+      ok = tc.check(c.artifacts_.program) &&
+           c.diags_.error_count() == errors_before;
+      c.artifacts_.info = tc.info();
+      break;
+    }
+    case Stage::Lower: {
+      c.artifacts_.ir = ir::lower(c.artifacts_.program, c.diags_);
+      ok = c.diags_.error_count() == errors_before;
+      break;
+    }
+    case Stage::Layout: {
+      c.artifacts_.pipeline =
+          opt::layout(c.artifacts_.ir, c.options_.model, c.diags_);
+      c.artifacts_.stats.unoptimized_stages =
+          c.artifacts_.ir.total_longest_path();
+      c.artifacts_.stats.optimized_stages =
+          c.artifacts_.pipeline.stage_count();
+      c.artifacts_.stats.ops_per_stage = c.artifacts_.pipeline.ops_per_stage();
+      c.artifacts_.stats.fits = c.artifacts_.pipeline.fits;
+      ok = c.diags_.error_count() == errors_before;
+      break;
+    }
+    case Stage::Emit:
+      // Emission runs through CompilerDriver::emit (it needs a backend).
+      return false;
+  }
+  rec.wall_ms = ms_since(t0);
+  rec.diag_end = c.diags_.all().size();
+  rec.ran = true;
+  rec.ok = ok;
+  return ok;
+}
+
+bool CompilerDriver::run_until(const CompilationPtr& comp, Stage until) const {
+  if (!comp) return false;
+  const int last = std::min(static_cast<int>(until),
+                            static_cast<int>(Stage::Layout));
+  for (int i = 0; i <= last; ++i) {
+    if (!run_stage(*comp, static_cast<Stage>(i))) return false;
+  }
+  // Judged on the requested middle-end stages only: a failed Emit record
+  // (e.g. one bad backend) must not poison later runs or emits.
+  return comp->succeeded(static_cast<Stage>(last));
+}
+
+bool CompilerDriver::run_next(const CompilationPtr& comp) const {
+  if (!comp) return false;
+  for (int i = 0; i <= static_cast<int>(Stage::Layout); ++i) {
+    const Stage s = static_cast<Stage>(i);
+    if (!comp->ran(s)) return run_stage(*comp, s);
+    if (!comp->succeeded(s)) return false;  // blocked on an earlier failure
+  }
+  return false;  // middle end already complete
+}
+
+CompilationPtr CompilerDriver::run(std::string_view source, Stage until) const {
+  CompilationPtr comp = start(source);
+  run_until(comp, until);
+  return comp;
+}
+
+BackendArtifact CompilerDriver::emit(const CompilationPtr& comp,
+                                     std::string_view backend_name) const {
+  BackendArtifact artifact;
+  artifact.backend = std::string(backend_name);
+  if (!comp) return artifact;
+
+  Backend* backend = registry_->find(backend_name);
+  if (backend == nullptr) {
+    std::string known;
+    for (const auto& n : registry_->names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    comp->diags().error({}, "driver-unknown-backend",
+                        "unknown backend '" + artifact.backend +
+                            "'; registered backends: " +
+                            (known.empty() ? "<none>" : known));
+    return artifact;
+  }
+
+  if (!run_until(comp, backend->required_stage())) {
+    comp->diags().error({}, "driver-stage-failed",
+                        "cannot emit with backend '" + artifact.backend +
+                            "': stage '" +
+                            std::string(stage_name(backend->required_stage())) +
+                            "' did not complete successfully");
+    return artifact;
+  }
+
+  // The Emit record aggregates across emit() calls: wall time accumulates,
+  // the coarse diagnostics range spans every backend's output, and ok holds
+  // only if every emission succeeded. Exact per-emit spans are kept in
+  // emit_diag_ranges_ (middle-end stages run lazily above may interleave).
+  StageRecord& rec = comp->mutable_record(Stage::Emit);
+  const std::size_t diag_begin = comp->diags().all().size();
+  if (!rec.ran) rec.diag_begin = diag_begin;
+  const auto t0 = Clock::now();
+  artifact = backend->emit(*comp);
+  artifact.backend = std::string(backend_name);
+  rec.wall_ms += ms_since(t0);
+  rec.diag_end = comp->diags().all().size();
+  comp->emit_diag_ranges_.emplace_back(diag_begin, rec.diag_end);
+  rec.ok = rec.ran ? (rec.ok && artifact.ok) : artifact.ok;
+  rec.ran = true;
+  return artifact;
+}
+
+}  // namespace lucid

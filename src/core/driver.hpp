@@ -1,0 +1,271 @@
+// Staged compiler driver: the primary public API of the Lucid compiler.
+//
+// Compilation is modelled as an explicit pipeline of stages, mirroring the
+// paper's phase structure:
+//
+//   Parse   — lex + recursive-descent parse to the Lucid AST
+//   Sema    — memop validation + the ordered type-and-effect system
+//             (annotates the AST in place, produces AnalysisInfo)
+//   Lower   — lowering to atomic table graphs (ProgramIR)
+//   Layout  — branch inlining, dependency reordering, greedy merging into
+//             a staged pipeline under a resource model
+//   Emit    — backend code generation (P4_16, interpreter binding, ...)
+//
+// A `CompilerDriver` advances a ref-counted `Compilation` through these
+// stages. Each stage records wall-clock time and the exact slice of
+// diagnostics it produced, and each stage's artifact stays owned by (and
+// queryable from) the Compilation — so callers can stop after any stage,
+// inspect, and resume. Backends are looked up by name in a `BackendRegistry`
+// so new targets can be added without touching the driver.
+//
+// Typical use:
+//
+//   CompilerDriver driver;
+//   auto comp = driver.run(source);                 // Parse..Layout
+//   if (!comp->ok()) { std::cerr << comp->diags().render(); ... }
+//   BackendArtifact p4 = driver.emit(comp, "p4");   // Emit stage
+//
+// Staged use:
+//
+//   auto comp = driver.start(source);
+//   driver.run_until(comp, Stage::Sema);            // front end only
+//   ... inspect comp->ast(), comp->analysis() ...
+//   driver.run_until(comp, Stage::Layout);          // resume where it left
+//
+// Ownership: `Compilation` is handed out as std::shared_ptr. Long-lived
+// consumers (e.g. interp::Runtime) keep the artifacts alive by holding the
+// pointer — the driver itself may be destroyed at any time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "frontend/ast.hpp"
+#include "ir/ir.hpp"
+#include "opt/passes.hpp"
+#include "sema/type_check.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lucid {
+
+/// Compiler/driver version, reported by `lucidc --version`.
+inline constexpr std::string_view kLucidVersion = "0.2.0";
+
+// ---------------------------------------------------------------------------
+// Stages
+// ---------------------------------------------------------------------------
+
+enum class Stage : int { Parse = 0, Sema, Lower, Layout, Emit };
+
+inline constexpr int kNumStages = 5;
+
+/// Stable lower-case stage name ("parse", "sema", "lower", "layout", "emit").
+[[nodiscard]] std::string_view stage_name(Stage s);
+
+/// Inverse of stage_name; nullopt for unknown names.
+[[nodiscard]] std::optional<Stage> stage_from_name(std::string_view name);
+
+/// Bookkeeping for one stage of one compilation.
+struct StageRecord {
+  Stage stage = Stage::Parse;
+  bool ran = false;
+  bool ok = false;
+  double wall_ms = 0.0;
+  /// Half-open index range into Compilation::diags().all() holding exactly
+  /// the diagnostics this stage produced. For Stage::Emit this is the coarse
+  /// span across every emit() call (stages run lazily in between may
+  /// interleave); use Compilation::stage_diagnostics(Stage::Emit) for the
+  /// exact per-backend set.
+  std::size_t diag_begin = 0;
+  std::size_t diag_end = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Compilation: the owned, queryable artifact bundle
+// ---------------------------------------------------------------------------
+
+struct DriverOptions {
+  opt::ResourceModel model = opt::ResourceModel::tofino();
+  /// Name used by emitters (P4 program name, artifact labels).
+  std::string program_name = "program";
+};
+
+/// All middle-end artifacts, owned together. `release_artifacts()` moves
+/// these out for the deprecated one-shot compile() shim.
+struct Artifacts {
+  frontend::Program program;  // annotated AST      (Parse, annotated by Sema)
+  sema::AnalysisInfo info;    // effect summaries   (Sema)
+  ir::ProgramIR ir;           // atomic table graphs (Lower)
+  opt::Pipeline pipeline;     // optimized layout    (Layout)
+  opt::LayoutStats stats;     // Fig 12/13 numbers   (Layout)
+};
+
+class Compilation {
+ public:
+  Compilation(std::string source, DriverOptions options);
+
+  // -- status ---------------------------------------------------------------
+  /// True while no stage that ran has failed.
+  [[nodiscard]] bool ok() const;
+  [[nodiscard]] bool ran(Stage s) const { return record(s).ran; }
+  [[nodiscard]] bool succeeded(Stage s) const {
+    return record(s).ran && record(s).ok;
+  }
+  /// The most advanced stage that has run, if any.
+  [[nodiscard]] std::optional<Stage> last_stage() const;
+
+  [[nodiscard]] const std::string& source() const { return source_; }
+  [[nodiscard]] const DriverOptions& options() const { return options_; }
+
+  // -- artifacts (valid once the named stage has succeeded) -----------------
+  [[nodiscard]] const frontend::Program& ast() const {
+    return artifacts_.program;
+  }
+  [[nodiscard]] const sema::AnalysisInfo& analysis() const {
+    return artifacts_.info;
+  }
+  [[nodiscard]] const ir::ProgramIR& ir() const { return artifacts_.ir; }
+  [[nodiscard]] const opt::Pipeline& pipeline() const {
+    return artifacts_.pipeline;
+  }
+  [[nodiscard]] const opt::LayoutStats& layout_stats() const {
+    return artifacts_.stats;
+  }
+
+  /// Moves every artifact out (for the deprecated compile() shim). The
+  /// Compilation must not be queried afterwards.
+  [[nodiscard]] Artifacts release_artifacts() &&;
+
+  // -- diagnostics ----------------------------------------------------------
+  [[nodiscard]] DiagnosticEngine& diags() { return diags_; }
+  [[nodiscard]] const DiagnosticEngine& diags() const { return diags_; }
+
+  /// The diagnostics produced by exactly this stage (empty if it never ran).
+  [[nodiscard]] std::vector<Diagnostic> stage_diagnostics(Stage s) const;
+
+  // -- timings --------------------------------------------------------------
+  [[nodiscard]] const StageRecord& record(Stage s) const {
+    return records_[static_cast<std::size_t>(s)];
+  }
+  /// Records of stages that ran, in pipeline order.
+  [[nodiscard]] std::vector<StageRecord> records() const;
+  /// Sum of wall_ms over stages that ran.
+  [[nodiscard]] double total_wall_ms() const;
+  /// Human-readable `--time-passes` table.
+  [[nodiscard]] std::string timing_report() const;
+
+ private:
+  friend class CompilerDriver;
+
+  [[nodiscard]] StageRecord& mutable_record(Stage s) {
+    return records_[static_cast<std::size_t>(s)];
+  }
+
+  std::string source_;
+  DriverOptions options_;
+  DiagnosticEngine diags_;
+  Artifacts artifacts_;
+  std::array<StageRecord, kNumStages> records_;
+  /// Exact diagnostic ranges per emit() call (middle-end stages that emit()
+  /// runs lazily can interleave, so Emit needs more than one span).
+  std::vector<std::pair<std::size_t, std::size_t>> emit_diag_ranges_;
+};
+
+using CompilationPtr = std::shared_ptr<Compilation>;
+using ConstCompilationPtr = std::shared_ptr<const Compilation>;
+
+// ---------------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------------
+
+/// What a backend hands back from Emit. `text` is the primary printable
+/// artifact (P4 source, binding summary, ...); `metrics` carries
+/// backend-specific counters (e.g. P4 LoC per category).
+struct BackendArtifact {
+  std::string backend;
+  bool ok = false;
+  std::string text;
+  std::map<std::string, std::int64_t> metrics;
+};
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+  /// The latest stage that must have succeeded before emit() may run.
+  [[nodiscard]] virtual Stage required_stage() const { return Stage::Layout; }
+  /// Emits from a completed compilation. Diagnostics go to comp.diags().
+  [[nodiscard]] virtual BackendArtifact emit(Compilation& comp) = 0;
+};
+
+/// Name -> backend lookup. The process-wide default registry is
+/// `BackendRegistry::global()`; `register_default_backends()`
+/// (core/backends.hpp) populates it with "p4" and "interp".
+class BackendRegistry {
+ public:
+  /// The process-wide default registry.
+  [[nodiscard]] static BackendRegistry& global();
+
+  /// Registers a backend; returns false (and drops it) on a name collision.
+  bool add(std::unique_ptr<Backend> backend);
+  [[nodiscard]] Backend* find(std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;  // sorted
+  [[nodiscard]] std::size_t size() const { return backends_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Backend>> backends_;
+};
+
+// ---------------------------------------------------------------------------
+// CompilerDriver
+// ---------------------------------------------------------------------------
+
+class CompilerDriver {
+ public:
+  explicit CompilerDriver(DriverOptions options = {},
+                          BackendRegistry* registry = nullptr);
+
+  [[nodiscard]] const DriverOptions& options() const { return options_; }
+  [[nodiscard]] BackendRegistry& registry() const { return *registry_; }
+
+  /// Creates a Compilation for `source` without running any stage.
+  [[nodiscard]] CompilationPtr start(std::string_view source) const;
+
+  /// Runs every not-yet-run stage up to and including `until` (clamped to
+  /// Layout — emission goes through emit()). Already-run stages are not
+  /// re-run, so this is also "resume". Returns comp->ok().
+  bool run_until(const CompilationPtr& comp, Stage until) const;
+
+  /// Runs the single next pending stage (up to Layout). Returns false when
+  /// there is nothing left to run or an earlier stage failed.
+  bool run_next(const CompilationPtr& comp) const;
+
+  /// start + run_until in one call.
+  [[nodiscard]] CompilationPtr run(std::string_view source,
+                                   Stage until = Stage::Layout) const;
+
+  /// Looks `backend` up in the registry, runs any stages it still needs, and
+  /// emits. Unknown backend or failed prerequisite stages produce an error
+  /// diagnostic on the compilation ("driver-unknown-backend" /
+  /// "driver-stage-failed") and an artifact with ok == false — never a crash.
+  /// The Emit StageRecord aggregates across emit() calls: wall time
+  /// accumulates and ok holds only if every emission so far succeeded.
+  [[nodiscard]] BackendArtifact emit(const CompilationPtr& comp,
+                                     std::string_view backend) const;
+
+ private:
+  bool run_stage(Compilation& c, Stage s) const;
+
+  DriverOptions options_;
+  BackendRegistry* registry_;
+};
+
+}  // namespace lucid

@@ -1,24 +1,47 @@
-// lucidc — the Lucid compiler command-line driver.
+// lucidc — the Lucid compiler command-line driver, on the staged
+// CompilerDriver pipeline (Parse → Sema → Lower → Layout → Emit).
 //
-//   lucidc FILE.lucid              compile; print a layout summary
-//   lucidc --p4 FILE.lucid         compile and print generated P4_16
-//   lucidc --ir FILE.lucid         compile and dump the atomic table graphs
-//   lucidc --layout FILE.lucid     compile and dump the merged pipeline
-//   lucidc --check FILE.lucid      front end only (parse + memops + effects)
+//   lucidc FILE.lucid                 compile; print a layout summary
+//   lucidc --emit=p4 FILE.lucid       emit through a registered backend
+//   lucidc --emit=interp FILE.lucid   print the interpreter binding summary
+//   lucidc --stop-after=STAGE FILE    stop after parse|sema|lower|layout
+//   lucidc --time-passes FILE         print per-stage wall-clock timings
+//   lucidc --list-backends            list registered backends
+//   lucidc --version                  print the compiler version
 //
-// Exit status 0 on success, 1 on any diagnostic error — usable in build
-// scripts and CI like any other compiler.
+// Legacy spellings are kept for one release: --p4 (= --emit=p4), --check
+// (= --stop-after=sema), --ir and --layout (stage dumps).
+//
+// Exit status: 0 on success, 1 on compilation/input errors, 2 on usage
+// errors (unknown flag, missing file operand, unknown stage/backend name).
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
-#include "p4/emit.hpp"
+#include "core/backends.hpp"
+#include "support/strings.hpp"
 
 namespace {
 
-void usage() {
-  std::cerr << "usage: lucidc [--p4|--ir|--layout|--check] FILE.lucid\n";
+constexpr int kExitOk = 0;
+constexpr int kExitError = 1;
+constexpr int kExitUsage = 2;
+
+void usage(std::ostream& os) {
+  os << "usage: lucidc [options] FILE.lucid\n"
+        "options:\n"
+        "  --emit=BACKEND     emit via a registered backend (see "
+        "--list-backends)\n"
+        "  --stop-after=STAGE stop after parse|sema|lower|layout\n"
+        "  --time-passes      print per-stage wall-clock timings to stderr\n"
+        "  --ir               dump the atomic table graphs\n"
+        "  --layout           dump the merged pipeline\n"
+        "  --p4               alias for --emit=p4\n"
+        "  --check            alias for --stop-after=sema\n"
+        "  --list-backends    list registered backends and exit\n"
+        "  --version          print version and exit\n"
+        "  -h, --help         this message\n";
 }
 
 std::string slurp(const std::string& path, bool& ok) {
@@ -36,78 +59,174 @@ std::string slurp(const std::string& path, bool& ok) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string mode = "summary";
+  lucid::register_default_backends();
+
+  std::string backend;                            // --emit=...
+  lucid::Stage stop_after = lucid::Stage::Layout; // --stop-after=...
+  bool stop_requested = false;
+  bool time_passes = false;
+  std::string dump;  // "ir" | "layout"
   std::string path;
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--p4") {
-      mode = "p4";
-    } else if (arg == "--ir") {
-      mode = "ir";
-    } else if (arg == "--layout") {
-      mode = "layout";
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return kExitOk;
+    } else if (arg == "--version") {
+      std::cout << "lucidc (Lucid compiler) " << lucid::kLucidVersion << "\n";
+      return kExitOk;
+    } else if (arg == "--list-backends") {
+      auto& reg = lucid::BackendRegistry::global();
+      for (const auto& name : reg.names()) {
+        std::cout << name << "\t" << reg.find(name)->description() << "\n";
+      }
+      return kExitOk;
+    } else if (lucid::starts_with(arg, "--emit=")) {
+      backend = arg.substr(7);
+      if (backend.empty()) {
+        std::cerr << "lucidc: --emit requires a backend name (see "
+                     "--list-backends)\n";
+        return kExitUsage;
+      }
+    } else if (lucid::starts_with(arg, "--stop-after=")) {
+      const std::string name = arg.substr(13);
+      const auto stage = lucid::stage_from_name(name);
+      if (!stage || *stage == lucid::Stage::Emit) {
+        std::cerr << "lucidc: unknown stage '" << name
+                  << "' (expected parse|sema|lower|layout)\n";
+        return kExitUsage;
+      }
+      stop_after = *stage;
+      stop_requested = true;
+    } else if (arg == "--time-passes") {
+      time_passes = true;
+    } else if (arg == "--p4") {
+      backend = "p4";
     } else if (arg == "--check") {
-      mode = "check";
-    } else if (arg == "--help" || arg == "-h") {
-      usage();
-      return 0;
+      stop_after = lucid::Stage::Sema;
+      stop_requested = true;
+    } else if (arg == "--ir") {
+      dump = "ir";
+    } else if (arg == "--layout") {
+      dump = "layout";
     } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "unknown option: " << arg << "\n";
-      usage();
-      return 1;
+      std::cerr << "lucidc: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return kExitUsage;
+    } else if (!path.empty()) {
+      std::cerr << "lucidc: more than one input file ('" << path << "' and '"
+                << arg << "')\n";
+      return kExitUsage;
     } else {
       path = arg;
     }
   }
   if (path.empty()) {
-    usage();
-    return 1;
+    std::cerr << "lucidc: no input file\n";
+    usage(std::cerr);
+    return kExitUsage;
+  }
+
+  // Reject contradictory or unsatisfiable combinations up front (exit 2),
+  // before any compilation work.
+  if (!backend.empty()) {
+    if (stop_requested) {
+      std::cerr << "lucidc: --emit runs every stage; it cannot be combined "
+                   "with --stop-after\n";
+      return kExitUsage;
+    }
+    if (!dump.empty()) {
+      std::cerr << "lucidc: --" << dump
+                << " cannot be combined with --emit (pick one output)\n";
+      return kExitUsage;
+    }
+    if (lucid::BackendRegistry::global().find(backend) == nullptr) {
+      std::cerr << "lucidc: unknown backend '" << backend << "'; registered:";
+      for (const auto& name : lucid::BackendRegistry::global().names()) {
+        std::cerr << " " << name;
+      }
+      std::cerr << "\n";
+      return kExitUsage;
+    }
+  }
+  if (dump == "ir" && stop_requested && stop_after < lucid::Stage::Lower) {
+    std::cerr << "lucidc: --ir needs the 'lower' stage; conflicting "
+                 "--stop-after=" << lucid::stage_name(stop_after) << "\n";
+    return kExitUsage;
+  }
+  if (dump == "layout" && stop_requested &&
+      stop_after < lucid::Stage::Layout) {
+    std::cerr << "lucidc: --layout needs the 'layout' stage; conflicting "
+                 "--stop-after=" << lucid::stage_name(stop_after) << "\n";
+    return kExitUsage;
   }
 
   bool read_ok = false;
   const std::string source = slurp(path, read_ok);
   if (!read_ok) {
     std::cerr << "lucidc: cannot read '" << path << "'\n";
-    return 1;
+    return kExitError;
   }
 
-  lucid::DiagnosticEngine diags(source);
+  lucid::DriverOptions opts;
+  opts.program_name = path;
+  const lucid::CompilerDriver driver(opts);
+  lucid::CompilationPtr comp = driver.start(source);
 
-  if (mode == "check") {
-    const auto fe = lucid::sema::parse_and_check(source, diags);
-    std::cerr << diags.render();
-    if (!fe.ok) return 1;
-    std::cout << path << ": OK ("
-              << fe.program.events().size() << " events, "
-              << fe.program.globals().size() << " arrays)\n";
-    return 0;
+  // Backends drive exactly the stages they need through the driver's emit().
+  if (!backend.empty()) {
+    const lucid::BackendArtifact artifact = driver.emit(comp, backend);
+    std::cerr << comp->diags().render();
+    if (time_passes) std::cerr << comp->timing_report();
+    if (!artifact.ok) return kExitError;
+    std::cout << artifact.text;
+    return kExitOk;
   }
 
-  const lucid::CompileResult r = lucid::compile(source, diags);
-  std::cerr << diags.render();
-  if (!r.ok) return 1;
+  // Dumps imply the stages they need.
+  lucid::Stage until = stop_after;
+  if (dump == "ir" && !stop_requested) until = lucid::Stage::Lower;
+  driver.run_until(comp, until);
 
-  if (mode == "p4") {
-    const auto p4 = lucid::p4::emit(r, path);
-    std::cout << p4.text;
-    return 0;
-  }
-  if (mode == "ir") {
-    for (const auto& h : r.ir.handlers) std::cout << h.str() << "\n";
-    return 0;
-  }
-  if (mode == "layout") {
-    std::cout << r.pipeline.str();
-    return 0;
+  if (!comp->ok()) {
+    std::cerr << comp->diags().render();
+    if (time_passes) std::cerr << comp->timing_report();
+    return kExitError;
   }
 
+  std::cerr << comp->diags().render();
+  if (dump == "ir") {
+    for (const auto& h : comp->ir().handlers) std::cout << h.str() << "\n";
+    if (time_passes) std::cerr << comp->timing_report();
+    return kExitOk;
+  }
+  if (dump == "layout") {
+    std::cout << comp->pipeline().str();
+    if (time_passes) std::cerr << comp->timing_report();
+    return kExitOk;
+  }
+
+  if (stop_requested && stop_after < lucid::Stage::Layout) {
+    std::cout << path << ": OK after stage '"
+              << lucid::stage_name(stop_after) << "'";
+    if (comp->succeeded(lucid::Stage::Sema)) {
+      std::cout << " (" << comp->ast().events().size() << " events, "
+                << comp->ast().globals().size() << " arrays)";
+    }
+    std::cout << "\n";
+    if (time_passes) std::cerr << comp->timing_report();
+    return kExitOk;
+  }
+
+  const auto& stats = comp->layout_stats();
   std::cout << path << ": compiled OK\n"
-            << "  events            : " << r.ir.events.size() << "\n"
-            << "  arrays            : " << r.ir.arrays.size() << "\n"
-            << "  handlers          : " << r.ir.handlers.size() << "\n"
-            << "  unoptimized stages: " << r.stats.unoptimized_stages << "\n"
-            << "  optimized stages  : " << r.stats.optimized_stages << "\n"
-            << "  fits Tofino model : " << (r.stats.fits ? "yes" : "NO")
-            << "\n";
-  return 0;
+            << "  events            : " << comp->ir().events.size() << "\n"
+            << "  arrays            : " << comp->ir().arrays.size() << "\n"
+            << "  handlers          : " << comp->ir().handlers.size() << "\n"
+            << "  unoptimized stages: " << stats.unoptimized_stages << "\n"
+            << "  optimized stages  : " << stats.optimized_stages << "\n"
+            << "  fits Tofino model : " << (stats.fits ? "yes" : "NO") << "\n";
+  if (time_passes) std::cerr << comp->timing_report();
+  return kExitOk;
 }

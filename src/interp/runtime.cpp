@@ -73,14 +73,14 @@ Value binop_eval(BinOp op, Value l, Value r) {
 
 }  // namespace
 
-Runtime::Runtime(const CompileResult& program, sched::EventScheduler& node)
-    : program_(program), node_(node) {
-  for (const auto& arr : program_.ir.arrays) {
+Runtime::Runtime(ConstCompilationPtr comp, sched::EventScheduler& node)
+    : comp_(std::move(comp)), node_(node) {
+  for (const auto& arr : comp_->ir().arrays) {
     node_.node().add_array(arr.name, arr.width, arr.size);
   }
-  for (const auto& d : program_.program.decls) {
+  for (const auto& d : comp_->ast().decls) {
     if (d->kind == DeclKind::Handler) {
-      const auto* ev = program_.program.find_event(d->name);
+      const auto* ev = comp_->ast().find_event(d->name);
       if (ev != nullptr) {
         handlers_by_id_[ev->event_id] = d->as<HandlerDecl>();
       }
@@ -106,7 +106,7 @@ void Runtime::inject(const std::string& event, std::vector<Value> args,
 Value Runtime::memop_apply(const std::string& name, Value cell,
                            Value arg) const {
   if (name.empty()) return arg;  // identity write
-  const ir::MemopInfo* mo = program_.ir.find_memop(name);
+  const ir::MemopInfo* mo = comp_->ir().find_memop(name);
   if (mo == nullptr) return arg;
   const bool take_then =
       !mo->has_condition ||
@@ -200,8 +200,8 @@ bool Runtime::exec_stmt(Frame& frame, const Stmt& s, Val* ret) {
       ev.members = v.ev->members;
       if (ev.event_id >= 0 &&
           static_cast<std::size_t>(ev.event_id) <
-              program_.ir.events.size()) {
-        ++stats_.generated[program_.ir
+              comp_->ir().events.size()) {
+        ++stats_.generated[comp_->ir()
                                .events[static_cast<std::size_t>(ev.event_id)]
                                .name];
       }
@@ -356,7 +356,7 @@ Runtime::Val Runtime::eval_call(Frame& frame, const CallExpr& c) {
       return out;
     }
     case CallKind::UserFun: {
-      const FunDecl* f = program_.program.find_fun(c.callee);
+      const FunDecl* f = comp_->ast().find_fun(c.callee);
       if (f == nullptr) return {};
       Frame inner;
       for (std::size_t i = 0; i < f->params.size() && i < c.args.size();
@@ -413,7 +413,7 @@ Runtime::Val Runtime::eval_call(Frame& frame, const CallExpr& c) {
       const Expr& loc = *c.args[1];
       if (loc.kind == ExprKind::VarRef && loc.as<VarRefExpr>()->is_group) {
         inner.ev->multicast = true;
-        for (const auto& g : program_.ir.groups) {
+        for (const auto& g : comp_->ir().groups) {
           if (g.name == loc.as<VarRefExpr>()->name) {
             inner.ev->members = g.members;
           }

@@ -18,7 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "core/compiler.hpp"
+#include "core/driver.hpp"
 #include "sched/scheduler.hpp"
 
 namespace lucid::interp {
@@ -38,10 +38,14 @@ struct RunStats {
 
 class Runtime {
  public:
-  /// Binds `program` (which must have compiled OK and stay alive) to a
+  /// Binds a compilation (whose Lower stage must have succeeded) to a
   /// scheduler/switch: creates the register arrays and installs the handler
-  /// executor.
-  Runtime(const CompileResult& program, sched::EventScheduler& node);
+  /// executor. The Runtime shares ownership of the artifacts, so the
+  /// CompilerDriver (and any Testbed that produced `comp`) may be destroyed
+  /// while the Runtime keeps running.
+  Runtime(ConstCompilationPtr comp, sched::EventScheduler& node);
+
+  [[nodiscard]] const Compilation& compilation() const { return *comp_; }
 
   /// Injects an event by name (external arrival at this switch).
   void inject(const std::string& event, std::vector<Value> args,
@@ -92,7 +96,7 @@ class Runtime {
   /// UserFun calls.
   [[nodiscard]] pisa::RegisterArray* resolve_array(const std::string& name);
 
-  const CompileResult& program_;
+  ConstCompilationPtr comp_;
   sched::EventScheduler& node_;
   RunStats stats_;
   std::function<void(const std::string&, const pisa::Packet&)> trace_;

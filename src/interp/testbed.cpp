@@ -3,9 +3,14 @@
 namespace lucid::interp {
 
 Testbed::Testbed(const std::string& source, TestbedConfig config)
-    : diags_(source), network_(sim_) {
-  program_ = compile(source, diags_);
-  if (!program_.ok) return;
+    : network_(sim_) {
+  // The driver is deliberately scoped to this constructor: the Compilation
+  // is ref-counted, so the runtimes keep the artifacts alive on their own.
+  DriverOptions opts;
+  opts.program_name = config.program_name;
+  const CompilerDriver driver(std::move(opts));
+  program_ = driver.run(source, Stage::Layout);
+  if (!ok()) return;
 
   for (const int id : config.switch_ids) {
     pisa::SwitchConfig sc = config.switch_base;

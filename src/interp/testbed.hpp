@@ -14,6 +14,8 @@
 namespace lucid::interp {
 
 struct TestbedConfig {
+  /// Name stamped on emitted artifacts (DriverOptions::program_name).
+  std::string program_name = "program";
   std::vector<int> switch_ids = {1};
   sched::SchedulerConfig sched;
   pisa::SwitchConfig switch_base;  // id is overwritten per switch
@@ -24,14 +26,22 @@ struct TestbedConfig {
 
 class Testbed {
  public:
-  /// Compiles `source` (aborting the test on failure is the caller's job:
-  /// check `ok()`), then instantiates one switch + scheduler + runtime per
-  /// id and wires the fabric.
+  /// Compiles `source` through the staged CompilerDriver (aborting the test
+  /// on failure is the caller's job: check `ok()`), then instantiates one
+  /// switch + scheduler + runtime per id and wires the fabric.
   Testbed(const std::string& source, TestbedConfig config = {});
 
-  [[nodiscard]] bool ok() const { return program_.ok; }
-  [[nodiscard]] std::string diagnostics() const { return diags_.render(); }
-  [[nodiscard]] const CompileResult& program() const { return program_; }
+  [[nodiscard]] bool ok() const {
+    return program_ != nullptr && program_->ok() &&
+           program_->succeeded(Stage::Layout);
+  }
+  [[nodiscard]] std::string diagnostics() const {
+    return program_ != nullptr ? program_->diags().render() : std::string();
+  }
+  /// The shared compilation artifact. Runtimes co-own it, so it outlives
+  /// the Testbed if a Runtime (or the caller) keeps the pointer.
+  [[nodiscard]] const Compilation& compilation() const { return *program_; }
+  [[nodiscard]] CompilationPtr compilation_ptr() const { return program_; }
 
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
   [[nodiscard]] net::Network& network() { return network_; }
@@ -52,8 +62,7 @@ class Testbed {
   }
 
  private:
-  DiagnosticEngine diags_;
-  CompileResult program_;
+  CompilationPtr program_;
   sim::Simulator sim_;
   net::Network network_;
   std::map<int, std::unique_ptr<pisa::Switch>> switches_;

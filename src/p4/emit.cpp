@@ -155,8 +155,9 @@ std::string mem_signature(const ir::MemStmt& m) {
 
 class Emitter {
  public:
-  Emitter(const CompileResult& result, std::string_view name)
-      : r_(result), name_(name) {}
+  Emitter(const ir::ProgramIR& ir, const opt::Pipeline& pipeline,
+          std::string_view name)
+      : ir_(ir), pipeline_(pipeline), name_(name) {}
 
   P4Program run() {
     collect_vars();
@@ -182,7 +183,7 @@ class Emitter {
   }
 
   void collect_vars() {
-    for (const auto& stage : r_.pipeline.stages) {
+    for (const auto& stage : pipeline_.stages) {
       for (const auto& mt : stage.tables) {
         for (const auto& t : mt.members) {
           switch (t.kind) {
@@ -228,7 +229,7 @@ class Emitter {
     }
     // Handler parameters arrive via event headers but are copied into
     // metadata by the dispatcher actions.
-    for (const auto& ev : r_.ir.events) {
+    for (const auto& ev : ir_.events) {
       for (const auto& [pname, pwidth] : ev.params) {
         auto& w = vars_[pname];
         w = std::max(w, pwidth);
@@ -268,7 +269,7 @@ class Emitter {
     w_.line(LineCategory::Header, "    bit<32> location;");
     w_.line(LineCategory::Header, "}");
     w_.blank();
-    for (const auto& ev : r_.ir.events) {
+    for (const auto& ev : ir_.events) {
       w_.line(LineCategory::Header, "header ev_" + ev.name + "_h {");
       for (const auto& [pname, pwidth] : ev.params) {
         w_.line(LineCategory::Header,
@@ -285,7 +286,7 @@ class Emitter {
     w_.line(LineCategory::Header, "struct headers_t {");
     w_.line(LineCategory::Header, "    ethernet_h ethernet;");
     w_.line(LineCategory::Header, "    lucid_event_h event;");
-    for (const auto& ev : r_.ir.events) {
+    for (const auto& ev : ir_.events) {
       w_.line(LineCategory::Header,
               "    ev_" + ev.name + "_h ev_" + ev.name + ";");
     }
@@ -302,7 +303,7 @@ class Emitter {
   std::vector<std::pair<int, std::string>> generate_sites() const {
     std::vector<std::pair<int, std::string>> sites;
     int n = 0;
-    for (const auto& stage : r_.pipeline.stages) {
+    for (const auto& stage : pipeline_.stages) {
       for (const auto& mt : stage.tables) {
         for (const auto& t : mt.members) {
           if (t.kind == TableKind::Generate) {
@@ -351,7 +352,7 @@ class Emitter {
     w_.line(LineCategory::Parser, "        pkt.extract(hdr.event);");
     w_.line(LineCategory::Parser,
             "        transition select(hdr.event.event_id) {");
-    for (const auto& ev : r_.ir.events) {
+    for (const auto& ev : ir_.events) {
       w_.line(LineCategory::Parser,
               "            " + std::to_string(ev.event_id) + " : parse_ev_" +
                   ev.name + ";");
@@ -359,7 +360,7 @@ class Emitter {
     w_.line(LineCategory::Parser, "            default : accept;");
     w_.line(LineCategory::Parser, "        }");
     w_.line(LineCategory::Parser, "    }");
-    for (const auto& ev : r_.ir.events) {
+    for (const auto& ev : ir_.events) {
       w_.line(LineCategory::Parser, "    state parse_ev_" + ev.name + " {");
       w_.line(LineCategory::Parser,
               "        pkt.extract(hdr.ev_" + ev.name + ");");
@@ -373,7 +374,7 @@ class Emitter {
   // ---- register actions -----------------------------------------------------
 
   void emit_register_decls() {
-    for (const auto& arr : r_.ir.arrays) {
+    for (const auto& arr : ir_.arrays) {
       w_.line(LineCategory::RegisterAction,
               "    Register<" + bit_ty(arr.width) + ", bit<32>>(" +
                   std::to_string(arr.size) + ") reg_" + arr.name + ";");
@@ -381,7 +382,7 @@ class Emitter {
     w_.blank();
 
     // One RegisterAction per distinct stateful access.
-    for (const auto& stage : r_.pipeline.stages) {
+    for (const auto& stage : pipeline_.stages) {
       for (const auto& mt : stage.tables) {
         for (const auto& t : mt.members) {
           if (t.kind != TableKind::Mem) continue;
@@ -398,7 +399,7 @@ class Emitter {
   }
 
   void emit_register_action(const ir::MemStmt& m, const std::string& name) {
-    const ir::ArrayInfo* arr = r_.ir.find_array(m.array);
+    const ir::ArrayInfo* arr = ir_.find_array(m.array);
     const std::string cell = bit_ty(arr ? arr->width : 32);
     w_.line(LineCategory::RegisterAction,
             "    RegisterAction<" + cell + ", bit<32>, " + cell + ">(reg_" +
@@ -408,9 +409,9 @@ class Emitter {
                 " rv) {");
 
     const ir::MemopInfo* getm =
-        m.get_memop.empty() ? nullptr : r_.ir.find_memop(m.get_memop);
+        m.get_memop.empty() ? nullptr : ir_.find_memop(m.get_memop);
     const ir::MemopInfo* setm =
-        m.set_memop.empty() ? nullptr : r_.ir.find_memop(m.set_memop);
+        m.set_memop.empty() ? nullptr : ir_.find_memop(m.set_memop);
 
     auto subst_cell = [](std::string text, const std::string& cell_name) {
       // The canonical memop operand is spelled "cell"; for Array.update the
@@ -558,7 +559,7 @@ class Emitter {
                                               : operand_str(t.gen.location)) +
                     ";");
         const auto& ev =
-            r_.ir.events[static_cast<std::size_t>(t.gen.event_id)];
+            ir_.events[static_cast<std::size_t>(t.gen.event_id)];
         for (std::size_t i = 0;
              i < t.gen.args.size() && i < ev.params.size(); ++i) {
           w_.line(LineCategory::Action,
@@ -576,7 +577,7 @@ class Emitter {
 
   int gen_site_of(const AtomicTable* t) const {
     int n = 0;
-    for (const auto& stage : r_.pipeline.stages) {
+    for (const auto& stage : pipeline_.stages) {
       for (const auto& mt : stage.tables) {
         for (const auto& m : mt.members) {
           if (m.kind == TableKind::Generate) {
@@ -591,7 +592,7 @@ class Emitter {
 
   void emit_tables() {
     int sidx = 0;
-    for (const auto& stage : r_.pipeline.stages) {
+    for (const auto& stage : pipeline_.stages) {
       int tidx = 0;
       for (const auto& mt : stage.tables) {
         emit_merged_table(mt, sidx, tidx);
@@ -638,7 +639,7 @@ class Emitter {
   }
 
   int event_id_of(const std::string& handler) const {
-    for (const auto& ev : r_.ir.events) {
+    for (const auto& ev : ir_.events) {
       if (ev.name == handler) return ev.event_id;
     }
     return -1;
@@ -726,7 +727,7 @@ class Emitter {
 
   void emit_dispatcher() {
     // Copy event-header fields into metadata and pick the handler.
-    for (const auto& ev : r_.ir.events) {
+    for (const auto& ev : ir_.events) {
       w_.line(LineCategory::Action,
               "    action dispatch_" + ev.name + "() {");
       for (const auto& [pname, pwidth] : ev.params) {
@@ -758,7 +759,7 @@ class Emitter {
     w_.line(LineCategory::Table, "            hdr.event.delay_ns : ternary;");
     w_.line(LineCategory::Table, "        }");
     w_.line(LineCategory::Table, "        actions = {");
-    for (const auto& ev : r_.ir.events) {
+    for (const auto& ev : ir_.events) {
       w_.line(LineCategory::Table, "            dispatch_" + ev.name + ";");
     }
     w_.line(LineCategory::Table, "            dispatch_forward;");
@@ -791,7 +792,7 @@ class Emitter {
     w_.line(LineCategory::Control, "        event_dispatch.apply();");
     int sidx = 0;
     std::size_t i = 0;
-    for (const auto& stage : r_.pipeline.stages) {
+    for (const auto& stage : pipeline_.stages) {
       w_.line(LineCategory::Control,
               "        // ---- stage " + std::to_string(sidx) + " ----");
       for (std::size_t t = 0; t < stage.tables.size(); ++t) {
@@ -868,7 +869,7 @@ class Emitter {
     w_.line(LineCategory::Control, "    apply {");
     w_.line(LineCategory::Control, "        pkt.emit(hdr.ethernet);");
     w_.line(LineCategory::Control, "        pkt.emit(hdr.event);");
-    for (const auto& ev : r_.ir.events) {
+    for (const auto& ev : ir_.events) {
       w_.line(LineCategory::Control, "        pkt.emit(hdr.ev_" + ev.name +
                                          ");");
     }
@@ -892,7 +893,8 @@ class Emitter {
     w_.line(LineCategory::Other, "Switch(pipe) main;");
   }
 
-  const CompileResult& r_;
+  const ir::ProgramIR& ir_;
+  const opt::Pipeline& pipeline_;
   std::string_view name_;
   LineWriter w_;
   std::map<std::string, int> vars_;              // metadata fields
@@ -903,8 +905,53 @@ class Emitter {
 }  // namespace
 
 P4Program emit(const CompileResult& result, std::string_view program_name) {
-  Emitter e(result, program_name);
+  Emitter e(result.ir, result.pipeline, program_name);
   return e.run();
+}
+
+P4Program emit(const Compilation& comp, std::string_view program_name) {
+  Emitter e(comp.ir(), comp.pipeline(), program_name);
+  return e.run();
+}
+
+// ---------------------------------------------------------------------------
+// Backend adapter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class P4Backend final : public Backend {
+ public:
+  [[nodiscard]] std::string name() const override { return "p4"; }
+  [[nodiscard]] std::string description() const override {
+    return "Tofino-style P4_16 code generation";
+  }
+  [[nodiscard]] Stage required_stage() const override { return Stage::Layout; }
+
+  [[nodiscard]] BackendArtifact emit(Compilation& comp) override {
+    BackendArtifact artifact;
+    artifact.backend = name();
+    if (!comp.pipeline().feasible) {
+      comp.diags().error({}, "p4-layout-infeasible",
+                         "cannot emit P4: pipeline layout is infeasible");
+      return artifact;
+    }
+    const P4Program p = p4::emit(comp, comp.options().program_name);
+    artifact.text = p.text;
+    for (const auto& [cat, loc] : p.loc_by_category) {
+      artifact.metrics["loc_" + std::string(category_name(cat))] =
+          static_cast<std::int64_t>(loc);
+    }
+    artifact.metrics["loc_total"] = static_cast<std::int64_t>(p.total_loc());
+    artifact.ok = true;
+    return artifact;
+  }
+};
+
+}  // namespace
+
+bool register_backend(BackendRegistry& registry) {
+  return registry.add(std::make_unique<P4Backend>());
 }
 
 }  // namespace lucid::p4

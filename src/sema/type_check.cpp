@@ -175,6 +175,9 @@ class Checker {
 };
 
 bool Checker::run() {
+  // Success means *this* pass added no errors; diagnostics already on the
+  // engine (e.g. from an unrelated earlier emit attempt) are not ours.
+  const std::size_t errors_at_entry = diags_.error_count();
   collect_decls();
   eval_consts_and_globals();
 
@@ -197,7 +200,7 @@ bool Checker::run() {
     if (d->kind == DeclKind::Handler) check_handler(*d->as<HandlerDecl>());
   }
 
-  return ok_ && !diags_.has_errors();
+  return ok_ && diags_.error_count() == errors_at_entry;
 }
 
 void Checker::collect_decls() {

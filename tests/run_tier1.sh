@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification in one line: configure, build, and run every CTest-
+# registered test. Run from anywhere; builds into <repo>/build.
+#
+#   ./tests/run_tier1.sh             # RelWithDebInfo (default)
+#   ./tests/run_tier1.sh --werror    # Debug with -Werror (the CI preset)
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="$repo/build"
+cmake_args=()
+if [[ "${1:-}" == "--werror" ]]; then
+  build="$repo/build-debug"
+  cmake_args+=(-DCMAKE_BUILD_TYPE=Debug -DLUCID_WERROR=ON)
+  shift
+fi
+
+cmake -B "$build" -S "$repo" "${cmake_args[@]}"
+cmake --build "$build" -j"$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j"$(nproc)" "$@"

@@ -23,15 +23,15 @@ class AllAppsCompile : public ::testing::TestWithParam<int> {};
 
 TEST_P(AllAppsCompile, CompilesAndFits) {
   const AppSpec& spec = all_apps()[static_cast<std::size_t>(GetParam())];
-  DiagnosticEngine diags(spec.source);
-  const CompileResult r = compile(spec.source, diags);
-  ASSERT_TRUE(r.ok) << spec.key << ":\n" << diags.render();
-  EXPECT_GT(r.stats.optimized_stages, 0) << spec.key;
-  EXPECT_TRUE(r.stats.fits) << spec.key << " needs "
-                            << r.stats.optimized_stages << " stages";
+  const CompilerDriver driver;
+  const CompilationPtr r = driver.run(spec.source);
+  ASSERT_TRUE(r->ok()) << spec.key << ":\n" << r->diags().render();
+  const auto& stats = r->layout_stats();
+  EXPECT_GT(stats.optimized_stages, 0) << spec.key;
+  EXPECT_TRUE(stats.fits) << spec.key << " needs "
+                          << stats.optimized_stages << " stages";
   // Optimization must not make things worse.
-  EXPECT_LE(r.stats.optimized_stages, r.stats.unoptimized_stages)
-      << spec.key;
+  EXPECT_LE(stats.optimized_stages, stats.unoptimized_stages) << spec.key;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTen, AllAppsCompile, ::testing::Range(0, 10),

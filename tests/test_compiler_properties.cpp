@@ -16,10 +16,10 @@ class AppProperty : public ::testing::TestWithParam<int> {
   const apps::AppSpec& spec() const {
     return apps::all_apps()[static_cast<std::size_t>(GetParam())];
   }
-  CompileResult compile_spec(const CompileOptions& opts = {}) {
-    DiagnosticEngine diags(spec().source);
-    CompileResult r = compile(spec().source, diags, opts);
-    EXPECT_TRUE(r.ok) << spec().key << "\n" << diags.render();
+  CompilationPtr compile_spec(const DriverOptions& opts = {}) {
+    const CompilerDriver driver(opts);
+    CompilationPtr r = driver.run(spec().source);
+    EXPECT_TRUE(r->ok()) << spec().key << "\n" << r->diags().render();
     return r;
   }
 };
@@ -27,9 +27,9 @@ class AppProperty : public ::testing::TestWithParam<int> {
 TEST_P(AppProperty, EveryArrayPinnedToExactlyOneStage) {
   const auto r = compile_spec();
   // Every declared array that is accessed appears in exactly one stage.
-  for (const auto& arr : r.ir.arrays) {
+  for (const auto& arr : r->ir().arrays) {
     int stages_hosting = 0;
-    for (const auto& stage : r.pipeline.stages) {
+    for (const auto& stage : r->pipeline().stages) {
       bool here = false;
       for (const auto& mt : stage.tables) {
         if (mt.array == arr.name) here = true;
@@ -38,7 +38,7 @@ TEST_P(AppProperty, EveryArrayPinnedToExactlyOneStage) {
     }
     EXPECT_LE(stages_hosting, 1) << spec().key << " array " << arr.name;
     if (stages_hosting == 1) {
-      ASSERT_TRUE(r.pipeline.array_stage.count(arr.name));
+      ASSERT_TRUE(r->pipeline().array_stage.count(arr.name));
     }
   }
 }
@@ -46,7 +46,7 @@ TEST_P(AppProperty, EveryArrayPinnedToExactlyOneStage) {
 TEST_P(AppProperty, StageBudgetsAreRespected) {
   opt::ResourceModel model;
   const auto r = compile_spec();
-  for (const auto& stage : r.pipeline.stages) {
+  for (const auto& stage : r->pipeline().stages) {
     EXPECT_LE(static_cast<int>(stage.tables.size()),
               model.tables_per_stage)
         << spec().key;
@@ -64,12 +64,12 @@ TEST_P(AppProperty, AllGuardedTablesArePlaced) {
   const auto r = compile_spec();
   // The merged pipeline contains every reachable non-branch atomic table.
   std::size_t placed = 0;
-  for (const auto& stage : r.pipeline.stages) {
+  for (const auto& stage : r->pipeline().stages) {
     for (const auto& mt : stage.tables) placed += mt.members.size();
   }
   std::size_t expected = 0;
   DiagnosticEngine diags;
-  for (const auto& hg : r.ir.handlers) {
+  for (const auto& hg : r->ir().handlers) {
     expected += opt::inline_branches(hg, diags).tables.size();
   }
   EXPECT_EQ(placed, expected) << spec().key;
@@ -77,7 +77,7 @@ TEST_P(AppProperty, AllGuardedTablesArePlaced) {
 
 TEST_P(AppProperty, MergedTablesBindAtMostOneArray) {
   const auto r = compile_spec();
-  for (const auto& stage : r.pipeline.stages) {
+  for (const auto& stage : r->pipeline().stages) {
     for (const auto& mt : stage.tables) {
       std::set<std::string> arrays;
       for (const auto& member : mt.members) {
@@ -95,7 +95,7 @@ TEST_P(AppProperty, MergedTablesBindAtMostOneArray) {
 
 TEST_P(AppProperty, SameHandlerMembersAreDisjointOrAllUnconditional) {
   const auto r = compile_spec();
-  for (const auto& stage : r.pipeline.stages) {
+  for (const auto& stage : r->pipeline().stages) {
     for (const auto& mt : stage.tables) {
       for (std::size_t i = 0; i < mt.members.size(); ++i) {
         for (std::size_t j = i + 1; j < mt.members.size(); ++j) {
@@ -114,23 +114,23 @@ TEST_P(AppProperty, SameHandlerMembersAreDisjointOrAllUnconditional) {
 TEST_P(AppProperty, CompilationIsDeterministic) {
   const auto a = compile_spec();
   const auto b = compile_spec();
-  EXPECT_EQ(a.stats.optimized_stages, b.stats.optimized_stages);
-  EXPECT_EQ(a.stats.unoptimized_stages, b.stats.unoptimized_stages);
-  EXPECT_EQ(a.stats.ops_per_stage, b.stats.ops_per_stage);
-  EXPECT_EQ(a.pipeline.array_stage, b.pipeline.array_stage);
-  const auto p1 = p4::emit(a, spec().key);
-  const auto p2 = p4::emit(b, spec().key);
+  EXPECT_EQ(a->layout_stats().optimized_stages, b->layout_stats().optimized_stages);
+  EXPECT_EQ(a->layout_stats().unoptimized_stages, b->layout_stats().unoptimized_stages);
+  EXPECT_EQ(a->layout_stats().ops_per_stage, b->layout_stats().ops_per_stage);
+  EXPECT_EQ(a->pipeline().array_stage, b->pipeline().array_stage);
+  const auto p1 = p4::emit(*a, spec().key);
+  const auto p2 = p4::emit(*b, spec().key);
   EXPECT_EQ(p1.text, p2.text);
 }
 
 TEST_P(AppProperty, P4ContainsEveryArrayAndEvent) {
   const auto r = compile_spec();
-  const auto p = p4::emit(r, spec().key);
-  for (const auto& arr : r.ir.arrays) {
+  const auto p = p4::emit(*r, spec().key);
+  for (const auto& arr : r->ir().arrays) {
     EXPECT_NE(p.text.find("reg_" + arr.name), std::string::npos)
         << spec().key << " missing register for " << arr.name;
   }
-  for (const auto& ev : r.ir.events) {
+  for (const auto& ev : r->ir().events) {
     EXPECT_NE(p.text.find("header ev_" + ev.name + "_h"), std::string::npos)
         << spec().key << " missing header for " << ev.name;
     EXPECT_NE(p.text.find("parse_ev_" + ev.name), std::string::npos)
@@ -141,15 +141,15 @@ TEST_P(AppProperty, P4ContainsEveryArrayAndEvent) {
 TEST_P(AppProperty, TightModelDegradesGracefully) {
   // Failure injection: an absurdly tight model must not crash or loop; it
   // either lays out long (fits == false) or reports infeasibility.
-  DiagnosticEngine diags(spec().source);
-  CompileOptions opts;
+  DriverOptions opts;
   opts.model.max_stages = 2;
   opts.model.tables_per_stage = 1;
   opts.model.salus_per_stage = 1;
   opts.model.members_per_table = 1;
-  const CompileResult r = compile(spec().source, diags, opts);
-  ASSERT_TRUE(r.ok) << diags.render();  // front end is unaffected
-  EXPECT_FALSE(r.stats.fits) << spec().key;
+  const CompilerDriver driver(opts);
+  const CompilationPtr r = driver.run(spec().source);
+  ASSERT_TRUE(r->ok()) << r->diags().render();  // front end is unaffected
+  EXPECT_FALSE(r->layout_stats().fits) << spec().key;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllTen, AppProperty, ::testing::Range(0, 10),

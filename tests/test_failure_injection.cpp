@@ -95,7 +95,7 @@ TEST(FailureInjection, PartitionedFirewallPeerDeniesThenRecovers) {
   // Heal the partition: node 3 resumes normal execution, and the next
   // outbound packet re-syncs the flow.
   partitioned = false;
-  interp::Runtime fresh(tb.program(), tb.sched_at(3));
+  interp::Runtime fresh(tb.compilation_ptr(), tb.sched_at(3));
   tb.inject_and_run(1, "pkt_out", {10, 20});
   tb.inject_and_run(3, "pkt_in", {20, 10});
   EXPECT_EQ(fresh.array("allowed")->get(0), 1);

@@ -2,7 +2,7 @@
 // event-value snapshots, and the Figure 6 example program.
 #include <gtest/gtest.h>
 
-#include "core/compiler.hpp"
+#include "core/driver.hpp"
 
 namespace lucid::ir {
 namespace {
@@ -36,16 +36,16 @@ handle count_pkt(int dst, int proto) {
 }
 )";
 
-CompileResult compile_ok(std::string_view src) {
-  DiagnosticEngine diags{std::string(src)};
-  CompileResult r = compile(src, diags);
-  EXPECT_TRUE(r.ok) << diags.render();
+CompilationPtr compile_ok(std::string_view src) {
+  const CompilerDriver driver;
+  CompilationPtr r = driver.run(src);
+  EXPECT_TRUE(r->ok()) << r->diags().render();
   return r;
 }
 
-const HandlerGraph& only_handler(const CompileResult& r) {
-  EXPECT_EQ(r.ir.handlers.size(), 1u);
-  return r.ir.handlers.front();
+const HandlerGraph& only_handler(const Compilation& r) {
+  EXPECT_EQ(r.ir().handlers.size(), 1u);
+  return r.ir().handlers.front();
 }
 
 int count_kind(const HandlerGraph& g, TableKind k) {
@@ -58,7 +58,7 @@ int count_kind(const HandlerGraph& g, TableKind k) {
 
 TEST(Lowering, Figure6ProducesExpectedTables) {
   const auto r = compile_ok(kFigure6);
-  const auto& g = only_handler(r);
+  const auto& g = only_handler(*r);
   // Three stateful accesses, three branch tables, two idx adjustments.
   EXPECT_EQ(count_kind(g, TableKind::Mem), 3);
   EXPECT_EQ(count_kind(g, TableKind::Branch), 3);
@@ -69,22 +69,22 @@ TEST(Lowering, Figure6LongestPathMatchesAtomicChain) {
   // Longest path: nexthops_get -> if0 -> if1 -> idx_eq -> pcts_fset -> if2 ->
   // hcts_fset == 7 tables (the unoptimized stage count of Fig 6(1)).
   const auto r = compile_ok(kFigure6);
-  EXPECT_EQ(only_handler(r).longest_path(), 7);
+  EXPECT_EQ(only_handler(*r).longest_path(), 7);
 }
 
 TEST(Lowering, ArrayMetadataCollected) {
   const auto r = compile_ok(kFigure6);
-  ASSERT_EQ(r.ir.arrays.size(), 3u);
-  EXPECT_EQ(r.ir.arrays[0].name, "nexthops");
-  EXPECT_EQ(r.ir.arrays[0].decl_index, 0);
-  EXPECT_EQ(r.ir.arrays[1].name, "pcts");
-  EXPECT_EQ(r.ir.arrays[1].size, 96);
-  EXPECT_EQ(r.ir.arrays[2].decl_index, 2);
+  ASSERT_EQ(r->ir().arrays.size(), 3u);
+  EXPECT_EQ(r->ir().arrays[0].name, "nexthops");
+  EXPECT_EQ(r->ir().arrays[0].decl_index, 0);
+  EXPECT_EQ(r->ir().arrays[1].name, "pcts");
+  EXPECT_EQ(r->ir().arrays[1].size, 96);
+  EXPECT_EQ(r->ir().arrays[2].decl_index, 2);
 }
 
 TEST(Lowering, MemopCanonicalized) {
   const auto r = compile_ok(kFigure6);
-  const MemopInfo* m = r.ir.find_memop("plus");
+  const MemopInfo* m = r->ir().find_memop("plus");
   ASSERT_NE(m, nullptr);
   EXPECT_FALSE(m->has_condition);
   EXPECT_EQ(m->then_lhs.var, "cell");
@@ -101,7 +101,7 @@ TEST(Lowering, ConditionalMemopCanonicalized) {
       "}\n"
       "event e(int t);\n"
       "handle e(int t) { Array.set(a, 0, newer, t); }\n");
-  const MemopInfo* m = r.ir.find_memop("newer");
+  const MemopInfo* m = r->ir().find_memop("newer");
   ASSERT_NE(m, nullptr);
   EXPECT_TRUE(m->has_condition);
   EXPECT_EQ(m->cond_lhs.var, "cell");
@@ -117,7 +117,7 @@ TEST(Lowering, FunctionInliningProducesMemTable) {
       "fun int get_pathlen(int dst) { return Array.get(pathlens, dst); }\n"
       "event q(int dst);\n"
       "handle q(int dst) { int p = get_pathlen(dst); }\n");
-  const auto& g = only_handler(r);
+  const auto& g = only_handler(*r);
   EXPECT_EQ(count_kind(g, TableKind::Mem), 1);
   // The inlined body references the real global.
   for (const auto& t : g.tables) {
@@ -135,7 +135,7 @@ TEST(Lowering, ArrayParameterResolvedThroughInlining) {
       "fun void bump(Array<<32>> a, int i) { Array.set(a, i, plus, 1); }\n"
       "event e(int i);\n"
       "handle e(int i) { bump(arr1, i); bump(arr2, i); }\n");
-  const auto& g = only_handler(r);
+  const auto& g = only_handler(*r);
   std::vector<std::string> arrays;
   for (const auto& t : g.tables) {
     if (t.kind == TableKind::Mem) arrays.push_back(t.mem.array);
@@ -151,7 +151,7 @@ TEST(Lowering, GenerateCarriesCombinatorMetadata) {
       "handle a(int x) {\n"
       "  mgenerate Event.delay(Event.locate(c(x), GRP), 10ms);\n"
       "}\n");
-  const auto& g = only_handler(r);
+  const auto& g = only_handler(*r);
   const AtomicTable* gen = nullptr;
   for (const auto& t : g.tables) {
     if (t.kind == TableKind::Generate) gen = &t;
@@ -175,7 +175,7 @@ TEST(Lowering, EventLocalSnapshotsArguments) {
       "  x = x + 1;\n"
       "  generate pending;\n"
       "}\n");
-  const auto& g = only_handler(r);
+  const auto& g = only_handler(*r);
   const AtomicTable* gen = nullptr;
   for (const auto& t : g.tables) {
     if (t.kind == TableKind::Generate) gen = &t;
@@ -195,7 +195,7 @@ TEST(Lowering, HashBecomesHashTable) {
       "  int h = hash(7, a, b);\n"
       "  int v = Array.get(t, h);\n"
       "}\n");
-  const auto& g = only_handler(r);
+  const auto& g = only_handler(*r);
   const AtomicTable* ht = nullptr;
   for (const auto& t : g.tables) {
     if (t.kind == TableKind::Hash) ht = &t;
@@ -213,7 +213,7 @@ TEST(Lowering, SelfAndTimeAreMetadata) {
       "  int now = Sys.time();\n"
       "  generate Event.locate(e(me + now), peer);\n"
       "}\n");
-  (void)only_handler(r);
+  (void)only_handler(*r);
 }
 
 TEST(Lowering, CompoundConditionsShortCircuitIntoBranches) {
@@ -226,7 +226,7 @@ TEST(Lowering, CompoundConditionsShortCircuitIntoBranches) {
       "  int y = 0;\n"
       "  if (a == 1 && b == 2) { y = 1; }\n"
       "}\n");
-  const auto& g = only_handler(r);
+  const auto& g = only_handler(*r);
   EXPECT_EQ(count_kind(g, TableKind::Branch), 2);
   // Only the y assignment(s) need ALU ops.
   EXPECT_LE(count_kind(g, TableKind::Op), 2);
@@ -239,7 +239,7 @@ TEST(Lowering, VarVarComparisonStillNeedsPredicateAlu) {
       "  int y = 0;\n"
       "  if (a < b) { y = 1; }\n"
       "}\n");
-  const auto& g = only_handler(r);
+  const auto& g = only_handler(*r);
   EXPECT_EQ(count_kind(g, TableKind::Branch), 1);
   // The a<b predicate costs one ALU op.
   EXPECT_GE(count_kind(g, TableKind::Op), 2);
@@ -247,8 +247,8 @@ TEST(Lowering, VarVarComparisonStillNeedsPredicateAlu) {
 
 TEST(Lowering, EmptyHandlerHasNoTables) {
   const auto r = compile_ok("event e();\nhandle e() { return; }\n");
-  EXPECT_EQ(only_handler(r).entry, -1);
-  EXPECT_EQ(only_handler(r).longest_path(), 0);
+  EXPECT_EQ(only_handler(*r).entry, -1);
+  EXPECT_EQ(only_handler(*r).longest_path(), 0);
 }
 
 }  // namespace

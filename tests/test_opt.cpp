@@ -3,7 +3,7 @@
 // greedy merger packs the program into fewer stages under the resource model.
 #include <gtest/gtest.h>
 
-#include "core/compiler.hpp"
+#include "core/driver.hpp"
 
 namespace lucid::opt {
 namespace {
@@ -36,17 +36,17 @@ handle count_pkt(int dst, int proto) {
 }
 )";
 
-CompileResult compile_ok(std::string_view src) {
-  DiagnosticEngine diags{std::string(src)};
-  CompileResult r = compile(src, diags);
-  EXPECT_TRUE(r.ok) << diags.render();
+CompilationPtr compile_ok(std::string_view src) {
+  const CompilerDriver driver;
+  CompilationPtr r = driver.run(src);
+  EXPECT_TRUE(r->ok()) << r->diags().render();
   return r;
 }
 
 TEST(BranchInlining, DeletesBranchTables) {
   const auto r = compile_ok(kFigure6);
   DiagnosticEngine diags;
-  const GuardedHandler gh = inline_branches(r.ir.handlers[0], diags);
+  const GuardedHandler gh = inline_branches(r->ir().handlers[0], diags);
   for (const auto& t : gh.tables) {
     EXPECT_NE(t.kind, ir::TableKind::Branch);
   }
@@ -57,7 +57,7 @@ TEST(BranchInlining, DeletesBranchTables) {
 TEST(BranchInlining, GuardsMatchFigure6Conditions) {
   const auto r = compile_ok(kFigure6);
   DiagnosticEngine diags;
-  const GuardedHandler gh = inline_branches(r.ir.handlers[0], diags);
+  const GuardedHandler gh = inline_branches(r->ir().handlers[0], diags);
 
   // Find the two idx adjustments and hcts_fset; verify their guards mirror
   // Fig 6(2) modulo subsumption: idx+=NUM_PORTS runs under
@@ -113,7 +113,7 @@ TEST(BranchInlining, ContradictoryPathsAreDropped) {
       "  }\n"
       "}\n");
   DiagnosticEngine diags;
-  const GuardedHandler gh = inline_branches(r.ir.handlers[0], diags);
+  const GuardedHandler gh = inline_branches(r->ir().handlers[0], diags);
   // The dead assignment's table is unreachable and dropped.
   for (const auto& t : gh.tables) {
     if (t.kind == ir::TableKind::Op && t.op.dst == "y") {
@@ -140,7 +140,7 @@ TEST(BranchInlining, JoinAfterIfIsUnconditionalAgain) {
       "  Array.set(b, 0, plus, 1);\n"  // after the join: unconditional
       "}\n");
   DiagnosticEngine diags;
-  const GuardedHandler gh = inline_branches(r.ir.handlers[0], diags);
+  const GuardedHandler gh = inline_branches(r->ir().handlers[0], diags);
   for (const auto& t : gh.tables) {
     if (t.kind == ir::TableKind::Mem && t.mem.array == "b") {
       EXPECT_TRUE(t.guards.empty()) << "join guard not simplified";
@@ -162,7 +162,7 @@ TEST(BranchInlining, NestedJoinSimplifiesThroughPredicates) {
       "  Array.set(out, 0, v);\n"
       "}\n");
   DiagnosticEngine diags;
-  const GuardedHandler gh = inline_branches(r.ir.handlers[0], diags);
+  const GuardedHandler gh = inline_branches(r->ir().handlers[0], diags);
   for (const auto& t : gh.tables) {
     if (t.kind == ir::TableKind::Mem) {
       EXPECT_TRUE(t.guards.empty()) << "nested join guard not simplified";
@@ -175,8 +175,8 @@ TEST(Dependencies, HctsIsIndependentOfIdxChain) {
   // on the idx chain at all and can run in parallel with nexthops_get.
   const auto r = compile_ok(kFigure6);
   DiagnosticEngine diags;
-  const GuardedHandler gh = inline_branches(r.ir.handlers[0], diags);
-  const auto deps = dependency_edges(gh, r.ir);
+  const GuardedHandler gh = inline_branches(r->ir().handlers[0], diags);
+  const auto deps = dependency_edges(gh, r->ir());
   const auto levels = asap_levels(gh, deps);
 
   int nexthops_level = -1;
@@ -201,16 +201,16 @@ TEST(Dependencies, HctsIsIndependentOfIdxChain) {
 
 TEST(Layout, Figure6FitsInFewerStagesThanAtomicChain) {
   const auto r = compile_ok(kFigure6);
-  EXPECT_EQ(r.stats.unoptimized_stages, 7);
+  EXPECT_EQ(r->layout_stats().unoptimized_stages, 7);
   // Optimized: nexthops_get | idx adjusts | pcts | hcts -> 4 stages.
-  EXPECT_LE(r.stats.optimized_stages, 4);
-  EXPECT_GE(r.stats.unoptimized_stages, r.stats.optimized_stages);
-  EXPECT_TRUE(r.stats.fits);
+  EXPECT_LE(r->layout_stats().optimized_stages, 4);
+  EXPECT_GE(r->layout_stats().unoptimized_stages, r->layout_stats().optimized_stages);
+  EXPECT_TRUE(r->layout_stats().fits);
 }
 
 TEST(Layout, ArraysArePinnedToSingleStages) {
   const auto r = compile_ok(kFigure6);
-  const auto& p = r.pipeline;
+  const auto& p = r->pipeline();
   ASSERT_TRUE(p.array_stage.count("nexthops"));
   ASSERT_TRUE(p.array_stage.count("pcts"));
   ASSERT_TRUE(p.array_stage.count("hcts"));
@@ -235,8 +235,8 @@ TEST(Layout, HandlersShareThePipeline) {
       "}\n");
   // rd needs 'shared' at stage >= 2; inc would like stage 0; the pin must
   // reconcile to one stage.
-  const auto it = r.pipeline.array_stage.find("shared");
-  ASSERT_NE(it, r.pipeline.array_stage.end());
+  const auto it = r->pipeline().array_stage.find("shared");
+  ASSERT_NE(it, r->pipeline().array_stage.end());
   EXPECT_GE(it->second, 2);
 }
 
@@ -258,9 +258,9 @@ TEST(Layout, CrossHandlerArrayOrderIsRespected) {
       "  int v = Array.get(a, x);\n"
       "  Array.set(b, x, v);\n"
       "}\n");
-  EXPECT_GT(r.pipeline.array_stage.at("b"),
-            r.pipeline.array_stage.at("a"));
-  EXPECT_GE(r.pipeline.array_stage.at("a"), 3);
+  EXPECT_GT(r->pipeline().array_stage.at("b"),
+            r->pipeline().array_stage.at("a"));
+  EXPECT_GE(r->pipeline().array_stage.at("a"), 3);
 }
 
 TEST(Layout, ParallelismIsExploited) {
@@ -277,8 +277,8 @@ TEST(Layout, ParallelismIsExploited) {
       "  int h = x + 7;\n"
       "  int i = x + 8;\n"
       "}\n");
-  EXPECT_EQ(r.stats.unoptimized_stages, 8);
-  EXPECT_LE(r.stats.optimized_stages, 2);
+  EXPECT_EQ(r->layout_stats().unoptimized_stages, 8);
+  EXPECT_LE(r->layout_stats().optimized_stages, 2);
 }
 
 TEST(Layout, SaluLimitForcesExtraStages) {
@@ -293,42 +293,41 @@ TEST(Layout, SaluLimitForcesExtraStages) {
     src += "handle e" + std::to_string(i) + "(int x) { Array.set(a" +
            std::to_string(i) + ", x, plus, 1); }\n";
   }
-  DiagnosticEngine diags;
-  CompileOptions opts;
+  DriverOptions opts;
   opts.model.salus_per_stage = 2;
-  const CompileResult r = compile(src, diags, opts);
-  ASSERT_TRUE(r.ok) << diags.render();
-  EXPECT_GE(r.stats.optimized_stages, 3);
+  const CompilerDriver driver(opts);
+  const CompilationPtr r = driver.run(src);
+  ASSERT_TRUE(r->ok()) << r->diags().render();
+  EXPECT_GE(r->layout_stats().optimized_stages, 3);
 }
 
 TEST(Layout, TablesPerStageLimitIsHonored) {
-  DiagnosticEngine diags;
-  CompileOptions opts;
+  DriverOptions opts;
   opts.model.tables_per_stage = 1;
   opts.model.members_per_table = 1;
-  const CompileResult r = compile(
+  const CompilerDriver driver(opts);
+  const CompilationPtr r = driver.run(
       "event e(int x);\n"
       "handle e(int x) {\n"
       "  int a = x + 1;\n"
       "  int b = x + 2;\n"
       "  int c = x + 3;\n"
-      "}\n",
-      diags, opts);
-  ASSERT_TRUE(r.ok) << diags.render();
+      "}\n");
+  ASSERT_TRUE(r->ok()) << r->diags().render();
   // One table per stage, one member per table: three stages.
-  EXPECT_EQ(r.stats.optimized_stages, 3);
+  EXPECT_EQ(r->layout_stats().optimized_stages, 3);
 }
 
 TEST(Layout, OpsPerStageReportsAllAtomicTables) {
   const auto r = compile_ok(kFigure6);
   int total = 0;
-  for (const int n : r.stats.ops_per_stage) total += n;
+  for (const int n : r->layout_stats().ops_per_stage) total += n;
   EXPECT_EQ(total, 5);  // 3 mem + 2 op (branches dissolved)
 }
 
 TEST(Layout, StageRatioComputed) {
   const auto r = compile_ok(kFigure6);
-  EXPECT_GE(r.stats.stage_ratio(), 1.5);
+  EXPECT_GE(r->layout_stats().stage_ratio(), 1.5);
 }
 
 }  // namespace

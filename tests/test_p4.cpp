@@ -27,10 +27,10 @@ handle count_pkt(int dst, int proto) {
 )";
 
 P4Program emit_ok(std::string_view src, std::string_view name = "test") {
-  DiagnosticEngine diags{std::string(src)};
-  const CompileResult r = compile(src, diags);
-  EXPECT_TRUE(r.ok) << diags.render();
-  return emit(r, name);
+  const CompilerDriver driver;
+  const CompilationPtr r = driver.run(src);
+  EXPECT_TRUE(r->ok()) << r->diags().render();
+  return emit(*r, name);
 }
 
 TEST(P4Emit, ContainsAllStructuralSections) {

@@ -3,7 +3,7 @@
 // degenerate configurations.
 #include <gtest/gtest.h>
 
-#include "core/compiler.hpp"
+#include "core/driver.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/rng.hpp"
 
@@ -17,10 +17,10 @@ namespace {
 class ParserRobustness : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(ParserRobustness, MalformedInputYieldsDiagnosticsNotCrashes) {
-  DiagnosticEngine diags;
-  const CompileResult r = compile(GetParam(), diags);
-  EXPECT_FALSE(r.ok);
-  EXPECT_TRUE(diags.has_errors());
+  const CompilerDriver driver;
+  const CompilationPtr r = driver.run(GetParam());
+  EXPECT_FALSE(r->ok());
+  EXPECT_TRUE(r->diags().has_errors());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -56,8 +56,8 @@ TEST(ParserRobustness, RandomBytesNeverCrash) {
       input += alphabet[static_cast<std::size_t>(
           rng.uniform(0, static_cast<std::int64_t>(alphabet.size()) - 1))];
     }
-    DiagnosticEngine diags;
-    const CompileResult r = compile(input, diags);
+    const CompilerDriver driver;
+    const CompilationPtr r = driver.run(input);
     // Random noise essentially never forms a valid program; either way,
     // the compiler returned instead of crashing.
     (void)r;
@@ -67,10 +67,10 @@ TEST(ParserRobustness, RandomBytesNeverCrash) {
 
 TEST(ParserRobustness, EmptyAndWhitespaceProgramsAreValid) {
   for (const char* src : {"", "   \n\t  ", "// just a comment\n"}) {
-    DiagnosticEngine diags;
-    const CompileResult r = compile(src, diags);
-    EXPECT_TRUE(r.ok) << diags.render();
-    EXPECT_TRUE(r.ir.handlers.empty());
+    const CompilerDriver driver;
+    const CompilationPtr r = driver.run(src);
+    EXPECT_TRUE(r->ok()) << r->diags().render();
+    EXPECT_TRUE(r->ir().handlers.empty());
   }
 }
 
@@ -84,9 +84,9 @@ TEST(ParserRobustness, DeeplyNestedIfsCompile) {
   }
   const std::string src = "event e(int x);\nhandle e(int x) {\n" + body +
                           open + "y = 1;\n" + close + "}\n";
-  DiagnosticEngine diags;
-  const CompileResult r = compile(src, diags);
-  EXPECT_TRUE(r.ok) << diags.render();
+  const CompilerDriver driver;
+  const CompilationPtr r = driver.run(src);
+  EXPECT_TRUE(r->ok()) << r->diags().render();
 }
 
 // ---------------------------------------------------------------------------
