@@ -1,0 +1,149 @@
+// Sweep-engine benchmark: what does clone-from-stage + caching + parallel
+// emission buy over naive recompilation?
+//
+// For each of the ten paper apps, compile against a 4-point resource-model
+// grid (stages=4,8,12,16) and emit both backends per variant, three ways:
+//
+//   cold      N independent CompilerDriver runs (front end paid N times)
+//   shared    one front end + clone_from_stage per variant, serial
+//   parallel  the SweepEngine with a worker pool (front end paid once,
+//             layout + emission fanned out across threads)
+//
+// and once more with a warm ArtifactCache ("cached"), where even the single
+// front-end run is served as a clone of the cached master.
+#include <cstdio>
+#include <thread>
+
+#include "bench/bench_common.hpp"
+#include "core/backends.hpp"
+#include "core/cache.hpp"
+#include "core/sweep.hpp"
+#include "support/chrono.hpp"
+
+namespace {
+
+using Clock = lucid::SteadyClock;
+using lucid::bench::print_header;
+using lucid::bench::print_rule;
+using lucid::ms_since;
+
+const char* kGrid = "stages=4,8,12,16;salus=2,4";
+const std::vector<std::string> kBackends = {"p4", "interp"};
+
+double run_cold(const lucid::apps::AppSpec& spec,
+                const std::vector<lucid::SweepVariant>& variants) {
+  const auto t0 = Clock::now();
+  for (const lucid::SweepVariant& v : variants) {
+    lucid::DriverOptions opts;
+    opts.model = v.model;
+    opts.program_name = spec.key;
+    const lucid::CompilerDriver driver(opts);
+    const lucid::CompilationPtr comp = driver.run(spec.source);
+    if (!comp->ok()) {
+      std::fprintf(stderr, "FATAL: %s/%s failed to compile\n",
+                   spec.key.c_str(), v.label.c_str());
+      std::exit(1);
+    }
+    for (const std::string& b : kBackends) {
+      if (!driver.emit(comp, b).ok) {
+        std::fprintf(stderr, "FATAL: %s/%s emit %s failed\n",
+                     spec.key.c_str(), v.label.c_str(), b.c_str());
+        std::exit(1);
+      }
+    }
+  }
+  return ms_since(t0);
+}
+
+double run_shared_serial(const lucid::apps::AppSpec& spec,
+                         const std::vector<lucid::SweepVariant>& variants) {
+  const auto t0 = Clock::now();
+  lucid::DriverOptions base_opts;
+  base_opts.program_name = spec.key;
+  const lucid::CompilerDriver driver(base_opts);
+  const lucid::CompilationPtr base =
+      driver.run(spec.source, lucid::Stage::Lower);
+  for (const lucid::SweepVariant& v : variants) {
+    lucid::DriverOptions opts;
+    opts.model = v.model;
+    opts.program_name = spec.key;
+    const lucid::CompilationPtr comp =
+        base->clone_from_stage(lucid::Stage::Lower, opts);
+    const lucid::CompilerDriver vdriver(opts);
+    vdriver.run_until(comp, lucid::Stage::Layout);
+    for (const std::string& b : kBackends) (void)vdriver.emit(comp, b);
+  }
+  return ms_since(t0);
+}
+
+double run_sweep(const lucid::apps::AppSpec& spec,
+                 const std::vector<lucid::SweepVariant>& variants,
+                 lucid::ArtifactCache* cache) {
+  lucid::SweepOptions opts;
+  opts.variants = variants;
+  opts.backends = kBackends;
+  opts.program_name = spec.key;
+  opts.workers = 0;  // hardware concurrency
+  opts.cache = cache;
+  const auto t0 = Clock::now();
+  const lucid::SweepReport report =
+      lucid::SweepEngine().run(spec.source, opts);
+  if (!report.ok) {
+    std::fprintf(stderr, "FATAL: sweep over %s failed:\n%s",
+                 spec.key.c_str(), report.str().c_str());
+    std::exit(1);
+  }
+  return ms_since(t0);
+}
+
+}  // namespace
+
+int main() {
+  lucid::register_default_backends();
+  const auto variants = *lucid::parse_sweep_grid(kGrid);
+
+  // Warm up allocators, code paths, and the thread pool once so the first
+  // timed row is not paying process-start costs.
+  (void)run_sweep(lucid::apps::all_apps().front(), variants, nullptr);
+
+  print_header("bench_sweep",
+               "resource-model sweep (" + std::string(kGrid) + ", " +
+                   std::to_string(kBackends.size()) +
+                   " backends): cold vs shared front end vs parallel sweep");
+  std::printf("workers: %u\n\n", std::thread::hardware_concurrency());
+  std::printf("%-6s %10s %10s %10s %10s   %s\n", "app", "cold ms",
+              "shared ms", "par ms", "cached ms", "speedup (cold/par)");
+
+  double cold_total = 0, shared_total = 0, par_total = 0, cached_total = 0;
+  lucid::ArtifactCache cache;  // warmed by the "par" run, reused by "cached"
+  for (const lucid::apps::AppSpec& spec : lucid::apps::all_apps()) {
+    const double cold = run_cold(spec, variants);
+    const double shared = run_shared_serial(spec, variants);
+    const double par = run_sweep(spec, variants, &cache);
+    const double cached = run_sweep(spec, variants, &cache);
+    cold_total += cold;
+    shared_total += shared;
+    par_total += par;
+    cached_total += cached;
+    std::printf("%-6s %10.2f %10.2f %10.2f %10.2f   %.2fx\n",
+                spec.key.c_str(), cold, shared, par, cached,
+                par > 0 ? cold / par : 0.0);
+  }
+  print_rule();
+  std::printf("%-6s %10.2f %10.2f %10.2f %10.2f   %.2fx\n", "total",
+              cold_total, shared_total, par_total, cached_total,
+              par_total > 0 ? cold_total / par_total : 0.0);
+  std::printf(
+      "\ncold   = front end recompiled per variant (%zu variants)\n"
+      "shared = one front end, clone_from_stage per variant, serial\n"
+      "par    = SweepEngine: shared front end + parallel layout/emission\n"
+      "cached = SweepEngine over a warm ArtifactCache (zero front-end runs)\n",
+      variants.size());
+  if (par_total < cold_total) {
+    std::printf("parallel sweep beats %zu cold compiles by %.2fx\n",
+                variants.size(), cold_total / par_total);
+  } else {
+    std::printf("WARNING: parallel sweep did not beat cold compiles\n");
+  }
+  return 0;
+}

@@ -1,0 +1,240 @@
+#include "core/cache.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace lucid {
+
+std::uint64_t fnv1a64(std::string_view data) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string options_fingerprint(const DriverOptions& options, Stage upto) {
+  std::ostringstream os;
+  if (upto >= Stage::Layout) {
+    const opt::ResourceModel& m = options.model;
+    os << "model:" << m.max_stages << "," << m.tables_per_stage << ","
+       << m.salus_per_stage << "," << m.rules_per_table << ","
+       << m.members_per_table << "," << m.alu_ops_per_stage << ";";
+  }
+  if (upto >= Stage::Emit) {
+    os << "name:" << options.program_name << ";";
+  }
+  return os.str();
+}
+
+namespace {
+
+Stage clamp_keep_stage(Stage s) {
+  const int i = static_cast<int>(s);
+  if (i < static_cast<int>(Stage::Sema)) return Stage::Sema;
+  if (i > static_cast<int>(Stage::Layout)) return Stage::Layout;
+  return s;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+ArtifactCache::ArtifactCache(Stage keep_stage, std::string cache_dir)
+    : keep_stage_(clamp_keep_stage(keep_stage)), dir_(std::move(cache_dir)) {}
+
+CompilationPtr ArtifactCache::compile(const CompilerDriver& driver,
+                                      std::string_view source, bool* hit) {
+  const std::uint64_t key = fnv1a64(source);
+  const std::string fp = options_fingerprint(driver.options(), keep_stage_);
+  if (hit != nullptr) *hit = false;
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    // The hash is only a bucket key; the master holds its exact source, so
+    // a collision can never serve another program's artifacts.
+    if (it != entries_.end() && it->second.master->source() == source) {
+      if (it->second.fingerprint == fp) {
+        CompilationPtr clone =
+            it->second.master->clone_from_stage(keep_stage_, driver.options());
+        if (clone != nullptr) {
+          ++stats_.hits;
+          if (hit != nullptr) *hit = true;
+          return clone;
+        }
+        // A master that cannot be cloned is a stale entry; fall through.
+      }
+      // Same source, different option fingerprint: the cached artifacts are
+      // stale for this caller — drop and recompile.
+      ++stats_.invalidations;
+      entries_.erase(it);
+    }
+    ++stats_.misses;
+  }
+
+  // Front end runs outside the lock (compilations of different sources may
+  // proceed in parallel; a duplicate race just overwrites an equal entry).
+  CompilationPtr master = driver.run(source, keep_stage_);
+  if (!master->succeeded(keep_stage_)) return master;  // failures not cached
+
+  CompilationPtr clone = master->clone_from_stage(keep_stage_,
+                                                  driver.options());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[key] = Entry{fp, master};
+  }
+  return clone != nullptr ? clone : master;
+}
+
+// ---------------------------------------------------------------------------
+// Disk layer (emitted backend artifacts)
+// ---------------------------------------------------------------------------
+
+std::string ArtifactCache::artifact_path(std::string_view source,
+                                         const DriverOptions& options,
+                                         std::string_view backend) const {
+  const std::string fp = options_fingerprint(options, Stage::Emit);
+  std::string name = hex64(fnv1a64(source)) + "-" +
+                     hex64(fnv1a64(fp)) + "-" + std::string(backend) + ".art";
+  return dir_ + "/" + name;
+}
+
+std::optional<BackendArtifact> ArtifactCache::load_artifact(
+    std::string_view source, const DriverOptions& options,
+    std::string_view backend) {
+  if (dir_.empty()) return std::nullopt;
+  std::ifstream in(artifact_path(source, options, backend),
+                   std::ios::binary);
+  const auto miss = [this]() -> std::optional<BackendArtifact> {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_misses;
+    return std::nullopt;
+  };
+  if (!in) return miss();
+
+  std::string line;
+  if (!std::getline(in, line) || line != "lucid-artifact v1") return miss();
+
+  BackendArtifact artifact;
+  artifact.ok = true;
+  std::size_t text_size = 0;
+  bool version_ok = false;
+  bool text_seen = false;
+  while (std::getline(in, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "compiler") {
+      // Entries written by a different compiler build are stale: the
+      // emitters may have changed, and serving their output would mask it.
+      std::string version;
+      ls >> version;
+      if (version != kLucidVersion) return miss();
+      version_ok = true;
+    } else if (tag == "srclen") {
+      // Weak anti-collision guard: the filename is hash-derived, so at
+      // least require the source length to agree.
+      std::size_t n = 0;
+      if (!(ls >> n) || n != source.size()) return miss();
+    } else if (tag == "backend") {
+      ls >> artifact.backend;
+    } else if (tag == "metric") {
+      std::string k;
+      std::int64_t v = 0;
+      if (!(ls >> k >> v)) return miss();  // truncated/corrupt entry
+      artifact.metrics[k] = v;
+    } else if (tag == "text") {
+      if (!(ls >> text_size)) return miss();
+      text_seen = true;
+      break;
+    } else {
+      return miss();
+    }
+  }
+  // An entry truncated before its text record (interrupted store) must be a
+  // miss, not a successful empty artifact.
+  if (!version_ok || !text_seen || artifact.backend != backend) return miss();
+  artifact.text.resize(text_size);
+  if (text_size > 0 &&
+      !in.read(artifact.text.data(),
+               static_cast<std::streamsize>(text_size))) {
+    return miss();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.disk_hits;
+  return artifact;
+}
+
+void ArtifactCache::store_artifact(std::string_view source,
+                                   const DriverOptions& options,
+                                   const BackendArtifact& artifact) {
+  if (dir_.empty() || !artifact.ok) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) return;
+  // Write-to-temp + rename keeps stores atomic: readers (other processes
+  // sharing the cache dir included) only ever see complete entries, and a
+  // crash or full disk leaves a .tmp file behind, not a corrupt entry.
+  const std::string path = artifact_path(source, options, artifact.backend);
+  static std::atomic<unsigned> tmp_seq{0};
+  const std::string tmp = path + ".tmp-" + std::to_string(::getpid()) + "-" +
+                          std::to_string(tmp_seq.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out << "lucid-artifact v1\n";
+    out << "compiler " << kLucidVersion << "\n";
+    out << "srclen " << source.size() << "\n";
+    out << "backend " << artifact.backend << "\n";
+    for (const auto& [k, v] : artifact.metrics) {
+      out << "metric " << k << " " << v << "\n";
+    }
+    out << "text " << artifact.text.size() << "\n";
+    out.write(artifact.text.data(),
+              static_cast<std::streamsize>(artifact.text.size()));
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::filesystem::remove(tmp, ec);
+      return;
+    }
+  }
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.disk_writes;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ArtifactCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void ArtifactCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  stats_ = Stats{};
+}
+
+}  // namespace lucid

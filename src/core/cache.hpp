@@ -1,0 +1,109 @@
+// ArtifactCache: source-hash-keyed reuse of compiler artifacts across driver
+// invocations.
+//
+// Two layers:
+//
+//   * An in-memory front-end cache. The first compilation of a source runs
+//     Parse..keep_stage (default Lower — everything that is independent of
+//     the resource model) and parks the result as an immutable "master".
+//     Later compilations of byte-identical source get a
+//     Compilation::clone_from_stage of the master: the AST, analysis info,
+//     and IR are shared, only Layout/Emit re-run. Entries are invalidated
+//     when the source bytes change (different hash, so a plain miss) or when
+//     the DriverOptions fingerprint relevant to the cached stages changes.
+//
+//   * An optional disk cache for emitted backend artifacts (--cache-dir).
+//     Emission output is a plain string, so it round-trips losslessly; the
+//     key covers the source hash, the options fingerprint (resource model +
+//     program name, both of which shape the emitted text), and the backend
+//     name. Only successful artifacts are stored.
+//
+// Thread safety: every public member is safe to call concurrently; the map
+// is mutex-guarded and cached masters are immutable once inserted (clones
+// never mutate their donor).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "core/driver.hpp"
+
+namespace lucid {
+
+/// 64-bit FNV-1a over arbitrary bytes (the cache key hash).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
+
+/// Stable fingerprint of the DriverOptions fields that can influence stages
+/// up to and including `upto`. Parse/Sema/Lower depend on nothing; Layout
+/// adds the resource model; Emit adds the program name.
+[[nodiscard]] std::string options_fingerprint(const DriverOptions& options,
+                                              Stage upto);
+
+class ArtifactCache {
+ public:
+  struct Stats {
+    std::size_t hits = 0;           // front-end clone served from memory
+    std::size_t misses = 0;         // front end had to run
+    std::size_t invalidations = 0;  // entry dropped: options changed
+    std::size_t disk_hits = 0;
+    std::size_t disk_misses = 0;
+    std::size_t disk_writes = 0;
+  };
+
+  /// `keep_stage` is the deepest stage the in-memory layer caches (clamped
+  /// to [Sema, Layout]); `cache_dir` enables the disk layer when non-empty
+  /// (the directory is created on first store).
+  explicit ArtifactCache(Stage keep_stage = Stage::Lower,
+                         std::string cache_dir = {});
+
+  [[nodiscard]] Stage keep_stage() const { return keep_stage_; }
+  [[nodiscard]] const std::string& cache_dir() const { return dir_; }
+
+  /// Returns a compilation for `source` whose stages through keep_stage have
+  /// run, reusing the cached front end when possible. The returned
+  /// compilation always carries `driver.options()` and is exclusively the
+  /// caller's (even on a miss it is a clone; the stored master stays
+  /// pristine and immutable). A source whose front end fails is returned
+  /// as-is and never cached. `hit`, when non-null, reports whether the front
+  /// end was served from the cache (false means it ran just now).
+  [[nodiscard]] CompilationPtr compile(const CompilerDriver& driver,
+                                       std::string_view source,
+                                       bool* hit = nullptr);
+
+  /// Disk layer: loads the emitted artifact for (source, options, backend),
+  /// or nullopt when the disk layer is off or the entry is absent/corrupt.
+  [[nodiscard]] std::optional<BackendArtifact> load_artifact(
+      std::string_view source, const DriverOptions& options,
+      std::string_view backend);
+
+  /// Disk layer: stores a successful artifact; no-op when the layer is off
+  /// or the artifact failed.
+  void store_artifact(std::string_view source, const DriverOptions& options,
+                      const BackendArtifact& artifact);
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  struct Entry {
+    std::string fingerprint;
+    ConstCompilationPtr master;
+  };
+
+  [[nodiscard]] std::string artifact_path(std::string_view source,
+                                          const DriverOptions& options,
+                                          std::string_view backend) const;
+
+  Stage keep_stage_;
+  std::string dir_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace lucid

@@ -7,16 +7,13 @@
 
 #include "frontend/parser.hpp"
 #include "ir/ir.hpp"
+#include "support/chrono.hpp"
 
 namespace lucid {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double ms_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
-}
+using Clock = SteadyClock;
 
 constexpr std::array<std::string_view, kNumStages> kStageNames = {
     "parse", "sema", "lower", "layout", "emit"};
@@ -66,6 +63,38 @@ std::optional<Stage> Compilation::last_stage() const {
 
 Artifacts Compilation::release_artifacts() && { return std::move(artifacts_); }
 
+CompilationPtr Compilation::clone_from_stage(
+    Stage upto, std::optional<DriverOptions> options) const {
+  const int last = static_cast<int>(upto);
+  if (last < static_cast<int>(Stage::Sema) ||
+      last > static_cast<int>(Stage::Layout)) {
+    return nullptr;
+  }
+  for (int i = 0; i <= last; ++i) {
+    if (!succeeded(static_cast<Stage>(i))) return nullptr;
+  }
+
+  auto clone = std::make_shared<Compilation>(
+      source_, options.has_value() ? std::move(*options) : options_);
+  clone->donor_ = shared_from_this();
+  clone->inherited_until_ = last;
+  // Replay the shared stages' records and diagnostics so the clone is
+  // indistinguishable from a cold compile (same diagnostics, same stage
+  // ranges) except for the `shared` marker.
+  for (int i = 0; i <= last; ++i) {
+    const Stage s = static_cast<Stage>(i);
+    StageRecord& rec = clone->mutable_record(s);
+    rec = record(s);
+    rec.shared = true;
+    rec.diag_begin = clone->diags_.all().size();
+    for (const Diagnostic& d : stage_diagnostics(s)) {
+      clone->diags_.add(d.severity, d.range, d.code, d.message);
+    }
+    rec.diag_end = clone->diags_.all().size();
+  }
+  return clone;
+}
+
 std::vector<Diagnostic> Compilation::stage_diagnostics(Stage s) const {
   const StageRecord& r = record(s);
   std::vector<Diagnostic> out;
@@ -109,9 +138,9 @@ std::string Compilation::timing_report() const {
   char buf[64];
   for (const auto& r : records_) {
     if (!r.ran) continue;
-    std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms  %s\n",
+    std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms  %s%s\n",
                   std::string(stage_name(r.stage)).c_str(), r.wall_ms,
-                  r.ok ? "ok" : "FAILED");
+                  r.ok ? "ok" : "FAILED", r.shared ? " (shared)" : "");
     os << buf;
   }
   std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms\n", "total",
@@ -188,15 +217,14 @@ bool CompilerDriver::run_stage(Compilation& c, Stage s) const {
       break;
     }
     case Stage::Lower: {
-      c.artifacts_.ir = ir::lower(c.artifacts_.program, c.diags_);
+      // Read through the accessor: a clone's AST lives in its donor.
+      c.artifacts_.ir = ir::lower(c.ast(), c.diags_);
       ok = c.diags_.error_count() == errors_before;
       break;
     }
     case Stage::Layout: {
-      c.artifacts_.pipeline =
-          opt::layout(c.artifacts_.ir, c.options_.model, c.diags_);
-      c.artifacts_.stats.unoptimized_stages =
-          c.artifacts_.ir.total_longest_path();
+      c.artifacts_.pipeline = opt::layout(c.ir(), c.options_.model, c.diags_);
+      c.artifacts_.stats.unoptimized_stages = c.ir().total_longest_path();
       c.artifacts_.stats.optimized_stages =
           c.artifacts_.pipeline.stage_count();
       c.artifacts_.stats.ops_per_stage = c.artifacts_.pipeline.ops_per_stage();

@@ -77,6 +77,11 @@ struct StageRecord {
   Stage stage = Stage::Parse;
   bool ran = false;
   bool ok = false;
+  /// True when this stage's artifact was inherited from a clone donor (see
+  /// Compilation::clone_from_stage) instead of being executed here. wall_ms
+  /// then still holds the donor's cost, so sweep reports can tell "paid once,
+  /// shared N times" apart from "paid N times".
+  bool shared = false;
   double wall_ms = 0.0;
   /// Half-open index range into Compilation::diags().all() holding exactly
   /// the diagnostics this stage produced. For Stage::Emit this is the coarse
@@ -107,7 +112,7 @@ struct Artifacts {
   opt::LayoutStats stats;     // Fig 12/13 numbers   (Layout)
 };
 
-class Compilation {
+class Compilation : public std::enable_shared_from_this<Compilation> {
  public:
   Compilation(std::string source, DriverOptions options);
 
@@ -125,23 +130,56 @@ class Compilation {
   [[nodiscard]] const DriverOptions& options() const { return options_; }
 
   // -- artifacts (valid once the named stage has succeeded) -----------------
+  // Accessors forward to the clone donor for inherited stages, so a clone
+  // and its donor literally return the same objects (tests assert on address
+  // equality to prove artifacts are shared, not recomputed).
   [[nodiscard]] const frontend::Program& ast() const {
-    return artifacts_.program;
+    return inherits(Stage::Parse) ? donor_->ast() : artifacts_.program;
   }
   [[nodiscard]] const sema::AnalysisInfo& analysis() const {
-    return artifacts_.info;
+    return inherits(Stage::Sema) ? donor_->analysis() : artifacts_.info;
   }
-  [[nodiscard]] const ir::ProgramIR& ir() const { return artifacts_.ir; }
+  [[nodiscard]] const ir::ProgramIR& ir() const {
+    return inherits(Stage::Lower) ? donor_->ir() : artifacts_.ir;
+  }
   [[nodiscard]] const opt::Pipeline& pipeline() const {
-    return artifacts_.pipeline;
+    return inherits(Stage::Layout) ? donor_->pipeline() : artifacts_.pipeline;
   }
   [[nodiscard]] const opt::LayoutStats& layout_stats() const {
-    return artifacts_.stats;
+    return inherits(Stage::Layout) ? donor_->layout_stats() : artifacts_.stats;
   }
 
   /// Moves every artifact out (for the deprecated compile() shim). The
-  /// Compilation must not be queried afterwards.
+  /// Compilation must not be queried afterwards. Must not be called on a
+  /// clone (its inherited artifacts live in the donor).
   [[nodiscard]] Artifacts release_artifacts() &&;
+
+  // -- cloning --------------------------------------------------------------
+  /// Forks this compilation after stage `upto`: the clone shares (does not
+  /// copy or re-run) every artifact through `upto` and runs later stages
+  /// itself, under `options` (defaults to the donor's options). This is the
+  /// primitive behind resource-model sweeps and the artifact cache: Parse,
+  /// Sema, and Lower are option-independent, so one front-end run can feed
+  /// any number of Layout/Emit variants.
+  ///
+  /// `upto` must be within [Sema, Layout] — cloning at Parse is forbidden
+  /// because Sema annotates the shared AST in place, which would race across
+  /// clones — and every stage through `upto` must have succeeded here;
+  /// otherwise returns nullptr. The clone keeps the donor alive (shared
+  /// ownership) and copies its diagnostics and stage records for the shared
+  /// stages, with StageRecord::shared set.
+  ///
+  /// Concurrency: the shared artifacts are immutable (stages never re-run),
+  /// so any number of clones may run their remaining stages and emit on
+  /// different threads concurrently, as long as each individual Compilation
+  /// is driven by one thread at a time.
+  [[nodiscard]] std::shared_ptr<Compilation> clone_from_stage(
+      Stage upto, std::optional<DriverOptions> options = std::nullopt) const;
+
+  /// True for compilations created by clone_from_stage.
+  [[nodiscard]] bool is_clone() const { return donor_ != nullptr; }
+  /// The donor compilation (nullptr unless is_clone()).
+  [[nodiscard]] const Compilation* donor() const { return donor_.get(); }
 
   // -- diagnostics ----------------------------------------------------------
   [[nodiscard]] DiagnosticEngine& diags() { return diags_; }
@@ -168,6 +206,11 @@ class Compilation {
     return records_[static_cast<std::size_t>(s)];
   }
 
+  /// True when stage `s`'s artifact lives in the clone donor.
+  [[nodiscard]] bool inherits(Stage s) const {
+    return donor_ != nullptr && static_cast<int>(s) <= inherited_until_;
+  }
+
   std::string source_;
   DriverOptions options_;
   DiagnosticEngine diags_;
@@ -176,6 +219,9 @@ class Compilation {
   /// Exact diagnostic ranges per emit() call (middle-end stages that emit()
   /// runs lazily can interleave, so Emit needs more than one span).
   std::vector<std::pair<std::size_t, std::size_t>> emit_diag_ranges_;
+  /// Clone-from-stage donor: stages <= inherited_until_ resolve through it.
+  std::shared_ptr<const Compilation> donor_;
+  int inherited_until_ = -1;
 };
 
 using CompilationPtr = std::shared_ptr<Compilation>;

@@ -6,6 +6,13 @@
 //   lucidc --emit=interp FILE.lucid   print the interpreter binding summary
 //   lucidc --stop-after=STAGE FILE    stop after parse|sema|lower|layout
 //   lucidc --time-passes FILE         print per-stage wall-clock timings
+//   lucidc --sweep=GRID FILE          compile against a resource-model grid
+//                                     (e.g. --sweep=stages=8,12;salus=2,4),
+//                                     sharing one front-end run across all
+//                                     variants and emitting in parallel
+//   lucidc --cache-dir=DIR ...        cache emitted artifacts under DIR
+//   lucidc --jobs=N                   worker threads for --sweep (default:
+//                                     hardware concurrency)
 //   lucidc --list-backends            list registered backends
 //   lucidc --version                  print the compiler version
 //
@@ -13,13 +20,16 @@
 // (= --stop-after=sema), --ir and --layout (stage dumps).
 //
 // Exit status: 0 on success, 1 on compilation/input errors, 2 on usage
-// errors (unknown flag, missing file operand, unknown stage/backend name).
+// errors (unknown flag, missing file operand, unknown stage/backend/grid
+// name).
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/backends.hpp"
+#include "core/cache.hpp"
+#include "core/sweep.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -35,6 +45,11 @@ void usage(std::ostream& os) {
         "--list-backends)\n"
         "  --stop-after=STAGE stop after parse|sema|lower|layout\n"
         "  --time-passes      print per-stage wall-clock timings to stderr\n"
+        "  --sweep=GRID       compile against a resource-model grid, e.g.\n"
+        "                     stages=8,12;salus=2,4 "
+        "(fields: stages|tables|salus|rules|members|aluops)\n"
+        "  --cache-dir=DIR    reuse/store emitted artifacts under DIR\n"
+        "  --jobs=N           sweep worker threads (default: all cores)\n"
         "  --ir               dump the atomic table graphs\n"
         "  --layout           dump the merged pipeline\n"
         "  --p4               alias for --emit=p4\n"
@@ -66,6 +81,10 @@ int main(int argc, char** argv) {
   bool stop_requested = false;
   bool time_passes = false;
   std::string dump;  // "ir" | "layout"
+  std::string sweep_spec;                         // --sweep=...
+  bool sweep_requested = false;
+  std::string cache_dir;                          // --cache-dir=...
+  int jobs = 0;                                   // --jobs=...
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +120,22 @@ int main(int argc, char** argv) {
       stop_requested = true;
     } else if (arg == "--time-passes") {
       time_passes = true;
+    } else if (lucid::starts_with(arg, "--sweep=") || arg == "--sweep") {
+      sweep_spec = arg == "--sweep" ? "" : arg.substr(8);
+      sweep_requested = true;
+    } else if (lucid::starts_with(arg, "--cache-dir=")) {
+      cache_dir = arg.substr(12);
+      if (cache_dir.empty()) {
+        std::cerr << "lucidc: --cache-dir requires a directory path\n";
+        return kExitUsage;
+      }
+    } else if (lucid::starts_with(arg, "--jobs=")) {
+      const auto parsed = lucid::parse_positive_int(arg.substr(7));
+      if (!parsed) {
+        std::cerr << "lucidc: --jobs requires a positive integer\n";
+        return kExitUsage;
+      }
+      jobs = *parsed;
     } else if (arg == "--p4") {
       backend = "p4";
     } else if (arg == "--check") {
@@ -130,6 +165,30 @@ int main(int argc, char** argv) {
 
   // Reject contradictory or unsatisfiable combinations up front (exit 2),
   // before any compilation work.
+  std::vector<lucid::SweepVariant> sweep_variants;
+  if (sweep_requested) {
+    if (!backend.empty() || stop_requested || !dump.empty() || time_passes) {
+      std::cerr << "lucidc: --sweep runs its own layout+emission pipeline "
+                   "and reports per-variant timings itself; it cannot be "
+                   "combined with --emit, --stop-after, --ir, --layout, or "
+                   "--time-passes\n";
+      return kExitUsage;
+    }
+    std::string grid_error;
+    const auto parsed = lucid::parse_sweep_grid(sweep_spec, &grid_error);
+    if (!parsed) {
+      std::cerr << "lucidc: bad --sweep grid: " << grid_error << "\n";
+      return kExitUsage;
+    }
+    sweep_variants = *parsed;
+  } else if (jobs > 0) {
+    std::cerr << "lucidc: --jobs only applies to --sweep\n";
+    return kExitUsage;
+  }
+  if (!cache_dir.empty() && !sweep_requested && backend.empty()) {
+    std::cerr << "lucidc: --cache-dir only applies to --emit or --sweep\n";
+    return kExitUsage;
+  }
   if (!backend.empty()) {
     if (stop_requested) {
       std::cerr << "lucidc: --emit runs every stage; it cannot be combined "
@@ -172,14 +231,41 @@ int main(int argc, char** argv) {
   lucid::DriverOptions opts;
   opts.program_name = path;
   const lucid::CompilerDriver driver(opts);
+
+  // Resource-model sweep: one front end, N variants, parallel emission.
+  if (sweep_requested) {
+    lucid::ArtifactCache cache(lucid::Stage::Lower, cache_dir);
+    lucid::SweepOptions sweep_opts;
+    sweep_opts.variants = std::move(sweep_variants);
+    sweep_opts.program_name = path;
+    sweep_opts.workers = jobs;
+    if (!cache_dir.empty()) sweep_opts.cache = &cache;
+    const lucid::SweepReport report =
+        lucid::SweepEngine().run(source, sweep_opts);
+    std::cout << report.str();
+    return report.ok ? kExitOk : kExitError;
+  }
+
   lucid::CompilationPtr comp = driver.start(source);
 
   // Backends drive exactly the stages they need through the driver's emit().
   if (!backend.empty()) {
+    // Disk cache fast path: a prior invocation already emitted this exact
+    // (source, options, backend) combination with this compiler version.
+    // A hit skips compilation entirely, so it also skips non-fatal
+    // diagnostics; --time-passes forces a real compile.
+    lucid::ArtifactCache cache(lucid::Stage::Lower, cache_dir);
+    if (!cache_dir.empty() && !time_passes) {
+      if (auto cached = cache.load_artifact(source, opts, backend)) {
+        std::cout << cached->text;
+        return kExitOk;
+      }
+    }
     const lucid::BackendArtifact artifact = driver.emit(comp, backend);
     std::cerr << comp->diags().render();
     if (time_passes) std::cerr << comp->timing_report();
     if (!artifact.ok) return kExitError;
+    if (!cache_dir.empty()) cache.store_artifact(source, opts, artifact);
     std::cout << artifact.text;
     return kExitOk;
   }

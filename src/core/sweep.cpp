@@ -1,0 +1,346 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "support/chrono.hpp"
+#include "support/strings.hpp"
+
+namespace lucid {
+
+namespace {
+
+using Clock = SteadyClock;
+
+/// The sweepable ResourceModel fields.
+int* model_field(opt::ResourceModel& m, std::string_view name) {
+  if (name == "stages") return &m.max_stages;
+  if (name == "tables") return &m.tables_per_stage;
+  if (name == "salus") return &m.salus_per_stage;
+  if (name == "rules") return &m.rules_per_table;
+  if (name == "members") return &m.members_per_table;
+  if (name == "aluops") return &m.alu_ops_per_stage;
+  return nullptr;
+}
+
+}  // namespace
+
+std::optional<std::vector<SweepVariant>> parse_sweep_grid(
+    std::string_view spec, std::string* error) {
+  const auto fail = [error](std::string msg) {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+
+  std::vector<SweepVariant> variants;
+  variants.push_back(SweepVariant{"tofino", opt::ResourceModel::tofino()});
+  const std::string trimmed{trim(spec)};
+  if (trimmed.empty() || trimmed == "tofino") return variants;
+
+  // Each ';'-separated dimension multiplies the variant set.
+  std::set<std::string> seen_fields;
+  for (const std::string& dim : split(trimmed, ';')) {
+    const std::string d{trim(dim)};
+    if (d.empty()) continue;
+    const std::size_t eq = d.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= d.size()) {
+      return fail("sweep dimension '" + d +
+                  "' is not of the form field=v1,v2,...");
+    }
+    const std::string field = d.substr(0, eq);
+    opt::ResourceModel probe;
+    if (model_field(probe, field) == nullptr) {
+      return fail("unknown sweep field '" + field +
+                  "' (expected stages|tables|salus|rules|members|aluops)");
+    }
+    if (!seen_fields.insert(field).second) {
+      return fail("sweep field '" + field +
+                  "' appears more than once; list all its values in one "
+                  "dimension");
+    }
+    std::vector<int> values;
+    for (const std::string& v : split(d.substr(eq + 1), ',')) {
+      const std::string vt{trim(v)};
+      const std::optional<int> value = parse_positive_int(vt);
+      if (!value) {
+        return fail("sweep value '" + vt + "' for field '" + field +
+                    "' is not a positive integer");
+      }
+      values.push_back(*value);
+    }
+
+    std::vector<SweepVariant> next;
+    next.reserve(variants.size() * values.size());
+    for (const SweepVariant& base : variants) {
+      for (const int value : values) {
+        SweepVariant v = base;
+        *model_field(v.model, field) = value;
+        const std::string term = field + "=" + std::to_string(value);
+        v.label = (base.label == "tofino") ? term : base.label + "," + term;
+        next.push_back(std::move(v));
+      }
+    }
+    variants = std::move(next);
+  }
+  return variants;
+}
+
+void parallel_for(std::size_t n, int workers,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t pool = std::min<std::size_t>(
+      n, workers > 1 ? static_cast<std::size_t>(workers) : 1);
+  if (pool <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(pool);
+  for (std::size_t t = 0; t < pool; ++t) {
+    threads.emplace_back([&]() {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering
+// ---------------------------------------------------------------------------
+
+std::string SweepReport::str() const {
+  std::ostringstream os;
+  os << "=== sweep: " << program_name << " (" << variants.size()
+     << " variants) ===\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "front end: %d run%s (%.3f ms), shared by %zu variant%s\n",
+                frontend_runs, frontend_runs == 1 ? "" : "s", frontend_wall_ms,
+                variants.size(), variants.size() == 1 ? "" : "s");
+  os << buf;
+  if (!frontend_diagnostics.empty()) {
+    os << "front-end diagnostics:\n";
+    for (const Diagnostic& d : frontend_diagnostics) {
+      os << "  " << d.str() << "\n";
+    }
+  }
+  if (variants.empty()) {
+    std::snprintf(buf, sizeof(buf), "total wall: %.3f ms%s\n", total_wall_ms,
+                  ok ? "" : "  (FAILURES)");
+    os << buf;
+    return os.str();
+  }
+
+  std::size_t label_w = 7;
+  for (const auto& v : variants) {
+    label_w = std::max(label_w, v.variant.label.size());
+  }
+  std::snprintf(buf, sizeof(buf), "%-*s %7s %5s", static_cast<int>(label_w),
+                "variant", "stages", "fits");
+  os << buf;
+  if (!variants.empty()) {
+    for (const auto& e : variants.front().emissions) {
+      std::snprintf(buf, sizeof(buf), " %14s", e.backend.c_str());
+      os << buf;
+    }
+  }
+  os << "   wall ms\n";
+
+  for (const auto& v : variants) {
+    std::snprintf(buf, sizeof(buf), "%-*s %7d %5s",
+                  static_cast<int>(label_w), v.variant.label.c_str(),
+                  v.stats.optimized_stages, v.stats.fits ? "yes" : "NO");
+    os << buf;
+    for (const auto& e : v.emissions) {
+      std::string cell = e.ok ? "ok" : "FAILED";
+      if (e.from_cache) cell += "*";
+      std::snprintf(buf, sizeof(buf), " %8s(%4.1f)", cell.c_str(), e.wall_ms);
+      os << buf;
+    }
+    std::snprintf(buf, sizeof(buf), " %9.3f\n", v.wall_ms);
+    os << buf;
+    for (const Diagnostic& d : v.diagnostics) {
+      if (d.severity == Severity::Error) os << "    " << d.str() << "\n";
+    }
+    for (const auto& e : v.emissions) {
+      for (const Diagnostic& d : e.diagnostics) {
+        if (d.severity == Severity::Error) os << "    " << d.str() << "\n";
+      }
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "total wall: %.3f ms%s\n", total_wall_ms,
+                ok ? "" : "  (FAILURES)");
+  os << buf;
+  bool any_cached = false;
+  for (const auto& v : variants) {
+    for (const auto& e : v.emissions) any_cached |= e.from_cache;
+  }
+  if (any_cached) os << "(* = emission served from the artifact cache)\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+SweepEngine::SweepEngine(BackendRegistry* registry)
+    : registry_(registry != nullptr ? registry
+                                    : &BackendRegistry::global()) {}
+
+SweepReport SweepEngine::run(std::string_view source,
+                             const SweepOptions& options) const {
+  const auto sweep_t0 = Clock::now();
+
+  SweepReport report;
+  report.program_name = options.program_name;
+
+  std::vector<SweepVariant> variants = options.variants;
+  if (variants.empty()) {
+    variants.push_back(SweepVariant{"tofino", opt::ResourceModel::tofino()});
+  }
+  int workers = options.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  // ---- Phase 1 (serial): one front end, shared by every variant ----------
+  DriverOptions base_opts;
+  base_opts.program_name = options.program_name;
+  const CompilerDriver driver(base_opts, registry_);
+  bool cache_hit = false;
+  const CompilationPtr base =
+      options.cache != nullptr
+          ? options.cache->compile(driver, source, &cache_hit)
+          : driver.run(source, Stage::Lower);
+  // A cache configured with keep_stage == Sema hands back a compilation that
+  // stops there; variants clone at Lower, so finish the front end here.
+  driver.run_until(base, Stage::Lower);
+
+  // A cache miss still ran the front end (inside the cache, on the stored
+  // master) even though the returned clone's records say "shared".
+  report.frontend_runs =
+      options.cache != nullptr ? (cache_hit ? 0 : 1)
+                               : (base->record(Stage::Parse).ran &&
+                                          !base->record(Stage::Parse).shared
+                                      ? 1
+                                      : 0);
+  for (const Stage s : {Stage::Parse, Stage::Sema, Stage::Lower}) {
+    const StageRecord& rec = base->record(s);
+    if (!rec.ran) continue;
+    report.frontend_wall_ms += rec.wall_ms;
+    for (const Diagnostic& d : base->stage_diagnostics(s)) {
+      report.frontend_diagnostics.push_back(d);
+    }
+  }
+  if (!base->succeeded(Stage::Lower)) {
+    report.ok = false;
+    report.total_wall_ms = ms_since(sweep_t0);
+    return report;
+  }
+
+  // ---- Phase 2 (parallel): per-variant layout on front-end clones --------
+  report.variants.resize(variants.size());
+  std::vector<CompilationPtr> compiled(variants.size());
+  parallel_for(variants.size(), workers, [&](std::size_t i) {
+    const auto t0 = Clock::now();
+    SweepVariantReport& vr = report.variants[i];
+    vr.variant = variants[i];
+
+    DriverOptions vopts;
+    vopts.model = variants[i].model;
+    vopts.program_name = options.program_name;
+    CompilationPtr comp = base->clone_from_stage(Stage::Lower, vopts);
+    const CompilerDriver vdriver(vopts, registry_);
+    vdriver.run_until(comp, Stage::Layout);
+
+    vr.ok = comp->succeeded(Stage::Layout);
+    if (vr.ok) vr.stats = comp->layout_stats();
+    for (const Diagnostic& d : comp->stage_diagnostics(Stage::Layout)) {
+      vr.diagnostics.push_back(d);
+    }
+    vr.wall_ms = ms_since(t0);
+    compiled[i] = std::move(comp);
+  });
+
+  // ---- Phase 3 (parallel): per-(variant, backend) emission clones --------
+  struct EmitTask {
+    std::size_t variant = 0;
+    std::size_t slot = 0;
+    std::string backend;
+  };
+  std::vector<EmitTask> tasks;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    report.variants[i].emissions.resize(options.backends.size());
+    for (std::size_t b = 0; b < options.backends.size(); ++b) {
+      // Name every slot up front so report columns stay labelled even for
+      // variants whose layout failed (their emissions stay ok == false).
+      report.variants[i].emissions[b].backend = options.backends[b];
+    }
+    if (!report.variants[i].ok) continue;  // layout failed: nothing to emit
+    for (std::size_t b = 0; b < options.backends.size(); ++b) {
+      tasks.push_back(EmitTask{i, b, options.backends[b]});
+    }
+  }
+  parallel_for(tasks.size(), workers, [&](std::size_t t) {
+    const auto t0 = Clock::now();
+    const EmitTask& task = tasks[t];
+    SweepVariantReport& vr = report.variants[task.variant];
+    SweepEmission& em = vr.emissions[task.slot];
+    em.backend = task.backend;
+
+    const CompilationPtr& comp = compiled[task.variant];
+    if (options.cache != nullptr) {
+      if (auto cached = options.cache->load_artifact(source, comp->options(),
+                                                     task.backend)) {
+        em.ok = cached->ok;
+        em.from_cache = true;
+        em.text = std::move(cached->text);
+        em.metrics = std::move(cached->metrics);
+        em.wall_ms = ms_since(t0);
+        return;
+      }
+    }
+
+    // Every emission runs on its own clone of the variant's compilation, so
+    // concurrent backends never share a DiagnosticEngine or Emit record.
+    CompilationPtr eclone = comp->clone_from_stage(Stage::Layout);
+    const CompilerDriver edriver(comp->options(), registry_);
+    BackendArtifact artifact = edriver.emit(eclone, task.backend);
+    if (options.cache != nullptr && artifact.ok) {
+      // Store before the fields move into the report (no artifact copy).
+      options.cache->store_artifact(source, comp->options(), artifact);
+    }
+    em.ok = artifact.ok;
+    em.text = std::move(artifact.text);
+    em.metrics = std::move(artifact.metrics);
+    em.diagnostics = eclone->stage_diagnostics(Stage::Emit);
+    em.wall_ms = ms_since(t0);
+  });
+
+  // ---- Aggregate ----------------------------------------------------------
+  report.ok = true;
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    SweepVariantReport& vr = report.variants[i];
+    if (compiled[i] != nullptr) vr.records = compiled[i]->records();
+    double emit_ms = 0.0;
+    for (const SweepEmission& e : vr.emissions) {
+      if (!e.ok) vr.ok = false;
+      emit_ms += e.wall_ms;
+    }
+    vr.wall_ms += emit_ms;
+    if (!vr.ok) report.ok = false;
+  }
+  report.total_wall_ms = ms_since(sweep_t0);
+  return report;
+}
+
+}  // namespace lucid

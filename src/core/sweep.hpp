@@ -1,0 +1,126 @@
+// SweepEngine: resource-model sweeps as a service.
+//
+// A sweep compiles one Lucid program against a grid of resource models and
+// emits every requested backend for every variant — the workflow behind
+// "which Tofino generation / stage budget does my program still fit?". The
+// engine pays for the front end exactly once: Parse, Sema, and Lower run a
+// single time (or come out of an ArtifactCache), every variant is a
+// Compilation::clone_from_stage of that shared front end, and every
+// (variant, backend) emission runs on its own Layout-level clone so all
+// layout and emission work fans out across a worker pool with no shared
+// mutable state.
+//
+// Grid specs (the CLI's --sweep=<grid-spec>) are cross products over
+// resource-model fields:
+//
+//   stages=8,12;salus=2,4     -> 4 variants
+//   tables=4                  -> 1 variant
+//   (empty)                   -> 1 variant (the stock Tofino model)
+//
+// Recognized fields: stages, tables, salus, rules, members, aluops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/cache.hpp"
+#include "core/driver.hpp"
+#include "opt/passes.hpp"
+
+namespace lucid {
+
+/// One point of the sweep grid.
+struct SweepVariant {
+  std::string label;  // e.g. "stages=8,salus=2" or "tofino"
+  opt::ResourceModel model = opt::ResourceModel::tofino();
+};
+
+/// Parses a grid spec into the cross product of its dimensions (see the file
+/// header for the format). Returns nullopt and sets `*error` on a malformed
+/// spec. An empty spec yields the single default Tofino variant.
+[[nodiscard]] std::optional<std::vector<SweepVariant>> parse_sweep_grid(
+    std::string_view spec, std::string* error = nullptr);
+
+/// Runs `fn(0..n-1)` across up to `workers` threads (inline when n or
+/// workers is <= 1). Exposed for benches and tests.
+void parallel_for(std::size_t n, int workers,
+                  const std::function<void(std::size_t)>& fn);
+
+// ---------------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------------
+
+/// One backend emission of one variant.
+struct SweepEmission {
+  std::string backend;
+  bool ok = false;
+  bool from_cache = false;  // served from the ArtifactCache disk layer
+  std::string text;
+  std::map<std::string, std::int64_t> metrics;
+  double wall_ms = 0.0;
+  std::vector<Diagnostic> diagnostics;  // emit-stage diagnostics only
+};
+
+/// Everything the sweep learned about one variant.
+struct SweepVariantReport {
+  SweepVariant variant;
+  bool ok = false;                   // layout and every emission succeeded
+  std::vector<StageRecord> records;  // stage records of this variant's
+                                     // compilation (front end marked shared)
+  opt::LayoutStats stats;
+  std::vector<Diagnostic> diagnostics;  // middle-end diagnostics
+  std::vector<SweepEmission> emissions;
+  double wall_ms = 0.0;  // layout + this variant's emissions
+};
+
+struct SweepReport {
+  std::string program_name;
+  bool ok = false;
+  /// Number of Parse stages actually executed during this sweep, across the
+  /// base compilation and every variant. 1 for a cold sweep, 0 when the
+  /// front end came out of a warm ArtifactCache — never the variant count:
+  /// that is the whole point.
+  int frontend_runs = 0;
+  double frontend_wall_ms = 0.0;  // Parse+Sema+Lower cost (paid once)
+  double total_wall_ms = 0.0;     // wall clock of the whole sweep
+  std::vector<Diagnostic> frontend_diagnostics;
+  std::vector<SweepVariantReport> variants;
+
+  /// Human-readable table (one row per variant).
+  [[nodiscard]] std::string str() const;
+};
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+struct SweepOptions {
+  std::vector<SweepVariant> variants;  // empty -> single Tofino variant
+  std::vector<std::string> backends = {"p4", "interp"};
+  /// Worker threads for layout + emission; 0 = hardware concurrency.
+  int workers = 0;
+  std::string program_name = "program";
+  /// Optional cache: the front end is acquired through it (memory layer) and
+  /// emissions are served from / stored to its disk layer when enabled.
+  ArtifactCache* cache = nullptr;
+};
+
+class SweepEngine {
+ public:
+  /// `registry` defaults to the process-wide backend registry. Register all
+  /// backends before running a sweep — registration is not thread-safe.
+  explicit SweepEngine(BackendRegistry* registry = nullptr);
+
+  [[nodiscard]] SweepReport run(std::string_view source,
+                                const SweepOptions& options) const;
+
+ private:
+  BackendRegistry* registry_;
+};
+
+}  // namespace lucid

@@ -1,0 +1,17 @@
+// Steady-clock timing helper shared by the driver, the sweep engine, and
+// the benches (every wall-clock number in this repo comes from here).
+#pragma once
+
+#include <chrono>
+
+namespace lucid {
+
+using SteadyClock = std::chrono::steady_clock;
+
+/// Milliseconds elapsed since `t0`.
+[[nodiscard]] inline double ms_since(SteadyClock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - t0)
+      .count();
+}
+
+}  // namespace lucid

@@ -52,6 +52,20 @@ std::size_t count_loc(std::string_view text) {
   return count;
 }
 
+std::optional<int> parse_positive_int(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  const std::string str(s);
+  std::size_t used = 0;
+  int value = 0;
+  try {
+    value = std::stoi(str, &used);
+  } catch (...) {
+    return std::nullopt;
+  }
+  if (used != str.size() || value <= 0) return std::nullopt;
+  return value;
+}
+
 std::string indent(std::string_view text, int n) {
   const std::string pad(static_cast<std::size_t>(n), ' ');
   std::ostringstream os;

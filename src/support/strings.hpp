@@ -1,6 +1,7 @@
 // Small string utilities shared across the compiler and simulator.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,11 @@ namespace lucid {
 
 /// True if `s` begins with `prefix`.
 [[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Parses the whole of `s` as a positive (> 0) base-10 integer. nullopt on
+/// trailing garbage, a non-positive value, or overflow — the strict flavour
+/// CLI flags and grid specs need.
+[[nodiscard]] std::optional<int> parse_positive_int(std::string_view s);
 
 /// Count the lines of `text` that contain something other than whitespace or
 /// a `//` line comment. This is the "lines of code" metric used to reproduce

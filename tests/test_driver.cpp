@@ -297,6 +297,110 @@ TEST(Driver, EmitOnFailedCompilationReportsStageFailure) {
 }
 
 // ---------------------------------------------------------------------------
+// clone_from_stage: fork a compilation, sharing completed front-end stages
+// ---------------------------------------------------------------------------
+
+TEST(Driver, CloneSharesArtifactsByAddress) {
+  const CompilerDriver driver;
+  const CompilationPtr base = driver.run(kCounter, Stage::Layout);
+  ASSERT_TRUE(base->ok());
+
+  const CompilationPtr clone = base->clone_from_stage(Stage::Lower);
+  ASSERT_NE(clone, nullptr);
+  EXPECT_TRUE(clone->is_clone());
+  EXPECT_EQ(clone->donor(), base.get());
+  EXPECT_FALSE(base->is_clone());
+  // Shared, not copied: the very same objects.
+  EXPECT_EQ(&clone->ast(), &base->ast());
+  EXPECT_EQ(&clone->analysis(), &base->analysis());
+  EXPECT_EQ(&clone->ir(), &base->ir());
+  // Stage records carry the provenance.
+  for (const Stage s : {Stage::Parse, Stage::Sema, Stage::Lower}) {
+    EXPECT_TRUE(clone->succeeded(s)) << stage_name(s);
+    EXPECT_TRUE(clone->record(s).shared) << stage_name(s);
+    EXPECT_FALSE(base->record(s).shared) << stage_name(s);
+  }
+  EXPECT_FALSE(clone->ran(Stage::Layout));
+}
+
+TEST(Driver, CloneRunsItsOwnLayoutUnderItsOwnModel) {
+  const CompilerDriver driver;
+  const CompilationPtr base = driver.run(kCounter, Stage::Layout);
+  ASSERT_TRUE(base->ok());
+  const int base_stages = base->layout_stats().optimized_stages;
+
+  DriverOptions tight;
+  tight.model.tables_per_stage = 1;
+  tight.model.members_per_table = 1;
+  const CompilationPtr clone = base->clone_from_stage(Stage::Lower, tight);
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->options().model.tables_per_stage, 1);
+  ASSERT_TRUE(driver.run_until(clone, Stage::Layout));
+  EXPECT_FALSE(clone->record(Stage::Layout).shared);
+  // The clone laid out under its own model; the donor is untouched.
+  EXPECT_EQ(base->layout_stats().optimized_stages, base_stages);
+  EXPECT_GE(clone->layout_stats().optimized_stages, base_stages);
+}
+
+TEST(Driver, CloneFromLayoutSharesThePipeline) {
+  BackendRegistry registry;
+  register_default_backends(registry);
+  const CompilerDriver driver({}, &registry);
+  const CompilationPtr base = driver.run(kCounter, Stage::Layout);
+  ASSERT_TRUE(base->ok());
+  const CompilationPtr clone = base->clone_from_stage(Stage::Layout);
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(&clone->pipeline(), &base->pipeline());
+  // Emission runs on the clone without touching the donor's Emit record.
+  const BackendArtifact artifact = driver.emit(clone, "p4");
+  ASSERT_TRUE(artifact.ok) << clone->diags().render();
+  EXPECT_TRUE(clone->succeeded(Stage::Emit));
+  EXPECT_FALSE(base->ran(Stage::Emit));
+}
+
+TEST(Driver, CloneRefusesInvalidRequests) {
+  const CompilerDriver driver;
+  const CompilationPtr base = driver.run(kCounter, Stage::Layout);
+  ASSERT_TRUE(base->ok());
+  // Parse-level clones would share an AST that a later Sema run mutates.
+  EXPECT_EQ(base->clone_from_stage(Stage::Parse), nullptr);
+  EXPECT_EQ(base->clone_from_stage(Stage::Emit), nullptr);
+  // Stages that have not (successfully) run cannot be shared.
+  const CompilationPtr partial = driver.run(kCounter, Stage::Sema);
+  EXPECT_EQ(partial->clone_from_stage(Stage::Lower), nullptr);
+  EXPECT_NE(partial->clone_from_stage(Stage::Sema), nullptr);
+  const CompilationPtr failed = driver.run(kSemaError, Stage::Layout);
+  EXPECT_EQ(failed->clone_from_stage(Stage::Sema), nullptr);
+}
+
+TEST(Driver, CloneKeepsDonorArtifactsAlive) {
+  const CompilerDriver driver;
+  CompilationPtr base = driver.run(kCounter, Stage::Layout);
+  ASSERT_TRUE(base->ok());
+  CompilationPtr clone = base->clone_from_stage(Stage::Lower);
+  ASSERT_NE(clone, nullptr);
+  base.reset();  // the clone co-owns the donor; artifacts must survive
+  ASSERT_TRUE(driver.run_until(clone, Stage::Layout));
+  EXPECT_EQ(clone->ir().arrays.front().name, "cnt");
+  EXPECT_GT(clone->layout_stats().optimized_stages, 0);
+}
+
+TEST(Driver, ChainedClonesResolveThroughTheChain) {
+  const CompilerDriver driver;
+  const CompilationPtr base = driver.run(kCounter, Stage::Layout);
+  ASSERT_TRUE(base->ok());
+  const CompilationPtr mid = base->clone_from_stage(Stage::Lower);
+  ASSERT_NE(mid, nullptr);
+  ASSERT_TRUE(driver.run_until(mid, Stage::Layout));
+  const CompilationPtr leaf = mid->clone_from_stage(Stage::Layout);
+  ASSERT_NE(leaf, nullptr);
+  // The front end resolves through mid to base; the layout is mid's own.
+  EXPECT_EQ(&leaf->ast(), &base->ast());
+  EXPECT_EQ(&leaf->pipeline(), &mid->pipeline());
+  EXPECT_NE(&mid->pipeline(), &base->pipeline());
+}
+
+// ---------------------------------------------------------------------------
 // The deprecated one-shot compile() shim stays faithful to the driver
 // ---------------------------------------------------------------------------
 

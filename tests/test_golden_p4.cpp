@@ -1,0 +1,132 @@
+// Golden-file tests for the P4 emitter: the emitted Tofino-style P4_16 for a
+// set of paper apps is checked in under tests/golden/ and diffed verbatim.
+// Any intentional emitter change regenerates them with
+//
+//   UPDATE_GOLDEN=1 ./build/test_golden_p4
+//
+// and the diff is reviewed like any other code change. See tests/README.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "core/backends.hpp"
+#include "support/strings.hpp"
+
+namespace lucid {
+namespace {
+
+/// The apps pinned by golden files. Keep in sync with tests/golden/.
+const std::vector<std::string>& golden_apps() {
+  static const std::vector<std::string> keys = {"SFW", "DNS", "RR", "CM"};
+  return keys;
+}
+
+std::string golden_path(const std::string& key) {
+  return std::string(LUCID_SOURCE_DIR) + "/tests/golden/" + key + ".p4";
+}
+
+bool update_requested() {
+  const char* env = std::getenv("UPDATE_GOLDEN");
+  return env != nullptr && std::string(env) != "0" && std::string(env) != "";
+}
+
+std::string emit_p4(const apps::AppSpec& spec) {
+  BackendRegistry registry;
+  register_default_backends(registry);
+  DriverOptions opts;
+  opts.program_name = spec.key;
+  const CompilerDriver driver(opts, &registry);
+  const CompilationPtr comp = driver.start(spec.source);
+  const BackendArtifact artifact = driver.emit(comp, "p4");
+  EXPECT_TRUE(artifact.ok) << spec.key << ":\n" << comp->diags().render();
+  return artifact.text;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ok = true;
+  return ss.str();
+}
+
+/// Points at the first differing line, with context, so a golden failure is
+/// actionable without an external diff tool.
+std::string first_difference(const std::string& expected,
+                             const std::string& actual) {
+  const std::vector<std::string> e = split(expected, '\n');
+  const std::vector<std::string> a = split(actual, '\n');
+  const std::size_t n = std::max(e.size(), a.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string el = i < e.size() ? e[i] : "<missing line>";
+    const std::string al = i < a.size() ? a[i] : "<missing line>";
+    if (el != al) {
+      std::ostringstream os;
+      os << "first difference at line " << (i + 1) << ":\n"
+         << "  golden: " << el << "\n"
+         << "  actual: " << al << "\n";
+      return os.str();
+    }
+  }
+  return "contents differ only in trailing bytes";
+}
+
+TEST(GoldenP4, EmissionMatchesCheckedInGolden) {
+  for (const std::string& key : golden_apps()) {
+    SCOPED_TRACE(key);
+    const std::string actual = emit_p4(apps::app(key));
+    ASSERT_FALSE(actual.empty());
+
+    const std::string path = golden_path(key);
+    if (update_requested()) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual;
+      continue;
+    }
+
+    bool read_ok = false;
+    const std::string expected = read_file(path, read_ok);
+    ASSERT_TRUE(read_ok) << "missing golden file " << path
+                         << " — regenerate with UPDATE_GOLDEN=1";
+    EXPECT_EQ(expected, actual)
+        << first_difference(expected, actual)
+        << "if the emitter change is intentional, regenerate with "
+           "UPDATE_GOLDEN=1 ./test_golden_p4";
+  }
+}
+
+TEST(GoldenP4, EmissionIsDeterministic) {
+  // Golden files are only meaningful if emission is a pure function of the
+  // compilation; two independent compiles must agree byte-for-byte.
+  for (const std::string& key : golden_apps()) {
+    SCOPED_TRACE(key);
+    EXPECT_EQ(emit_p4(apps::app(key)), emit_p4(apps::app(key)));
+  }
+}
+
+TEST(GoldenP4, GoldenFilesCarryRealPrograms) {
+  if (update_requested()) GTEST_SKIP() << "regeneration run";
+  for (const std::string& key : golden_apps()) {
+    SCOPED_TRACE(key);
+    bool read_ok = false;
+    const std::string text = read_file(golden_path(key), read_ok);
+    ASSERT_TRUE(read_ok) << "missing golden file for " << key;
+    // Structural sanity: a full P4 program, not a truncated artifact.
+    EXPECT_NE(text.find("parser IngressParser"), std::string::npos);
+    EXPECT_NE(text.find("Switch(pipe) main;"), std::string::npos);
+    EXPECT_GT(count_loc(text), 50u);
+  }
+}
+
+}  // namespace
+}  // namespace lucid

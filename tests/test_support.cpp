@@ -55,6 +55,18 @@ TEST(Strings, TrimRemovesWhitespace) {
   EXPECT_EQ(trim("x"), "x");
 }
 
+TEST(Strings, ParsePositiveIntIsStrict) {
+  EXPECT_EQ(parse_positive_int("4"), 4);
+  EXPECT_EQ(parse_positive_int("512"), 512);
+  EXPECT_FALSE(parse_positive_int("").has_value());
+  EXPECT_FALSE(parse_positive_int("0").has_value());
+  EXPECT_FALSE(parse_positive_int("-3").has_value());
+  EXPECT_FALSE(parse_positive_int("4x").has_value());
+  EXPECT_FALSE(parse_positive_int("1,6").has_value());
+  EXPECT_FALSE(parse_positive_int("abc").has_value());
+  EXPECT_FALSE(parse_positive_int("99999999999999999999").has_value());
+}
+
 TEST(Strings, JoinWithSeparator) {
   EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(join({}, ","), "");
