@@ -11,7 +11,15 @@
 //
 // and once more with a warm ArtifactCache ("cached"), where even the single
 // front-end run is served as a clone of the cached master.
+//
+// Besides the human-readable table, the run writes BENCH_sweep.json (in the
+// working directory): per-app wall clocks for all four modes plus
+// per-backend emission totals, so the perf trajectory is machine-trackable
+// across PRs.
 #include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <thread>
 
 #include "bench/bench_common.hpp"
@@ -28,7 +36,7 @@ using lucid::bench::print_rule;
 using lucid::ms_since;
 
 const char* kGrid = "stages=4,8,12,16;salus=2,4";
-const std::vector<std::string> kBackends = {"p4", "interp"};
+const std::vector<std::string> kBackends = {"p4", "ebpf", "interp"};
 
 double run_cold(const lucid::apps::AppSpec& spec,
                 const std::vector<lucid::SweepVariant>& variants) {
@@ -78,7 +86,8 @@ double run_shared_serial(const lucid::apps::AppSpec& spec,
 
 double run_sweep(const lucid::apps::AppSpec& spec,
                  const std::vector<lucid::SweepVariant>& variants,
-                 lucid::ArtifactCache* cache) {
+                 lucid::ArtifactCache* cache,
+                 std::map<std::string, double>* emit_ms_by_backend = nullptr) {
   lucid::SweepOptions opts;
   opts.variants = variants;
   opts.backends = kBackends;
@@ -93,7 +102,90 @@ double run_sweep(const lucid::apps::AppSpec& spec,
                  spec.key.c_str(), report.str().c_str());
     std::exit(1);
   }
+  if (emit_ms_by_backend != nullptr) {
+    for (const lucid::SweepVariantReport& vr : report.variants) {
+      for (const lucid::SweepEmission& e : vr.emissions) {
+        (*emit_ms_by_backend)[e.backend] += e.wall_ms;
+      }
+    }
+  }
   return ms_since(t0);
+}
+
+/// One app's measurements, destined for BENCH_sweep.json.
+struct AppRow {
+  std::string key;
+  double cold_ms = 0;
+  double shared_ms = 0;
+  double par_ms = 0;
+  double cached_ms = 0;
+  std::map<std::string, double> par_emit_ms;     // per-backend, cold cache
+  std::map<std::string, double> cached_emit_ms;  // per-backend, warm cache
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void write_json(const std::vector<AppRow>& rows, const AppRow& totals,
+                std::size_t variant_count, const char* path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path);
+    return;
+  }
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  const auto emit_map = [&os](const std::map<std::string, double>& m) {
+    os << "{";
+    bool first = true;
+    for (const auto& [backend, ms] : m) {
+      if (!first) os << ", ";
+      first = false;
+      os << "\"" << json_escape(backend) << "\": " << ms;
+    }
+    os << "}";
+  };
+  const auto row = [&](const AppRow& r) {
+    os << "    {\"app\": \"" << json_escape(r.key) << "\", "
+       << "\"cold_ms\": " << r.cold_ms << ", "
+       << "\"shared_ms\": " << r.shared_ms << ", "
+       << "\"par_ms\": " << r.par_ms << ", "
+       << "\"cached_ms\": " << r.cached_ms << ", "
+       << "\"par_emit_ms\": ";
+    emit_map(r.par_emit_ms);
+    os << ", \"cached_emit_ms\": ";
+    emit_map(r.cached_emit_ms);
+    os << "}";
+  };
+  os << "{\n"
+     << "  \"bench\": \"bench_sweep\",\n"
+     << "  \"grid\": \"" << json_escape(kGrid) << "\",\n"
+     << "  \"variants\": " << variant_count << ",\n"
+     << "  \"workers\": " << std::thread::hardware_concurrency() << ",\n"
+     << "  \"backends\": [";
+  for (std::size_t i = 0; i < kBackends.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << "\"" << json_escape(kBackends[i]) << "\"";
+  }
+  os << "],\n  \"apps\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    row(rows[i]);
+    os << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"totals\": ";
+  row(totals);
+  os << ",\n  \"speedup_cold_over_par\": "
+     << (totals.par_ms > 0 ? totals.cold_ms / totals.par_ms : 0.0) << "\n"
+     << "}\n";
+  out << os.str();
+  std::printf("\nwrote %s\n", path);
 }
 
 }  // namespace
@@ -114,25 +206,36 @@ int main() {
   std::printf("%-6s %10s %10s %10s %10s   %s\n", "app", "cold ms",
               "shared ms", "par ms", "cached ms", "speedup (cold/par)");
 
-  double cold_total = 0, shared_total = 0, par_total = 0, cached_total = 0;
+  std::vector<AppRow> rows;
+  AppRow totals;
+  totals.key = "total";
   lucid::ArtifactCache cache;  // warmed by the "par" run, reused by "cached"
   for (const lucid::apps::AppSpec& spec : lucid::apps::all_apps()) {
-    const double cold = run_cold(spec, variants);
-    const double shared = run_shared_serial(spec, variants);
-    const double par = run_sweep(spec, variants, &cache);
-    const double cached = run_sweep(spec, variants, &cache);
-    cold_total += cold;
-    shared_total += shared;
-    par_total += par;
-    cached_total += cached;
+    AppRow r;
+    r.key = spec.key;
+    r.cold_ms = run_cold(spec, variants);
+    r.shared_ms = run_shared_serial(spec, variants);
+    r.par_ms = run_sweep(spec, variants, &cache, &r.par_emit_ms);
+    r.cached_ms = run_sweep(spec, variants, &cache, &r.cached_emit_ms);
+    totals.cold_ms += r.cold_ms;
+    totals.shared_ms += r.shared_ms;
+    totals.par_ms += r.par_ms;
+    totals.cached_ms += r.cached_ms;
+    for (const auto& [b, ms] : r.par_emit_ms) totals.par_emit_ms[b] += ms;
+    for (const auto& [b, ms] : r.cached_emit_ms) {
+      totals.cached_emit_ms[b] += ms;
+    }
     std::printf("%-6s %10.2f %10.2f %10.2f %10.2f   %.2fx\n",
-                spec.key.c_str(), cold, shared, par, cached,
-                par > 0 ? cold / par : 0.0);
+                spec.key.c_str(), r.cold_ms, r.shared_ms, r.par_ms,
+                r.cached_ms, r.par_ms > 0 ? r.cold_ms / r.par_ms : 0.0);
+    rows.push_back(std::move(r));
   }
   print_rule();
+  const double cold_total = totals.cold_ms, par_total = totals.par_ms;
   std::printf("%-6s %10.2f %10.2f %10.2f %10.2f   %.2fx\n", "total",
-              cold_total, shared_total, par_total, cached_total,
-              par_total > 0 ? cold_total / par_total : 0.0);
+              totals.cold_ms, totals.shared_ms, totals.par_ms,
+              totals.cached_ms,
+              totals.par_ms > 0 ? totals.cold_ms / totals.par_ms : 0.0);
   std::printf(
       "\ncold   = front end recompiled per variant (%zu variants)\n"
       "shared = one front end, clone_from_stage per variant, serial\n"
@@ -145,5 +248,6 @@ int main() {
   } else {
     std::printf("WARNING: parallel sweep did not beat cold compiles\n");
   }
+  write_json(rows, totals, variants.size(), "BENCH_sweep.json");
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "core/backends.hpp"
 
+#include "ebpf/emit.hpp"
 #include "interp/backend.hpp"
 #include "p4/emit.hpp"
 
@@ -8,6 +9,7 @@ namespace lucid {
 void register_default_backends(BackendRegistry& registry) {
   p4::register_backend(registry);
   interp::register_backend(registry);
+  ebpf::register_backend(registry);
 }
 
 }  // namespace lucid

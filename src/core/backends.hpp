@@ -7,9 +7,9 @@
 
 namespace lucid {
 
-/// Registers the stock backends ("p4", "interp") with `registry` (the
-/// process-wide global registry by default). Idempotent: already-registered
-/// names are left untouched.
+/// Registers the stock backends ("p4", "interp", "ebpf") with `registry`
+/// (the process-wide global registry by default). Idempotent:
+/// already-registered names are left untouched.
 void register_default_backends(BackendRegistry& registry =
                                    BackendRegistry::global());
 

@@ -107,8 +107,13 @@ std::string ArtifactCache::artifact_path(std::string_view source,
                                          const DriverOptions& options,
                                          std::string_view backend) const {
   const std::string fp = options_fingerprint(options, Stage::Emit);
-  std::string name = hex64(fnv1a64(source)) + "-" +
-                     hex64(fnv1a64(fp)) + "-" + std::string(backend) + ".art";
+  // The key spells out the backend name and compiler version so artifacts
+  // for the same source from different emitters (p4 vs ebpf) or different
+  // compiler builds can never collide on disk; the in-file "compiler" record
+  // stays as a second line of defense for hand-copied entries.
+  std::string name = hex64(fnv1a64(source)) + "-" + hex64(fnv1a64(fp)) + "-" +
+                     std::string(backend) + "-v" + std::string(kLucidVersion) +
+                     ".art";
   return dir_ + "/" + name;
 }
 

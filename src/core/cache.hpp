@@ -15,8 +15,10 @@
 //   * An optional disk cache for emitted backend artifacts (--cache-dir).
 //     Emission output is a plain string, so it round-trips losslessly; the
 //     key covers the source hash, the options fingerprint (resource model +
-//     program name, both of which shape the emitted text), and the backend
-//     name. Only successful artifacts are stored.
+//     program name, both of which shape the emitted text), the backend
+//     name, and the compiler version — artifacts for the same source from
+//     different emitters or compiler builds never collide. Only successful
+//     artifacts are stored.
 //
 // Thread safety: every public member is safe to call concurrently; the map
 // is mutex-guarded and cached masters are immutable once inserted (clones

@@ -56,7 +56,7 @@
 namespace lucid {
 
 /// Compiler/driver version, reported by `lucidc --version`.
-inline constexpr std::string_view kLucidVersion = "0.2.0";
+inline constexpr std::string_view kLucidVersion = "0.3.0";
 
 // ---------------------------------------------------------------------------
 // Stages
@@ -254,7 +254,7 @@ class Backend {
 
 /// Name -> backend lookup. The process-wide default registry is
 /// `BackendRegistry::global()`; `register_default_backends()`
-/// (core/backends.hpp) populates it with "p4" and "interp".
+/// (core/backends.hpp) populates it with "p4", "interp", and "ebpf".
 class BackendRegistry {
  public:
   /// The process-wide default registry.

@@ -3,6 +3,7 @@
 //
 //   lucidc FILE.lucid                 compile; print a layout summary
 //   lucidc --emit=p4 FILE.lucid       emit through a registered backend
+//   lucidc --emit=ebpf FILE.lucid     emit a self-contained XDP C program
 //   lucidc --emit=interp FILE.lucid   print the interpreter binding summary
 //   lucidc --stop-after=STAGE FILE    stop after parse|sema|lower|layout
 //   lucidc --time-passes FILE         print per-stage wall-clock timings
@@ -13,6 +14,8 @@
 //   lucidc --cache-dir=DIR ...        cache emitted artifacts under DIR
 //   lucidc --jobs=N                   worker threads for --sweep (default:
 //                                     hardware concurrency)
+//   lucidc --backends=p4,interp ...   backends a --sweep emits (default:
+//                                     every registered text backend)
 //   lucidc --list-backends            list registered backends
 //   lucidc --version                  print the compiler version
 //
@@ -22,10 +25,12 @@
 // Exit status: 0 on success, 1 on compilation/input errors, 2 on usage
 // errors (unknown flag, missing file operand, unknown stage/backend/grid
 // name).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/backends.hpp"
 #include "core/cache.hpp"
@@ -50,11 +55,14 @@ void usage(std::ostream& os) {
         "(fields: stages|tables|salus|rules|members|aluops)\n"
         "  --cache-dir=DIR    reuse/store emitted artifacts under DIR\n"
         "  --jobs=N           sweep worker threads (default: all cores)\n"
+        "  --backends=LIST    backends a --sweep emits (default: p4,ebpf,"
+        "interp)\n"
         "  --ir               dump the atomic table graphs\n"
         "  --layout           dump the merged pipeline\n"
         "  --p4               alias for --emit=p4\n"
         "  --check            alias for --stop-after=sema\n"
-        "  --list-backends    list registered backends and exit\n"
+        "  --list-backends    list backends (name, required stage, "
+        "description) and exit\n"
         "  --version          print version and exit\n"
         "  -h, --help         this message\n";
 }
@@ -83,6 +91,8 @@ int main(int argc, char** argv) {
   std::string dump;  // "ir" | "layout"
   std::string sweep_spec;                         // --sweep=...
   bool sweep_requested = false;
+  std::vector<std::string> sweep_backends;        // --backends=...
+  bool backends_requested = false;
   std::string cache_dir;                          // --cache-dir=...
   int jobs = 0;                                   // --jobs=...
   std::string path;
@@ -96,9 +106,17 @@ int main(int argc, char** argv) {
       std::cout << "lucidc (Lucid compiler) " << lucid::kLucidVersion << "\n";
       return kExitOk;
     } else if (arg == "--list-backends") {
+      // name, the deepest stage it needs, and a one-line description.
       auto& reg = lucid::BackendRegistry::global();
+      std::size_t name_w = 4;
       for (const auto& name : reg.names()) {
-        std::cout << name << "\t" << reg.find(name)->description() << "\n";
+        name_w = std::max(name_w, name.size());
+      }
+      for (const auto& name : reg.names()) {
+        const lucid::Backend* b = reg.find(name);
+        std::cout << name << std::string(name_w - name.size() + 2, ' ')
+                  << "requires=" << lucid::stage_name(b->required_stage())
+                  << "  " << b->description() << "\n";
       }
       return kExitOk;
     } else if (lucid::starts_with(arg, "--emit=")) {
@@ -123,6 +141,18 @@ int main(int argc, char** argv) {
     } else if (lucid::starts_with(arg, "--sweep=") || arg == "--sweep") {
       sweep_spec = arg == "--sweep" ? "" : arg.substr(8);
       sweep_requested = true;
+    } else if (lucid::starts_with(arg, "--backends=")) {
+      sweep_backends.clear();
+      for (const std::string& b : lucid::split(arg.substr(11), ',')) {
+        const std::string name{lucid::trim(b)};
+        if (!name.empty()) sweep_backends.push_back(name);
+      }
+      if (sweep_backends.empty()) {
+        std::cerr << "lucidc: --backends requires a comma-separated backend "
+                     "list (see --list-backends)\n";
+        return kExitUsage;
+      }
+      backends_requested = true;
     } else if (lucid::starts_with(arg, "--cache-dir=")) {
       cache_dir = arg.substr(12);
       if (cache_dir.empty()) {
@@ -185,6 +215,23 @@ int main(int argc, char** argv) {
     std::cerr << "lucidc: --jobs only applies to --sweep\n";
     return kExitUsage;
   }
+  if (backends_requested) {
+    if (!sweep_requested) {
+      std::cerr << "lucidc: --backends only applies to --sweep (use --emit "
+                   "for a single backend)\n";
+      return kExitUsage;
+    }
+    for (const std::string& name : sweep_backends) {
+      if (lucid::BackendRegistry::global().find(name) == nullptr) {
+        std::cerr << "lucidc: unknown backend '" << name << "'; registered:";
+        for (const auto& n : lucid::BackendRegistry::global().names()) {
+          std::cerr << " " << n;
+        }
+        std::cerr << "\n";
+        return kExitUsage;
+      }
+    }
+  }
   if (!cache_dir.empty() && !sweep_requested && backend.empty()) {
     std::cerr << "lucidc: --cache-dir only applies to --emit or --sweep\n";
     return kExitUsage;
@@ -239,6 +286,7 @@ int main(int argc, char** argv) {
     sweep_opts.variants = std::move(sweep_variants);
     sweep_opts.program_name = path;
     sweep_opts.workers = jobs;
+    if (backends_requested) sweep_opts.backends = sweep_backends;
     if (!cache_dir.empty()) sweep_opts.cache = &cache;
     const lucid::SweepReport report =
         lucid::SweepEngine().run(source, sweep_opts);

@@ -101,7 +101,7 @@ struct SweepReport {
 
 struct SweepOptions {
   std::vector<SweepVariant> variants;  // empty -> single Tofino variant
-  std::vector<std::string> backends = {"p4", "interp"};
+  std::vector<std::string> backends = {"p4", "ebpf", "interp"};
   /// Worker threads for layout + emission; 0 = hardware concurrency.
   int workers = 0;
   std::string program_name = "program";

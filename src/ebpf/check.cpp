@@ -1,0 +1,248 @@
+#include "ebpf/check.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <vector>
+
+namespace lucid::ebpf {
+
+namespace {
+
+/// Cost of evaluating a table's guards: each test is a load + compare-and-
+/// branch, each conjunction adds a join branch.
+int guard_cost(const ir::AtomicTable& t) {
+  int cost = 0;
+  for (const ir::Conj& conj : t.guards) {
+    cost += 1 + 2 * static_cast<int>(conj.size());
+  }
+  return cost;
+}
+
+}  // namespace
+
+int table_insn_cost(const ir::AtomicTable& table) {
+  using ir::TableKind;
+  int cost = guard_cost(table) + 1;  // +1 for the ev_id test
+  switch (table.kind) {
+    case TableKind::Op:
+      // load operands, ALU op, store (plus a mask for sub-word widths).
+      cost += 4;
+      break;
+    case TableKind::Mem:
+      // key setup + bounds mask, bpf_map_lookup_elem, NULL check, single
+      // read, memop arithmetic (conditional memops branch), single write.
+      cost += 12;
+      break;
+    case TableKind::Hash: {
+      // The inline CRC32 loop is unrolled 32x per input word (shift, mask,
+      // xor per iteration) — by far the emitter's densest construct. 64-bit
+      // args fold as two words.
+      int words = 0;
+      for (const ir::Operand& a : table.hash.args) {
+        words += a.width > 32 ? 2 : 1;
+      }
+      cost += 100 * std::max(words, 1);
+      break;
+    }
+    case TableKind::Generate:
+      // Staging-field writes for the scheduler metadata plus one per arg,
+      // and the end-of-pipeline serialization + bpf_tail_call amortized in.
+      cost += 8 + static_cast<int>(table.gen.args.size());
+      break;
+    case TableKind::Branch:
+      // Dissolved by branch inlining; if one survives (unoptimized layout)
+      // it is a compare-and-branch.
+      cost += 2;
+      break;
+  }
+  return cost;
+}
+
+CheckReport check(const ir::ProgramIR& ir, const opt::Pipeline& pipeline,
+                  const EbpfLimits& limits, DiagnosticEngine& diags) {
+  CheckReport report;
+
+  // ---- wire-format representability ---------------------------------------
+  // The emitter's packed event headers use exact-size C scalars, so only
+  // whole-scalar widths keep the wire format byte-compatible with the P4
+  // backend's bit<w> fields. A bit<48> param, say, would silently occupy 8
+  // bytes here but 6 on the Tofino wire — reject instead of misparsing.
+  for (const ir::EventInfo& ev : ir.events) {
+    for (const auto& [pname, pwidth] : ev.params) {
+      if (pwidth == 8 || pwidth == 16 || pwidth == 32 || pwidth == 64) {
+        continue;
+      }
+      report.ok = false;
+      diags.error({}, "ebpf-param-width",
+                  "event '" + ev.name + "' parameter '" + pname +
+                      "' has width " + std::to_string(pwidth) +
+                      "; the XDP wire format only supports 8/16/32/64-bit "
+                      "event parameters");
+    }
+  }
+  // Cells and locals of width 33..63 cannot wrap at 2^w in C (values <= 32
+  // bits are masked, 64-bit values wrap naturally) — reject rather than
+  // silently diverge from the interpreter's and Tofino's bit<w> arithmetic.
+  for (const ir::ArrayInfo& arr : ir.arrays) {
+    if (arr.width > 32 && arr.width < 64) {
+      report.ok = false;
+      diags.error({}, "ebpf-cell-width",
+                  "array '" + arr.name + "' has cell width " +
+                      std::to_string(arr.width) +
+                      "; XDP register cells must be <= 32 or exactly 64 "
+                      "bits to wrap like the other backends");
+    }
+  }
+
+  // ---- instruction estimates ----------------------------------------------
+  // The emitted XDP program is one function: parser/dispatcher prologue plus
+  // every handler's straight-line section (the verifier walks all of them).
+  constexpr int kProloguePerProgram = 24;  // bounds checks + ethertype test
+  constexpr int kProloguePerHandler = 8;   // dispatch case + param copies
+  for (const ir::EventInfo& ev : ir.events) {
+    if (!ev.has_handler) continue;
+    report.handler_insns[ev.name] =
+        kProloguePerHandler + 3 * static_cast<int>(ev.params.size());
+  }
+  for (const opt::StageLayout& stage : pipeline.stages) {
+    for (const opt::MergedTable& mt : stage.tables) {
+      for (const ir::AtomicTable& t : mt.members) {
+        report.handler_insns[t.handler] += table_insn_cost(t);
+      }
+    }
+  }
+  report.program_insns = kProloguePerProgram;
+  for (const auto& [handler, insns] : report.handler_insns) {
+    report.program_insns += insns;
+    if (insns > limits.insns_per_handler) {
+      report.ok = false;
+      diags.error({}, "ebpf-handler-insns",
+                  "handler '" + handler + "' is estimated at " +
+                      std::to_string(insns) +
+                      " BPF instructions, over the per-handler limit of " +
+                      std::to_string(limits.insns_per_handler));
+    }
+  }
+  if (report.program_insns > limits.insns_per_program) {
+    report.ok = false;
+    diags.error({}, "ebpf-program-insns",
+                "program is estimated at " +
+                    std::to_string(report.program_insns) +
+                    " BPF instructions, over the program limit of " +
+                    std::to_string(limits.insns_per_program));
+  }
+
+  // ---- maps ---------------------------------------------------------------
+  // One BPF_MAP_TYPE_ARRAY per register array, plus the recirculation
+  // BPF_MAP_TYPE_PROG_ARRAY. Array maps preallocate size * value bytes.
+  report.map_count = static_cast<int>(ir.arrays.size()) + 1;
+  for (const ir::ArrayInfo& arr : ir.arrays) {
+    const long long value_bytes = arr.width > 32 ? 8 : 4;
+    report.map_bytes += value_bytes * std::max<std::int64_t>(arr.size, 0);
+  }
+  if (report.map_count > limits.max_maps) {
+    report.ok = false;
+    diags.error({}, "ebpf-map-count",
+                "program needs " + std::to_string(report.map_count) +
+                    " BPF maps (" + std::to_string(ir.arrays.size()) +
+                    " register arrays + the recirculation prog array), over "
+                    "the limit of " +
+                    std::to_string(limits.max_maps));
+  }
+  if (report.map_bytes > limits.max_map_bytes) {
+    report.ok = false;
+    diags.error({}, "ebpf-map-bytes",
+                "register arrays preallocate " +
+                    std::to_string(report.map_bytes) +
+                    " bytes of map memory, over the limit of " +
+                    std::to_string(limits.max_map_bytes));
+  }
+
+  // ---- tail-call depth ----------------------------------------------------
+  // generate lowers to exactly one bpf_tail_call per hop (the serializer
+  // re-enters the main program directly; delayed events leave the kernel),
+  // so the chain depth is the longest path in the handler -> generated-event
+  // graph. A cycle means the program re-injects (fresh budget per packet),
+  // which is legal but worth a warning; acyclic chains must fit the kernel's
+  // cap.
+  std::map<std::string, std::set<std::string>> gen_edges;
+  std::map<std::string, int> gen_sites_per_handler;
+  for (const opt::StageLayout& stage : pipeline.stages) {
+    for (const opt::MergedTable& mt : stage.tables) {
+      for (const ir::AtomicTable& t : mt.members) {
+        if (t.kind == ir::TableKind::Generate) {
+          gen_edges[t.handler].insert(t.gen.event);
+          ++gen_sites_per_handler[t.handler];
+        }
+        if (t.kind == ir::TableKind::Op && t.op.width > 32 &&
+            t.op.width < 64) {
+          report.ok = false;
+          diags.error({}, "ebpf-cell-width",
+                      "handler '" + t.handler + "' computes a " +
+                          std::to_string(t.op.width) +
+                          "-bit value ('" + t.op.dst +
+                          "'); XDP locals must be <= 32 or exactly 64 bits "
+                          "to wrap like the other backends");
+        }
+      }
+    }
+  }
+  // XDP cannot clone packets: when several generate sites of one handler
+  // fire for the same packet, only the first is re-injected. Warn so the
+  // at-most-one-event semantics is a documented choice, not a surprise.
+  for (const auto& [handler, sites] : gen_sites_per_handler) {
+    if (sites > 1) {
+      diags.warning({}, "ebpf-multi-generate",
+                    "handler '" + handler + "' has " +
+                        std::to_string(sites) +
+                        " generate sites; XDP cannot clone packets, so at "
+                        "most one generated event is re-injected per packet "
+                        "(first fired site wins)");
+    }
+  }
+  // Longest-path DFS with cycle detection, deterministic over map order.
+  std::map<std::string, int> depth_memo;
+  std::set<std::string> on_stack;
+  const std::function<int(const std::string&)> depth =
+      [&](const std::string& handler) -> int {
+    const auto memo = depth_memo.find(handler);
+    if (memo != depth_memo.end()) return memo->second;
+    if (!on_stack.insert(handler).second) {
+      report.recirc_cycle = true;
+      return 0;  // cycle edge: depth charged to the re-injection, not here
+    }
+    int best = 0;
+    const auto edges = gen_edges.find(handler);
+    if (edges != gen_edges.end()) {
+      for (const std::string& next : edges->second) {
+        best = std::max(best, 1 + depth(next));
+      }
+    }
+    on_stack.erase(handler);
+    depth_memo[handler] = best;
+    return best;
+  };
+  for (const auto& [handler, targets] : gen_edges) {
+    (void)targets;
+    report.tail_call_depth = std::max(report.tail_call_depth, depth(handler));
+  }
+  if (report.recirc_cycle) {
+    diags.warning({}, "ebpf-recirc-cycle",
+                  "recirculation graph is cyclic; every re-injected event "
+                  "packet gets a fresh tail-call budget, but sustained "
+                  "recirculation consumes NIC bandwidth");
+  }
+  if (report.tail_call_depth > limits.max_tail_call_depth) {
+    report.ok = false;
+    diags.error({}, "ebpf-tail-depth",
+                "generate chain reaches depth " +
+                    std::to_string(report.tail_call_depth) +
+                    ", over the kernel tail-call limit of " +
+                    std::to_string(limits.max_tail_call_depth));
+  }
+
+  return report;
+}
+
+}  // namespace lucid::ebpf

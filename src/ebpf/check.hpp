@@ -1,0 +1,82 @@
+// Verifier-friendliness checker for the eBPF/XDP backend.
+//
+// The Linux verifier accepts a much narrower program shape than a Tofino
+// pipeline: bounded instruction counts, a small number of maps, bounded map
+// memory, and a hard tail-call chain limit. Emitting a program the verifier
+// would reject helps nobody, so — in the same spirit as the layout pass's
+// ResourceModel — this checker walks the laid-out pipeline *before* emission
+// and predicts the emitted program's footprint:
+//
+//   - a per-handler instruction estimate (the emitter's straight-line
+//     sections are costed per atomic table, guards included);
+//   - the map count (one BPF_MAP_TYPE_ARRAY per register array plus the
+//     recirculation BPF_MAP_TYPE_PROG_ARRAY) and total preallocated bytes
+//     (array maps are not lazily populated);
+//   - the recirculation depth (generate lowers to bpf_tail_call, and the
+//     kernel caps chained tail calls at 33).
+//
+// Programs over a limit are rejected with proper diagnostics ("ebpf-*"
+// codes) instead of emitting unverifiable code. Cyclic recirculation (e.g.
+// self-rescheduling aging events) is legal — each re-injected packet gets a
+// fresh tail-call budget — and is reported as a warning, not an error.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "opt/passes.hpp"
+#include "support/diagnostics.hpp"
+
+namespace lucid::ebpf {
+
+/// The eBPF resource model: what the target kernel's verifier will accept.
+/// Mirrors opt::ResourceModel for the Tofino pipeline; kernel_default() is
+/// calibrated to a stock modern kernel the way tofino() is to Tofino 1.
+struct EbpfLimits {
+  /// Estimated BPF instructions per handler's straight-line section. The
+  /// classic BPF_MAXINSNS program-size cap; a conservative stand-in for the
+  /// verifier's complexity budget.
+  int insns_per_handler = 4096;
+  /// Estimated BPF instructions across the whole XDP program (all handler
+  /// sections plus parser/dispatcher prologue).
+  int insns_per_program = 65536;
+  int max_maps = 64;                          // per-program map references
+  long long max_map_bytes = 16ll << 20;       // preallocated value memory
+  int max_tail_call_depth = 33;               // kernel MAX_TAIL_CALL_CNT
+
+  static EbpfLimits kernel_default() { return EbpfLimits{}; }
+};
+
+/// What the checker predicted for one program. Valid even when !ok — the
+/// diagnostics name the limit that was exceeded, the report carries the
+/// numbers behind it.
+struct CheckReport {
+  bool ok = true;
+  int program_insns = 0;                      // whole-program estimate
+  std::map<std::string, int> handler_insns;   // per-handler estimate
+  int map_count = 0;                          // register arrays + prog array
+  long long map_bytes = 0;                    // preallocated value bytes
+  int tail_call_depth = 0;                    // longest acyclic generate chain
+  bool recirc_cycle = false;                  // generate graph has a cycle
+};
+
+/// Estimated BPF instruction cost of one atomic table as the emitter lowers
+/// it (guard tests included). Exposed so tests can pin the cost model.
+[[nodiscard]] int table_insn_cost(const ir::AtomicTable& table);
+
+/// Checks `pipeline` (the laid-out program over `ir`) against `limits`.
+/// Violations produce error diagnostics on `diags` with codes
+/// "ebpf-handler-insns", "ebpf-program-insns", "ebpf-map-count",
+/// "ebpf-map-bytes", "ebpf-tail-depth", "ebpf-param-width" (event params
+/// must be 8/16/32/64-bit to stay byte-compatible with the P4 wire format),
+/// and "ebpf-cell-width" (cells/locals of width 33..63 cannot wrap at 2^w
+/// in C). Warnings: "ebpf-recirc-cycle" (cyclic recirculation) and
+/// "ebpf-multi-generate" (XDP re-injects at most one generated event per
+/// packet).
+[[nodiscard]] CheckReport check(const ir::ProgramIR& ir,
+                                const opt::Pipeline& pipeline,
+                                const EbpfLimits& limits,
+                                DiagnosticEngine& diags);
+
+}  // namespace lucid::ebpf

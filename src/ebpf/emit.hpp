@@ -1,0 +1,77 @@
+// eBPF/XDP backend: renders a compiled Lucid program as a self-contained
+// XDP C program — the same atomic-table IR the P4 backend consumes, lowered
+// onto the kernel data plane instead of a Tofino pipeline:
+//
+//   - register arrays become BPF_MAP_TYPE_ARRAY maps (one cell per index,
+//     preallocated, shared with userspace control);
+//   - the event wire format mirrors the P4 backend's headers (ethernet +
+//     Lucid event metadata + one packed param struct per event), parsed with
+//     explicit bounds checks the verifier can discharge;
+//   - each pipeline stage becomes a straight-line handler section: every
+//     atomic table is an `if (ev_id == ... && guards)` block, with memops
+//     emitted as bounded single-read/single-write map updates;
+//   - generate/recirculation becomes a bpf_tail_call through a
+//     BPF_MAP_TYPE_PROG_ARRAY: immediate events re-enter the pipeline with
+//     exactly one tail call per hop, delayed events are handed to the
+//     userspace delay queue, which re-injects them through the emitted
+//     recirculation program (XDP cannot clone packets, so the serializer
+//     re-injects the first generated event in site order);
+//   - hash builtins map to an inline (unrolled) CRC32.
+//
+// "Self-contained" means the emitted .c defines the minimal BPF/XDP ABI it
+// needs (types, helper stubs, map/section macros) instead of including
+// kernel headers, so the golden files pin the entire artifact and the
+// program compiles with any `clang -target bpf` without a sysroot.
+//
+// Emission refuses — with proper diagnostics, via ebpf::check — to produce
+// programs the kernel verifier would reject (see ebpf/check.hpp).
+//
+// Every emitted line is tagged with a category so LoC breakdowns mirror the
+// P4 backend's Figure 9/10 metrics.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "core/driver.hpp"
+#include "ebpf/check.hpp"
+
+namespace lucid::ebpf {
+
+enum class LineCategory {
+  Header,   // wire-format structs (ethernet, event metadata, per-event)
+  Map,      // BPF map definitions (register arrays, prog array)
+  Helper,   // inline helpers (CRC32, byte order)
+  Parser,   // bounds-checked packet parsing + event dispatch
+  Handler,  // per-stage straight-line table sections
+  Control,  // serializer, recirculation program, XDP plumbing
+  Other,    // ABI preamble, ctx struct, license
+};
+
+[[nodiscard]] std::string_view category_name(LineCategory c);
+
+struct XdpProgram {
+  std::string text;
+  std::map<LineCategory, std::size_t> loc_by_category;
+
+  [[nodiscard]] std::size_t total_loc() const {
+    std::size_t n = 0;
+    for (const auto& [c, v] : loc_by_category) n += v;
+    return n;
+  }
+};
+
+/// Emits from a driver Compilation (Layout stage must have succeeded).
+/// Pure function of the compilation: byte-identical across cold, cloned,
+/// and cached compiles. Does NOT run the verifier-friendliness checker —
+/// the backend adapter does that first and refuses on failure.
+[[nodiscard]] XdpProgram emit(const Compilation& comp,
+                              std::string_view program_name);
+
+/// Registers the "ebpf" backend with `registry`; false if already present.
+/// `limits` is the verifier model emission is checked against.
+bool register_backend(BackendRegistry& registry,
+                      EbpfLimits limits = EbpfLimits::kernel_default());
+
+}  // namespace lucid::ebpf

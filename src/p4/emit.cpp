@@ -6,6 +6,7 @@
 #include <sstream>
 #include <vector>
 
+#include "support/linewriter.hpp"
 #include "support/strings.hpp"
 
 namespace lucid::p4 {
@@ -30,37 +31,7 @@ std::string_view category_name(LineCategory c) {
 
 namespace {
 
-/// Accumulates emitted lines tagged with a LoC category.
-class LineWriter {
- public:
-  void line(LineCategory cat, const std::string& text) {
-    std::size_t start = 0;
-    while (start <= text.size()) {
-      const std::size_t nl = text.find('\n', start);
-      const std::string one =
-          text.substr(start, nl == std::string::npos ? nl : nl - start);
-      out_ << one << "\n";
-      const auto trimmed = lucid::trim(one);
-      if (!trimmed.empty() && !lucid::starts_with(trimmed, "//")) {
-        ++counts_[cat];
-      }
-      if (nl == std::string::npos) break;
-      start = nl + 1;
-    }
-  }
-  void blank() { out_ << "\n"; }
-
-  [[nodiscard]] P4Program finish() {
-    P4Program p;
-    p.text = out_.str();
-    p.loc_by_category = counts_;
-    return p;
-  }
-
- private:
-  std::ostringstream out_;
-  std::map<LineCategory, std::size_t> counts_;
-};
+using LineWriter = CategoryLineWriter<LineCategory>;
 
 std::string bit_ty(int width) {
   return "bit<" + std::to_string(std::max(width, 1)) + ">";
@@ -169,7 +140,10 @@ class Emitter {
     egress_scheduler();
     deparser();
     pipeline_decl();
-    return w_.finish();
+    P4Program p;
+    p.text = w_.text();
+    p.loc_by_category = w_.counts();
+    return p;
   }
 
  private:

@@ -1,0 +1,37 @@
+// Shared line accumulator for code-generating backends: every emitted line
+// is tagged with a backend-specific LoC category, and counting uses the same
+// rule as lucid::count_loc (blank and //-comment lines don't count), so the
+// Figure 9/10 LoC breakdowns stay comparable across emitters by
+// construction.
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "support/strings.hpp"
+
+namespace lucid {
+
+template <typename Category>
+class CategoryLineWriter {
+ public:
+  /// Appends `text` (may span multiple lines) plus a trailing newline,
+  /// charging its countable lines to `cat`.
+  void line(Category cat, const std::string& text) {
+    out_ << text << "\n";
+    counts_[cat] += count_loc(text);
+  }
+  void blank() { out_ << "\n"; }
+
+  [[nodiscard]] std::string text() const { return out_.str(); }
+  [[nodiscard]] const std::map<Category, std::size_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::ostringstream out_;
+  std::map<Category, std::size_t> counts_;
+};
+
+}  // namespace lucid

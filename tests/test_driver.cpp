@@ -156,11 +156,12 @@ TEST(Driver, DefaultBackendsAreRegistered) {
   register_default_backends(registry);
   ASSERT_NE(registry.find("p4"), nullptr);
   ASSERT_NE(registry.find("interp"), nullptr);
+  ASSERT_NE(registry.find("ebpf"), nullptr);
   EXPECT_EQ(registry.names(),
-            (std::vector<std::string>{"interp", "p4"}));
+            (std::vector<std::string>{"ebpf", "interp", "p4"}));
   // Idempotent: a second registration does not duplicate.
   register_default_backends(registry);
-  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.size(), 3u);
 }
 
 TEST(Driver, UnknownBackendIsADiagnosticNotACrash) {
@@ -169,7 +170,7 @@ TEST(Driver, UnknownBackendIsADiagnosticNotACrash) {
   const CompilerDriver driver({}, &registry);
   const CompilationPtr comp = driver.run(kCounter, Stage::Layout);
   ASSERT_TRUE(comp->ok());
-  const BackendArtifact artifact = driver.emit(comp, "ebpf");
+  const BackendArtifact artifact = driver.emit(comp, "bmv2");
   EXPECT_FALSE(artifact.ok);
   EXPECT_TRUE(artifact.text.empty());
   EXPECT_TRUE(comp->diags().has_code("driver-unknown-backend"));

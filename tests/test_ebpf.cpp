@@ -1,0 +1,314 @@
+// eBPF/XDP backend tests: the verifier-friendliness checker's limit
+// enforcement and diagnostics, the shape of the emitted XDP C, and the
+// backend adapter's refuse-don't-emit contract.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "core/backends.hpp"
+#include "ebpf/check.hpp"
+#include "ebpf/emit.hpp"
+
+namespace lucid {
+namespace {
+
+constexpr const char* kCounter =
+    "global cnt = new Array<<32>>(16);\n"
+    "memop plus(int cur, int x) { return cur + x; }\n"
+    "event bump(int i);\n"
+    "handle bump(int i) { Array.set(cnt, i & 15, plus, 1); }\n";
+
+// A handler that re-generates its own event: cyclic recirculation.
+constexpr const char* kAging =
+    "global filt = new Array<<32>>(64);\n"
+    "event age(int i);\n"
+    "handle age(int i) { Array.set(filt, i & 63, 0); generate age(i + 1); }\n";
+
+CompilationPtr compile(const char* source, BackendRegistry& registry) {
+  const CompilerDriver driver({}, &registry);
+  CompilationPtr comp = driver.run(source, Stage::Layout);
+  EXPECT_TRUE(comp->ok()) << comp->diags().render();
+  return comp;
+}
+
+BackendRegistry& default_registry() {
+  static BackendRegistry registry = [] {
+    BackendRegistry r;
+    register_default_backends(r);
+    return r;
+  }();
+  return registry;
+}
+
+// ---------------------------------------------------------------------------
+// Checker
+// ---------------------------------------------------------------------------
+
+TEST(EbpfCheck, PaperAppsFitTheDefaultKernelModel) {
+  for (const apps::AppSpec& spec : apps::all_apps()) {
+    SCOPED_TRACE(spec.key);
+    const CompilerDriver driver({}, &default_registry());
+    const CompilationPtr comp = driver.run(spec.source, Stage::Layout);
+    ASSERT_TRUE(comp->ok()) << comp->diags().render();
+
+    DiagnosticEngine diags;
+    const ebpf::CheckReport report =
+        ebpf::check(comp->ir(), comp->pipeline(),
+                    ebpf::EbpfLimits::kernel_default(), diags);
+    EXPECT_TRUE(report.ok) << diags.render();
+    EXPECT_FALSE(diags.has_errors()) << diags.render();
+    EXPECT_GT(report.program_insns, 0);
+    EXPECT_EQ(report.map_count,
+              static_cast<int>(comp->ir().arrays.size()) + 1);
+  }
+}
+
+TEST(EbpfCheck, HandlerInsnLimitRejectsWithDiagnostics) {
+  const CompilationPtr comp = compile(kCounter, default_registry());
+  ebpf::EbpfLimits tiny;
+  tiny.insns_per_handler = 1;
+  DiagnosticEngine diags;
+  const ebpf::CheckReport report =
+      ebpf::check(comp->ir(), comp->pipeline(), tiny, diags);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(diags.has_code("ebpf-handler-insns")) << diags.render();
+}
+
+TEST(EbpfCheck, ProgramInsnLimitRejectsWithDiagnostics) {
+  const CompilationPtr comp = compile(kCounter, default_registry());
+  ebpf::EbpfLimits tiny;
+  tiny.insns_per_program = 1;
+  DiagnosticEngine diags;
+  EXPECT_FALSE(ebpf::check(comp->ir(), comp->pipeline(), tiny, diags).ok);
+  EXPECT_TRUE(diags.has_code("ebpf-program-insns")) << diags.render();
+}
+
+TEST(EbpfCheck, MapCountAndBytesLimitsRejectWithDiagnostics) {
+  const CompilationPtr comp = compile(kCounter, default_registry());
+  {
+    ebpf::EbpfLimits tiny;
+    tiny.max_maps = 1;  // the prog array alone uses the budget
+    DiagnosticEngine diags;
+    EXPECT_FALSE(ebpf::check(comp->ir(), comp->pipeline(), tiny, diags).ok);
+    EXPECT_TRUE(diags.has_code("ebpf-map-count")) << diags.render();
+  }
+  {
+    ebpf::EbpfLimits tiny;
+    tiny.max_map_bytes = 8;  // cnt preallocates 16 * 4 bytes
+    DiagnosticEngine diags;
+    const ebpf::CheckReport report =
+        ebpf::check(comp->ir(), comp->pipeline(), tiny, diags);
+    EXPECT_FALSE(report.ok);
+    EXPECT_EQ(report.map_bytes, 64);
+    EXPECT_TRUE(diags.has_code("ebpf-map-bytes")) << diags.render();
+  }
+}
+
+TEST(EbpfCheck, NonScalarParamWidthsAreRejected) {
+  // bit<48> occupies 6 bytes on the Tofino wire but would round up to a
+  // __u64 in the packed XDP header — refuse rather than misparse.
+  const char* src =
+      "global a = new Array<<32>>(8);\n"
+      "event e(int<<48>> mac);\n"
+      "handle e(int<<48>> mac) { Array.set(a, 0, 1); }\n";
+  const CompilationPtr comp = compile(src, default_registry());
+  DiagnosticEngine diags;
+  const ebpf::CheckReport report =
+      ebpf::check(comp->ir(), comp->pipeline(),
+                  ebpf::EbpfLimits::kernel_default(), diags);
+  EXPECT_FALSE(report.ok);
+  EXPECT_TRUE(diags.has_code("ebpf-param-width")) << diags.render();
+}
+
+TEST(EbpfCheck, MidRangeCellWidthsAreRejected) {
+  // 33..63-bit cells cannot wrap at 2^w in C arithmetic; reject rather than
+  // silently diverge from the interpreter's arr->mask() semantics.
+  const char* src =
+      "global big = new Array<<48>>(4);\n"
+      "event e(int i);\n"
+      "handle e(int i) { Array.set(big, i & 3, 1); }\n";
+  const CompilationPtr comp = compile(src, default_registry());
+  DiagnosticEngine diags;
+  EXPECT_FALSE(ebpf::check(comp->ir(), comp->pipeline(),
+                           ebpf::EbpfLimits::kernel_default(), diags)
+                   .ok);
+  EXPECT_TRUE(diags.has_code("ebpf-cell-width")) << diags.render();
+}
+
+TEST(EbpfCheck, MultipleGenerateSitesWarnAboutSingleReinjection) {
+  const char* src =
+      "global a = new Array<<32>>(4);\n"
+      "event e(int i);\n"
+      "event f(int i);\n"
+      "handle e(int i) { generate f(i); generate f(i + 1); }\n"
+      "handle f(int i) { Array.set(a, i & 3, 1); }\n";
+  const CompilationPtr comp = compile(src, default_registry());
+  DiagnosticEngine diags;
+  const ebpf::CheckReport report =
+      ebpf::check(comp->ir(), comp->pipeline(),
+                  ebpf::EbpfLimits::kernel_default(), diags);
+  EXPECT_TRUE(report.ok) << diags.render();  // a warning, not an error
+  EXPECT_TRUE(diags.has_code("ebpf-multi-generate")) << diags.render();
+}
+
+TEST(EbpfCheck, CyclicRecirculationWarnsButPasses) {
+  const CompilationPtr comp = compile(kAging, default_registry());
+  DiagnosticEngine diags;
+  const ebpf::CheckReport report =
+      ebpf::check(comp->ir(), comp->pipeline(),
+                  ebpf::EbpfLimits::kernel_default(), diags);
+  EXPECT_TRUE(report.ok) << diags.render();
+  EXPECT_TRUE(report.recirc_cycle);
+  EXPECT_FALSE(diags.has_errors());
+  EXPECT_TRUE(diags.has_code("ebpf-recirc-cycle")) << diags.render();
+}
+
+TEST(EbpfCheck, TableCostsAreOrderedByConstructWeight) {
+  // The cost model behind the instruction estimates: hashes (unrolled CRC)
+  // dominate memops, which dominate plain ALU ops.
+  ir::AtomicTable op;
+  op.kind = ir::TableKind::Op;
+  ir::AtomicTable mem;
+  mem.kind = ir::TableKind::Mem;
+  ir::AtomicTable hash;
+  hash.kind = ir::TableKind::Hash;
+  hash.hash.args = {ir::Operand::of_var("a"), ir::Operand::of_var("b")};
+  EXPECT_LT(ebpf::table_insn_cost(op), ebpf::table_insn_cost(mem));
+  EXPECT_LT(ebpf::table_insn_cost(mem), ebpf::table_insn_cost(hash));
+
+  // Guards add cost: a guarded copy of a table always estimates higher.
+  ir::AtomicTable guarded = op;
+  guarded.guards = {{ir::MatchTest{"x", true, 1}}};
+  EXPECT_GT(ebpf::table_insn_cost(guarded), ebpf::table_insn_cost(op));
+}
+
+// ---------------------------------------------------------------------------
+// Emitter
+// ---------------------------------------------------------------------------
+
+TEST(EbpfEmit, ProgramCarriesTheAdvertisedConstructs) {
+  const CompilationPtr comp = compile(kAging, default_registry());
+  const ebpf::XdpProgram p = ebpf::emit(*comp, "aging");
+  // Register array -> BPF array map.
+  EXPECT_NE(p.text.find("struct bpf_map_def SEC(\"maps\") reg_filt"),
+            std::string::npos);
+  EXPECT_NE(p.text.find("BPF_MAP_TYPE_ARRAY"), std::string::npos);
+  // Memop -> bounded single-read/single-write map update.
+  EXPECT_NE(p.text.find("bpf_map_lookup_elem(&reg_filt, &key)"),
+            std::string::npos);
+  EXPECT_NE(p.text.find("// single write"), std::string::npos);
+  // generate -> staged serialization + one tail call back into the
+  // pipeline, growing the packet first when the payload needs more room.
+  EXPECT_NE(p.text.find("bpf_tail_call(ctx, &lucid_progs, LUCID_PROG_MAIN)"),
+            std::string::npos);
+  EXPECT_NE(p.text.find("bpf_xdp_adjust_tail(ctx, delta)"),
+            std::string::npos);
+  EXPECT_NE(p.text.find("int lucid_xdp_recirc(struct xdp_md *ctx)"),
+            std::string::npos);
+  // Bounds-checked parsing the verifier can discharge.
+  EXPECT_NE(p.text.find("if ((void *)(ev + 1) > data_end)"),
+            std::string::npos);
+  // LoC metrics cover every category that appears.
+  EXPECT_GT(p.total_loc(), 50u);
+  EXPECT_GT(p.loc_by_category.at(ebpf::LineCategory::Map), 0u);
+  EXPECT_GT(p.loc_by_category.at(ebpf::LineCategory::Handler), 0u);
+}
+
+TEST(EbpfEmit, SubWordCellsWrapLikeTheOtherBackends) {
+  // A 16-bit array cell must wrap at 2^16 exactly as the P4 RegisterAction
+  // (bit<16>) and the interpreter do, so memop write-backs are masked.
+  const char* src =
+      "global c = new Array<<16>>(4);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event bump(int i);\n"
+      "handle bump(int i) { Array.set(c, i & 3, plus, 1); }\n";
+  const CompilerDriver driver({}, &default_registry());
+  const CompilationPtr comp = driver.run(src, Stage::Layout);
+  ASSERT_TRUE(comp->ok()) << comp->diags().render();
+  const ebpf::XdpProgram p = ebpf::emit(*comp, "wrap");
+  EXPECT_NE(p.text.find("& LUCID_MASK(16); // single write"),
+            std::string::npos)
+      << p.text;
+}
+
+TEST(EbpfEmit, HashLowersToInlineCrc32) {
+  const apps::AppSpec& spec = apps::app("CM");  // sketch app: hash-heavy
+  DriverOptions opts;
+  opts.program_name = spec.key;
+  const CompilerDriver driver(opts, &default_registry());
+  const CompilationPtr comp = driver.run(spec.source, Stage::Layout);
+  ASSERT_TRUE(comp->ok()) << comp->diags().render();
+  const ebpf::XdpProgram p = ebpf::emit(*comp, spec.key);
+  EXPECT_NE(p.text.find("lucid_crc32_word("), std::string::npos);
+  EXPECT_NE(p.text.find("0xedb88320u"), std::string::npos);
+}
+
+TEST(EbpfEmit, WireFieldsAreNetworkByteOrder) {
+  // The P4 target puts multi-byte fields on the wire big-endian; the XDP
+  // program must convert on both parse and serialize or the two data planes
+  // cannot exchange events.
+  const CompilationPtr comp = compile(kAging, default_registry());
+  const ebpf::XdpProgram p = ebpf::emit(*comp, "aging");
+  EXPECT_NE(p.text.find("m.ev_id = lucid_ntohs(ev->event_id);"),
+            std::string::npos);
+  EXPECT_NE(p.text.find("lucid_ntohl(p->i)"), std::string::npos);
+  EXPECT_NE(p.text.find("ev->event_id = lucid_htons("), std::string::npos);
+  EXPECT_NE(p.text.find("ev->delay_ns = lucid_htonl("), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Backend adapter
+// ---------------------------------------------------------------------------
+
+TEST(EbpfBackend, EmitThroughTheRegistry) {
+  const CompilerDriver driver({}, &default_registry());
+  const CompilationPtr comp = driver.start(kCounter);
+  const BackendArtifact artifact = driver.emit(comp, "ebpf");
+  ASSERT_TRUE(artifact.ok) << comp->diags().render();
+  EXPECT_NE(artifact.text.find("SEC(\"xdp\")"), std::string::npos);
+  EXPECT_GT(artifact.metrics.at("loc_total"), 0);
+  EXPECT_GT(artifact.metrics.at("est_insns"), 0);
+  EXPECT_EQ(artifact.metrics.at("maps"), 2);  // reg_cnt + lucid_progs
+  EXPECT_TRUE(comp->succeeded(Stage::Emit));
+}
+
+TEST(EbpfBackend, OverLimitProgramsFailWithDiagnosticsNotMalformedOutput) {
+  // A registry whose "ebpf" backend models a tiny kernel: emission must
+  // refuse with the checker's diagnostics and produce no text at all.
+  BackendRegistry registry;
+  ebpf::EbpfLimits tiny;
+  tiny.insns_per_handler = 1;
+  ASSERT_TRUE(ebpf::register_backend(registry, tiny));
+  const CompilerDriver driver({}, &registry);
+  const CompilationPtr comp = driver.start(kCounter);
+  const BackendArtifact artifact = driver.emit(comp, "ebpf");
+  EXPECT_FALSE(artifact.ok);
+  EXPECT_TRUE(artifact.text.empty());
+  EXPECT_TRUE(comp->diags().has_code("ebpf-handler-insns"))
+      << comp->diags().render();
+}
+
+TEST(EbpfBackend, ArtifactIsByteIdenticalAcrossColdAndClonedCompiles) {
+  for (const apps::AppSpec& spec : apps::all_apps()) {
+    SCOPED_TRACE(spec.key);
+    DriverOptions opts;
+    opts.program_name = spec.key;
+    const CompilerDriver driver(opts, &default_registry());
+    const CompilationPtr cold = driver.run(spec.source, Stage::Layout);
+    ASSERT_TRUE(cold->ok()) << cold->diags().render();
+    const CompilationPtr clone = cold->clone_from_stage(Stage::Lower);
+    ASSERT_NE(clone, nullptr);
+    ASSERT_TRUE(driver.run_until(clone, Stage::Layout));
+    const BackendArtifact a = driver.emit(cold, "ebpf");
+    const BackendArtifact b = driver.emit(clone, "ebpf");
+    ASSERT_TRUE(a.ok) << cold->diags().render();
+    ASSERT_TRUE(b.ok) << clone->diags().render();
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.metrics, b.metrics);
+  }
+}
+
+}  // namespace
+}  // namespace lucid

@@ -1,0 +1,152 @@
+// Golden-file tests for the code-generating emitters: the emitted artifact
+// for every paper app (apps::all_apps()) is checked in under tests/golden/
+// and diffed verbatim — Tofino-style P4_16 as <KEY>.p4 and the eBPF/XDP C
+// program as <KEY>.c. Any intentional emitter change regenerates them with
+//
+//   UPDATE_GOLDEN=1 ./build/test_golden
+//
+// and the diff is reviewed like any other code change. See tests/README.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "core/backends.hpp"
+#include "support/strings.hpp"
+
+namespace lucid {
+namespace {
+
+/// One golden suite: a text-emitting backend plus its file extension and a
+/// structural marker every artifact must contain.
+struct GoldenSuite {
+  std::string backend;
+  std::string extension;
+  std::string marker;  // sanity: a full program, not a truncated artifact
+};
+
+const std::vector<GoldenSuite>& golden_suites() {
+  static const std::vector<GoldenSuite> suites = {
+      {"p4", ".p4", "Switch(pipe) main;"},
+      {"ebpf", ".c", "SEC(\"license\") char _license[] = \"GPL\";"},
+  };
+  return suites;
+}
+
+std::string golden_path(const std::string& key, const GoldenSuite& suite) {
+  return std::string(LUCID_SOURCE_DIR) + "/tests/golden/" + key +
+         suite.extension;
+}
+
+bool update_requested() {
+  const char* env = std::getenv("UPDATE_GOLDEN");
+  return env != nullptr && std::string(env) != "0" && std::string(env) != "";
+}
+
+std::string emit_app(const apps::AppSpec& spec, const std::string& backend) {
+  BackendRegistry registry;
+  register_default_backends(registry);
+  DriverOptions opts;
+  opts.program_name = spec.key;
+  const CompilerDriver driver(opts, &registry);
+  const CompilationPtr comp = driver.start(spec.source);
+  const BackendArtifact artifact = driver.emit(comp, backend);
+  EXPECT_TRUE(artifact.ok)
+      << spec.key << " via " << backend << ":\n" << comp->diags().render();
+  return artifact.text;
+}
+
+std::string read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    ok = false;
+    return {};
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  ok = true;
+  return ss.str();
+}
+
+/// Points at the first differing line, with context, so a golden failure is
+/// actionable without an external diff tool.
+std::string first_difference(const std::string& expected,
+                             const std::string& actual) {
+  const std::vector<std::string> e = split(expected, '\n');
+  const std::vector<std::string> a = split(actual, '\n');
+  const std::size_t n = std::max(e.size(), a.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string el = i < e.size() ? e[i] : "<missing line>";
+    const std::string al = i < a.size() ? a[i] : "<missing line>";
+    if (el != al) {
+      std::ostringstream os;
+      os << "first difference at line " << (i + 1) << ":\n"
+         << "  golden: " << el << "\n"
+         << "  actual: " << al << "\n";
+      return os.str();
+    }
+  }
+  return "contents differ only in trailing bytes";
+}
+
+TEST(Golden, EmissionMatchesCheckedInGolden) {
+  for (const GoldenSuite& suite : golden_suites()) {
+    for (const apps::AppSpec& spec : apps::all_apps()) {
+      SCOPED_TRACE(spec.key + suite.extension);
+      const std::string actual = emit_app(spec, suite.backend);
+      ASSERT_FALSE(actual.empty());
+
+      const std::string path = golden_path(spec.key, suite);
+      if (update_requested()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << actual;
+        continue;
+      }
+
+      bool read_ok = false;
+      const std::string expected = read_file(path, read_ok);
+      ASSERT_TRUE(read_ok) << "missing golden file " << path
+                           << " — regenerate with UPDATE_GOLDEN=1";
+      EXPECT_EQ(expected, actual)
+          << first_difference(expected, actual)
+          << "if the emitter change is intentional, regenerate with "
+             "UPDATE_GOLDEN=1 ./test_golden";
+    }
+  }
+}
+
+TEST(Golden, EmissionIsDeterministic) {
+  // Golden files are only meaningful if emission is a pure function of the
+  // compilation; two independent compiles must agree byte-for-byte.
+  for (const GoldenSuite& suite : golden_suites()) {
+    for (const apps::AppSpec& spec : apps::all_apps()) {
+      SCOPED_TRACE(spec.key + suite.extension);
+      EXPECT_EQ(emit_app(spec, suite.backend), emit_app(spec, suite.backend));
+    }
+  }
+}
+
+TEST(Golden, GoldenFilesCarryRealPrograms) {
+  if (update_requested()) GTEST_SKIP() << "regeneration run";
+  for (const GoldenSuite& suite : golden_suites()) {
+    for (const apps::AppSpec& spec : apps::all_apps()) {
+      SCOPED_TRACE(spec.key + suite.extension);
+      bool read_ok = false;
+      const std::string text =
+          read_file(golden_path(spec.key, suite), read_ok);
+      ASSERT_TRUE(read_ok) << "missing golden file for " << spec.key
+                           << suite.extension;
+      // Structural sanity: a full program, not a truncated artifact.
+      EXPECT_NE(text.find(suite.marker), std::string::npos);
+      EXPECT_GT(count_loc(text), 50u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lucid

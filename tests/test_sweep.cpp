@@ -130,7 +130,7 @@ TEST(Differential, ClonedCompileProducesByteIdenticalArtifacts) {
     EXPECT_EQ(diag_transcript(*cold), diag_transcript(*cached));
 
     // Byte-identical backend artifacts with identical metrics.
-    for (const char* backend : {"p4", "interp"}) {
+    for (const char* backend : {"p4", "ebpf", "interp"}) {
       SCOPED_TRACE(backend);
       const BackendArtifact a = driver.emit(cold, backend);
       const BackendArtifact b = driver.emit(cached, backend);
@@ -334,6 +334,59 @@ TEST(ArtifactCache, DiskLayerRoundTripsArtifactsByteForByte) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(ArtifactCache, DiskKeysSeparateBackendsAndCompilerVersions) {
+  // Regression: p4 and ebpf artifacts for the *same* source and options must
+  // live under different disk keys — a shared key would let one backend's
+  // output shadow the other's — and the key must pin the compiler version so
+  // entries from older builds can never be served by filename collision.
+  const std::string dir =
+      ::testing::TempDir() + "/lucid-backend-keys-" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  std::filesystem::remove_all(dir);
+
+  const apps::AppSpec& spec = apps::app("CM");
+  const CompilerDriver driver(app_options(spec), &test_registry());
+  const CompilationPtr comp = driver.run(spec.source, Stage::Layout);
+  ASSERT_TRUE(comp->ok());
+  const BackendArtifact p4_artifact = driver.emit(comp, "p4");
+  const BackendArtifact ebpf_artifact = driver.emit(comp, "ebpf");
+  ASSERT_TRUE(p4_artifact.ok);
+  ASSERT_TRUE(ebpf_artifact.ok);
+  ASSERT_NE(p4_artifact.text, ebpf_artifact.text);
+
+  ArtifactCache cache(Stage::Lower, dir);
+  cache.store_artifact(spec.source, comp->options(), p4_artifact);
+  cache.store_artifact(spec.source, comp->options(), ebpf_artifact);
+  EXPECT_EQ(cache.stats().disk_writes, 2u);
+
+  // Two distinct entries on disk, each naming its backend and the compiler
+  // version in the key itself.
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    ++entries;
+    EXPECT_NE(name.find("-v" + std::string(kLucidVersion)), std::string::npos)
+        << name;
+    EXPECT_TRUE(name.find("-p4-") != std::string::npos ||
+                name.find("-ebpf-") != std::string::npos)
+        << name;
+  }
+  EXPECT_EQ(entries, 2u);
+
+  // Each backend loads back exactly its own bytes.
+  const auto p4_loaded = cache.load_artifact(spec.source, comp->options(),
+                                             "p4");
+  const auto ebpf_loaded = cache.load_artifact(spec.source, comp->options(),
+                                               "ebpf");
+  ASSERT_TRUE(p4_loaded.has_value());
+  ASSERT_TRUE(ebpf_loaded.has_value());
+  EXPECT_EQ(p4_loaded->text, p4_artifact.text);
+  EXPECT_EQ(ebpf_loaded->text, ebpf_artifact.text);
+  EXPECT_EQ(p4_loaded->backend, "p4");
+  EXPECT_EQ(ebpf_loaded->backend, "ebpf");
+  std::filesystem::remove_all(dir);
+}
+
 // ---------------------------------------------------------------------------
 // SweepEngine
 // ---------------------------------------------------------------------------
@@ -369,7 +422,7 @@ TEST(SweepEngine, FourVariantsShareOneFrontEndRun) {
         EXPECT_TRUE(rec.ok);
       }
     }
-    ASSERT_EQ(vr.emissions.size(), 2u);
+    ASSERT_EQ(vr.emissions.size(), 3u);  // p4 + ebpf + interp
     for (const SweepEmission& e : vr.emissions) {
       EXPECT_TRUE(e.ok) << e.backend;
       EXPECT_FALSE(e.text.empty());
@@ -494,7 +547,7 @@ TEST(SweepEngine, DiskCacheServesRepeatSweeps) {
 // ---------------------------------------------------------------------------
 
 TEST(SweepConcurrency, WidePipelineSweepUnderManyWorkers) {
-  // 16 variants x 2 backends across every worker the machine has; run over
+  // 16 variants x 3 backends across every worker the machine has; run over
   // two different apps back to back to shake out cross-sweep state. TSan
   // (preset debug-tsan) verifies the clones really share nothing mutable.
   const auto grid = parse_sweep_grid("stages=4,8,12,16;salus=2,4;tables=4,8");
