@@ -1,0 +1,196 @@
+// Layout-engine benchmark: what does the two-phase split (model-independent
+// LayoutAnalysis + index-based greedy merger) buy on the sweep workload?
+//
+// For each of the ten paper apps, lay the program out against the PR 2 sweep
+// grid (stages=4,8,12,16 x salus=2,4 -> 8 variants) two ways:
+//
+//   cold    every variant runs opt::layout(ir, model): branch inlining,
+//           dependency edges, ASAP levels, item sorting, and the
+//           disjointness matrix are recomputed per variant — what each
+//           sweep variant paid before the split
+//   shared  opt::analyze_layout(ir) once, then opt::layout(analysis, model)
+//           per variant — what a sweep pays now
+//
+// Both paths must produce byte-identical Pipeline::str() output for every
+// variant (the bench aborts otherwise — it doubles as a differential test).
+// Results go to stdout and to machine-readable BENCH_layout.json (working
+// directory): per-app cold/shared totals, per-app restart counts, the
+// driver's Layout-stage wall time, and the overall speedup, so the perf
+// trajectory is trackable across PRs. CI runs this in RelWithDebInfo and
+// uploads the JSON as an artifact.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/sweep.hpp"
+#include "support/chrono.hpp"
+
+namespace {
+
+using Clock = lucid::SteadyClock;
+using lucid::ms_since;
+using lucid::bench::print_header;
+using lucid::bench::print_rule;
+
+const char* kGrid = "stages=4,8,12,16;salus=2,4";
+constexpr int kReps = 40;  // repetitions per measurement (layouts are fast)
+
+struct AppRow {
+  std::string key;
+  double cold_ms = 0;    // kReps x (8 variants x full layout)
+  double shared_ms = 0;  // kReps x (1 analysis + 8 merges)
+  double driver_layout_ms = 0;  // one cold driver compile's Layout record
+  long restarts = 0;            // summed over the 8 variants (one pass)
+  [[nodiscard]] double speedup() const {
+    return shared_ms > 0 ? cold_ms / shared_ms : 0.0;
+  }
+};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void write_json(const std::vector<AppRow>& rows, const AppRow& totals,
+                std::size_t variant_count, const char* path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "WARNING: cannot write %s\n", path);
+    return;
+  }
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  const auto row = [&os](const AppRow& r) {
+    os << "    {\"app\": \"" << json_escape(r.key) << "\", "
+       << "\"cold_ms\": " << r.cold_ms << ", "
+       << "\"shared_ms\": " << r.shared_ms << ", "
+       << "\"driver_layout_ms\": " << r.driver_layout_ms << ", "
+       << "\"restarts\": " << r.restarts << ", "
+       << "\"speedup\": " << r.speedup() << "}";
+  };
+  os << "{\n"
+     << "  \"bench\": \"bench_layout\",\n"
+     << "  \"grid\": \"" << json_escape(kGrid) << "\",\n"
+     << "  \"variants\": " << variant_count << ",\n"
+     << "  \"reps\": " << kReps << ",\n"
+     << "  \"apps\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    row(rows[i]);
+    os << (i + 1 < rows.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"totals\": ";
+  row(totals);
+  os << ",\n  \"speedup_shared_over_cold\": " << totals.speedup() << "\n"
+     << "}\n";
+  out << os.str();
+  std::printf("\nwrote %s\n", path);
+}
+
+AppRow measure(const lucid::apps::AppSpec& spec,
+               const std::vector<lucid::SweepVariant>& variants) {
+  AppRow r;
+  r.key = spec.key;
+
+  // Front end once (untimed here; bench_sweep covers it). The driver's own
+  // Layout record doubles as the end-to-end cold number.
+  const lucid::CompilationPtr comp = lucid::bench::compile_app(spec);
+  r.driver_layout_ms = comp->record(lucid::Stage::Layout).wall_ms;
+  const lucid::ir::ProgramIR& ir = comp->ir();
+
+  // Differential guard + restart counts: cold and shared must agree
+  // byte-for-byte on every variant.
+  const auto analysis = lucid::opt::analyze_layout(ir);
+  for (const lucid::SweepVariant& v : variants) {
+    lucid::DiagnosticEngine d1;
+    lucid::DiagnosticEngine d2;
+    const lucid::opt::Pipeline cold = lucid::opt::layout(ir, v.model, d1);
+    const lucid::opt::Pipeline shared =
+        lucid::opt::layout(analysis, v.model, d2);
+    if (cold.str() != shared.str()) {
+      std::fprintf(stderr,
+                   "FATAL: %s/%s: shared-analysis layout diverged from cold\n",
+                   spec.key.c_str(), v.label.c_str());
+      std::exit(1);
+    }
+    r.restarts += shared.restarts;
+  }
+
+  const auto t_cold = Clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (const lucid::SweepVariant& v : variants) {
+      lucid::DiagnosticEngine diags;
+      const lucid::opt::Pipeline p = lucid::opt::layout(ir, v.model, diags);
+      if (!p.feasible && p.stage_count() == 0) std::exit(1);  // keep p live
+    }
+  }
+  r.cold_ms = ms_since(t_cold);
+
+  const auto t_shared = Clock::now();
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto an = lucid::opt::analyze_layout(ir);  // once per sweep
+    for (const lucid::SweepVariant& v : variants) {
+      lucid::DiagnosticEngine diags;
+      const lucid::opt::Pipeline p = lucid::opt::layout(an, v.model, diags);
+      if (!p.feasible && p.stage_count() == 0) std::exit(1);
+    }
+  }
+  r.shared_ms = ms_since(t_shared);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  const auto variants = *lucid::parse_sweep_grid(kGrid);
+
+  // Warm up allocators and code paths so the first timed row is clean.
+  (void)measure(lucid::apps::all_apps().front(), variants);
+
+  print_header("bench_layout",
+               "two-phase layout: cold (analysis per variant) vs shared "
+               "(analysis once) over " + std::string(kGrid));
+  std::printf("%d reps x %zu variants per measurement\n\n", kReps,
+              variants.size());
+  std::printf("%-8s %10s %10s %9s %9s   %s\n", "app", "cold ms", "shared ms",
+              "restarts", "drv ms", "speedup (cold/shared)");
+
+  std::vector<AppRow> rows;
+  AppRow totals;
+  totals.key = "total";
+  for (const lucid::apps::AppSpec& spec : lucid::apps::all_apps()) {
+    const AppRow r = measure(spec, variants);
+    totals.cold_ms += r.cold_ms;
+    totals.shared_ms += r.shared_ms;
+    totals.driver_layout_ms += r.driver_layout_ms;
+    totals.restarts += r.restarts;
+    std::printf("%-8s %10.2f %10.2f %9ld %9.3f   %.2fx\n", r.key.c_str(),
+                r.cold_ms, r.shared_ms, r.restarts, r.driver_layout_ms,
+                r.speedup());
+    rows.push_back(r);
+  }
+  print_rule();
+  std::printf("%-8s %10.2f %10.2f %9ld %9.3f   %.2fx\n", "total",
+              totals.cold_ms, totals.shared_ms, totals.restarts,
+              totals.driver_layout_ms, totals.speedup());
+  std::printf(
+      "\ncold   = every variant recomputes the model-independent analysis\n"
+      "shared = one opt::analyze_layout, 8 index-based merges "
+      "(the sweep path)\n");
+  if (totals.speedup() >= 2.0) {
+    std::printf("shared-analysis layout beats cold by %.2fx (target: 2x)\n",
+                totals.speedup());
+  } else {
+    std::printf("WARNING: shared-analysis speedup %.2fx below the 2x target\n",
+                totals.speedup());
+  }
+  write_json(rows, totals, variants.size(), "BENCH_layout.json");
+  return 0;
+}

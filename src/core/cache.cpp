@@ -22,6 +22,10 @@ std::uint64_t fnv1a64(std::string_view data) {
 
 std::string options_fingerprint(const DriverOptions& options, Stage upto) {
   std::ostringstream os;
+  // Model-dependent inputs only appear at the depth that consumes them:
+  // below Stage::Layout the fingerprint is empty, which is what lets a
+  // Lower-deep master (and its shared LayoutAnalysis) serve every resource
+  // model without invalidation.
   if (upto >= Stage::Layout) {
     const opt::ResourceModel& m = options.model;
     os << "model:" << m.max_stages << "," << m.tables_per_stage << ","

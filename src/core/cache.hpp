@@ -42,6 +42,12 @@ namespace lucid {
 /// Stable fingerprint of the DriverOptions fields that can influence stages
 /// up to and including `upto`. Parse/Sema/Lower depend on nothing; Layout
 /// adds the resource model; Emit adds the program name.
+///
+/// The fingerprint deliberately covers only *model-dependent* inputs of the
+/// requested depth: a default (Lower-deep) cache entry is never invalidated
+/// by a ResourceModel change, so the master — and the model-independent
+/// opt::LayoutAnalysis it lazily owns (Compilation::layout_analysis_ptr) —
+/// keeps being shared across sweeps over different models.
 [[nodiscard]] std::string options_fingerprint(const DriverOptions& options,
                                               Stage upto);
 

@@ -63,6 +63,18 @@ std::optional<Stage> Compilation::last_stage() const {
 
 Artifacts Compilation::release_artifacts() && { return std::move(artifacts_); }
 
+std::shared_ptr<const opt::LayoutAnalysis> Compilation::layout_analysis_ptr()
+    const {
+  // Clones resolve through the donor chain so the whole clone family shares
+  // one analysis object (and one computation).
+  if (inherits(Stage::Lower)) return donor_->layout_analysis_ptr();
+  std::call_once(analysis_once_, [this] {
+    analysis_ = opt::analyze_layout(ir());
+    analysis_ready_.store(true, std::memory_order_release);
+  });
+  return analysis_;
+}
+
 CompilationPtr Compilation::clone_from_stage(
     Stage upto, std::optional<DriverOptions> options) const {
   const int last = static_cast<int>(upto);
@@ -135,17 +147,46 @@ double Compilation::total_wall_ms() const {
 std::string Compilation::timing_report() const {
   std::ostringstream os;
   os << "=== pass timings (" << options_.program_name << ") ===\n";
-  char buf[64];
+  char buf[96];
   for (const auto& r : records_) {
     if (!r.ran) continue;
-    std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms  %s%s\n",
+    std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms  %s%s%s\n",
                   std::string(stage_name(r.stage)).c_str(), r.wall_ms,
-                  r.ok ? "ok" : "FAILED", r.shared ? " (shared)" : "");
+                  r.ok ? "ok" : "FAILED", r.shared ? " (shared)" : "",
+                  r.analysis_shared ? " (analysis shared)" : "");
     os << buf;
   }
   std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms\n", "total",
                 total_wall_ms());
   os << buf;
+  return os.str();
+}
+
+std::string Compilation::timing_report_json() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(3);
+  // program_name never contains characters needing escapes beyond \ and "
+  // in practice (it is a file path), but escape them anyway.
+  std::string name;
+  for (const char ch : options_.program_name) {
+    if (ch == '"' || ch == '\\') name += '\\';
+    name += ch;
+  }
+  os << "{\"program\": \"" << name << "\", \"stages\": [";
+  bool first = true;
+  for (const auto& r : records_) {
+    if (!r.ran) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"stage\": \"" << stage_name(r.stage)
+       << "\", \"wall_ms\": " << r.wall_ms
+       << ", \"ok\": " << (r.ok ? "true" : "false")
+       << ", \"shared\": " << (r.shared ? "true" : "false")
+       << ", \"analysis_shared\": " << (r.analysis_shared ? "true" : "false")
+       << "}";
+  }
+  os << "], \"total_wall_ms\": " << total_wall_ms() << "}\n";
   return os.str();
 }
 
@@ -223,7 +264,14 @@ bool CompilerDriver::run_stage(Compilation& c, Stage s) const {
       break;
     }
     case Stage::Layout: {
-      c.artifacts_.pipeline = opt::layout(c.ir(), c.options_.model, c.diags_);
+      // Phase A (model-independent) comes off the compilation — computed
+      // here for a cold compile, inherited from the clone donor otherwise.
+      // "Shared" only when someone else both owns it *and* already computed
+      // it: a clone whose Layout run triggers the donor's call_once pays the
+      // cost in this record's wall_ms, and the flag must say so.
+      rec.analysis_shared = c.analysis_home() != &c && c.analysis_ready();
+      c.artifacts_.pipeline =
+          opt::layout(c.layout_analysis_ptr(), c.options_.model, c.diags_);
       c.artifacts_.stats.unoptimized_stages = c.ir().total_longest_path();
       c.artifacts_.stats.optimized_stages =
           c.artifacts_.pipeline.stage_count();

@@ -38,9 +38,11 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -56,7 +58,7 @@
 namespace lucid {
 
 /// Compiler/driver version, reported by `lucidc --version`.
-inline constexpr std::string_view kLucidVersion = "0.3.0";
+inline constexpr std::string_view kLucidVersion = "0.4.0";
 
 // ---------------------------------------------------------------------------
 // Stages
@@ -82,6 +84,13 @@ struct StageRecord {
   /// then still holds the donor's cost, so sweep reports can tell "paid once,
   /// shared N times" apart from "paid N times".
   bool shared = false;
+  /// Layout only: true when the model-independent LayoutAnalysis (Phase A)
+  /// was owned by a clone donor *and already computed* when this Layout
+  /// stage started — the per-stage proof that a sweep paid for the analysis
+  /// once. False for cold compiles and for the unlucky clone whose Layout
+  /// run triggered the donor's computation: wall_ms then includes the Phase
+  /// A cost, and the flag stays honest about who paid it.
+  bool analysis_shared = false;
   double wall_ms = 0.0;
   /// Half-open index range into Compilation::diags().all() holding exactly
   /// the diagnostics this stage produced. For Stage::Emit this is the coarse
@@ -149,6 +158,33 @@ class Compilation : public std::enable_shared_from_this<Compilation> {
     return inherits(Stage::Layout) ? donor_->layout_stats() : artifacts_.stats;
   }
 
+  // -- layout analysis (Phase A) --------------------------------------------
+  /// The model-independent layout analysis (opt::LayoutAnalysis): branch
+  /// inlining, dependency edges, ASAP levels, the sorted item order, interned
+  /// symbols, and the disjointness matrix — everything Layout needs that does
+  /// not depend on the ResourceModel. Computed lazily exactly once per
+  /// source: clones resolve through their donor chain, so a sweep's variants
+  /// all share the one analysis their common front end owns. Thread-safe
+  /// (std::call_once) — concurrent variants may race the first access.
+  /// Valid once Stage::Lower has succeeded.
+  [[nodiscard]] std::shared_ptr<const opt::LayoutAnalysis>
+  layout_analysis_ptr() const;
+  [[nodiscard]] const opt::LayoutAnalysis& layout_analysis() const {
+    return *layout_analysis_ptr();
+  }
+  /// The compilation whose call_once computes (or computed) the analysis:
+  /// `this` for a cold compile, the root clone donor otherwise. Layout's
+  /// StageRecord::analysis_shared is derived from it.
+  [[nodiscard]] const Compilation* analysis_home() const {
+    return inherits(Stage::Lower) ? donor_->analysis_home() : this;
+  }
+  /// True once the analysis has been computed (a peek — never computes).
+  [[nodiscard]] bool analysis_ready() const {
+    return inherits(Stage::Lower)
+               ? donor_->analysis_ready()
+               : analysis_ready_.load(std::memory_order_acquire);
+  }
+
   /// Moves every artifact out (for the deprecated compile() shim). The
   /// Compilation must not be queried afterwards. Must not be called on a
   /// clone (its inherited artifacts live in the donor).
@@ -198,6 +234,10 @@ class Compilation : public std::enable_shared_from_this<Compilation> {
   [[nodiscard]] double total_wall_ms() const;
   /// Human-readable `--time-passes` table.
   [[nodiscard]] std::string timing_report() const;
+  /// Machine-readable `--time-passes=json` object: program name, one record
+  /// per ran stage (stage, wall_ms, ok, shared, analysis_shared), and the
+  /// total. Consumed by bench_layout and CI.
+  [[nodiscard]] std::string timing_report_json() const;
 
  private:
   friend class CompilerDriver;
@@ -222,6 +262,12 @@ class Compilation : public std::enable_shared_from_this<Compilation> {
   /// Clone-from-stage donor: stages <= inherited_until_ resolve through it.
   std::shared_ptr<const Compilation> donor_;
   int inherited_until_ = -1;
+  /// Lazily computed Phase A artifact (see layout_analysis_ptr). Mutable:
+  /// the first access may come through a const donor pointer shared by many
+  /// concurrently running clones; call_once makes that race benign.
+  mutable std::once_flag analysis_once_;
+  mutable std::shared_ptr<const opt::LayoutAnalysis> analysis_;
+  mutable std::atomic<bool> analysis_ready_{false};
 };
 
 using CompilationPtr = std::shared_ptr<Compilation>;

@@ -7,6 +7,8 @@
 //   lucidc --emit=interp FILE.lucid   print the interpreter binding summary
 //   lucidc --stop-after=STAGE FILE    stop after parse|sema|lower|layout
 //   lucidc --time-passes FILE         print per-stage wall-clock timings
+//   lucidc --time-passes=json FILE    ... as one machine-readable JSON
+//                                     object (consumed by bench_layout/CI)
 //   lucidc --sweep=GRID FILE          compile against a resource-model grid
 //                                     (e.g. --sweep=stages=8,12;salus=2,4),
 //                                     sharing one front-end run across all
@@ -50,6 +52,7 @@ void usage(std::ostream& os) {
         "--list-backends)\n"
         "  --stop-after=STAGE stop after parse|sema|lower|layout\n"
         "  --time-passes      print per-stage wall-clock timings to stderr\n"
+        "  --time-passes=json ... as machine-readable JSON (one object)\n"
         "  --sweep=GRID       compile against a resource-model grid, e.g.\n"
         "                     stages=8,12;salus=2,4 "
         "(fields: stages|tables|salus|rules|members|aluops)\n"
@@ -88,6 +91,7 @@ int main(int argc, char** argv) {
   lucid::Stage stop_after = lucid::Stage::Layout; // --stop-after=...
   bool stop_requested = false;
   bool time_passes = false;
+  bool time_passes_json = false;                  // --time-passes=json
   std::string dump;  // "ir" | "layout"
   std::string sweep_spec;                         // --sweep=...
   bool sweep_requested = false;
@@ -136,8 +140,19 @@ int main(int argc, char** argv) {
       }
       stop_after = *stage;
       stop_requested = true;
-    } else if (arg == "--time-passes") {
+    } else if (arg == "--time-passes" ||
+               lucid::starts_with(arg, "--time-passes=")) {
       time_passes = true;
+      if (lucid::starts_with(arg, "--time-passes=")) {
+        const std::string format = arg.substr(14);
+        if (format == "json") {
+          time_passes_json = true;
+        } else if (format != "human") {
+          std::cerr << "lucidc: unknown --time-passes format '" << format
+                    << "' (expected human|json)\n";
+          return kExitUsage;
+        }
+      }
     } else if (lucid::starts_with(arg, "--sweep=") || arg == "--sweep") {
       sweep_spec = arg == "--sweep" ? "" : arg.substr(8);
       sweep_requested = true;
@@ -296,6 +311,15 @@ int main(int argc, char** argv) {
 
   lucid::CompilationPtr comp = driver.start(source);
 
+  // Shared by every exit path below. In json mode the object is printed as
+  // the *last line* of stderr (diagnostics render first), so consumers can
+  // `tail -n 1` it robustly.
+  const auto print_timings = [&] {
+    if (!time_passes) return;
+    std::cerr << (time_passes_json ? comp->timing_report_json()
+                                   : comp->timing_report());
+  };
+
   // Backends drive exactly the stages they need through the driver's emit().
   if (!backend.empty()) {
     // Disk cache fast path: a prior invocation already emitted this exact
@@ -311,7 +335,7 @@ int main(int argc, char** argv) {
     }
     const lucid::BackendArtifact artifact = driver.emit(comp, backend);
     std::cerr << comp->diags().render();
-    if (time_passes) std::cerr << comp->timing_report();
+    print_timings();
     if (!artifact.ok) return kExitError;
     if (!cache_dir.empty()) cache.store_artifact(source, opts, artifact);
     std::cout << artifact.text;
@@ -325,19 +349,19 @@ int main(int argc, char** argv) {
 
   if (!comp->ok()) {
     std::cerr << comp->diags().render();
-    if (time_passes) std::cerr << comp->timing_report();
+    print_timings();
     return kExitError;
   }
 
   std::cerr << comp->diags().render();
   if (dump == "ir") {
     for (const auto& h : comp->ir().handlers) std::cout << h.str() << "\n";
-    if (time_passes) std::cerr << comp->timing_report();
+    print_timings();
     return kExitOk;
   }
   if (dump == "layout") {
     std::cout << comp->pipeline().str();
-    if (time_passes) std::cerr << comp->timing_report();
+    print_timings();
     return kExitOk;
   }
 
@@ -349,7 +373,7 @@ int main(int argc, char** argv) {
                 << comp->ast().globals().size() << " arrays)";
     }
     std::cout << "\n";
-    if (time_passes) std::cerr << comp->timing_report();
+    print_timings();
     return kExitOk;
   }
 
@@ -361,6 +385,6 @@ int main(int argc, char** argv) {
             << "  unoptimized stages: " << stats.unoptimized_stages << "\n"
             << "  optimized stages  : " << stats.optimized_stages << "\n"
             << "  fits Tofino model : " << (stats.fits ? "yes" : "NO") << "\n";
-  if (time_passes) std::cerr << comp->timing_report();
+  print_timings();
   return kExitOk;
 }

@@ -87,6 +87,11 @@ struct SweepReport {
   /// that is the whole point.
   int frontend_runs = 0;
   double frontend_wall_ms = 0.0;  // Parse+Sema+Lower cost (paid once)
+  /// Wall-clock of the model-independent layout analysis (opt::
+  /// LayoutAnalysis, Phase A), computed serially once and shared by every
+  /// variant's Layout run — their StageRecords carry analysis_shared as
+  /// proof. ~0 when a warm cache's master had already computed it.
+  double analysis_wall_ms = 0.0;
   double total_wall_ms = 0.0;     // wall clock of the whole sweep
   std::vector<Diagnostic> frontend_diagnostics;
   std::vector<SweepVariantReport> variants;

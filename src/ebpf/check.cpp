@@ -107,8 +107,8 @@ CheckReport check(const ir::ProgramIR& ir, const opt::Pipeline& pipeline,
   }
   for (const opt::StageLayout& stage : pipeline.stages) {
     for (const opt::MergedTable& mt : stage.tables) {
-      for (const ir::AtomicTable& t : mt.members) {
-        report.handler_insns[t.handler] += table_insn_cost(t);
+      for (const ir::AtomicTable* t : mt.members) {
+        report.handler_insns[t->handler] += table_insn_cost(*t);
       }
     }
   }
@@ -170,7 +170,8 @@ CheckReport check(const ir::ProgramIR& ir, const opt::Pipeline& pipeline,
   std::map<std::string, int> gen_sites_per_handler;
   for (const opt::StageLayout& stage : pipeline.stages) {
     for (const opt::MergedTable& mt : stage.tables) {
-      for (const ir::AtomicTable& t : mt.members) {
+      for (const ir::AtomicTable* member : mt.members) {
+        const ir::AtomicTable& t = *member;
         if (t.kind == ir::TableKind::Generate) {
           gen_edges[t.handler].insert(t.gen.event);
           ++gen_sites_per_handler[t.handler];

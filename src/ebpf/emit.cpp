@@ -175,7 +175,8 @@ class Emitter {
   void collect_vars() {
     for (const auto& stage : pipeline_.stages) {
       for (const auto& mt : stage.tables) {
-        for (const auto& t : mt.members) {
+        for (const auto* member : mt.members) {
+          const AtomicTable& t = *member;
           switch (t.kind) {
             case TableKind::Op: {
               auto& w = vars_[t.op.dst];
@@ -234,9 +235,9 @@ class Emitter {
     int n = 0;
     for (const auto& stage : pipeline_.stages) {
       for (const auto& mt : stage.tables) {
-        for (const auto& t : mt.members) {
-          if (t.kind == TableKind::Generate) {
-            sites.emplace_back(n++, &t);
+        for (const auto* t : mt.members) {
+          if (t->kind == TableKind::Generate) {
+            sites.emplace_back(n++, t);
           }
         }
       }
@@ -716,7 +717,8 @@ class Emitter {
       w_.line(LineCategory::Handler,
               "    // ---- stage " + std::to_string(sidx) + " ----");
       for (const auto& mt : stage.tables) {
-        for (const auto& t : mt.members) {
+        for (const auto* member : mt.members) {
+          const AtomicTable& t = *member;
           if (t.kind == TableKind::Branch) continue;
           w_.line(LineCategory::Handler,
                   "    if (" + table_condition(t) + ") { // " + t.handler +

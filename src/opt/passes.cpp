@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 namespace lucid::opt {
 
@@ -68,10 +69,6 @@ bool tables_disjoint(const AtomicTable& t1, const AtomicTable& t2) {
 }
 
 namespace {
-// Alias for the file-local users below.
-bool guards_disjoint(const AtomicTable& a, const AtomicTable& b) {
-  return tables_disjoint(a, b);
-}
 
 /// conj1 && conj2, or nullopt if contradictory.
 std::optional<Conj> conj_and(const Conj& a, const MatchTest& t) {
@@ -283,21 +280,49 @@ GuardedHandler inline_branches(const ir::HandlerGraph& g,
 // Pass 2: dependency analysis
 // ---------------------------------------------------------------------------
 
-std::vector<std::vector<int>> dependency_edges(const GuardedHandler& h,
-                                               const ir::ProgramIR& ir) {
+namespace {
+
+/// Shared implementation: `disjoint(i, j)` answers whether tables i and j of
+/// `h` can ever fire for the same packet. The public entry point computes
+/// that from scratch; analyze_layout supplies the memoized matrix.
+template <typename DisjointFn>
+std::vector<std::vector<int>> dependency_edges_impl(const GuardedHandler& h,
+                                                    DisjointFn&& disjoint) {
   const std::size_t n = h.tables.size();
   std::vector<std::vector<int>> deps(n);
-  std::vector<std::set<std::string>> reads(n);
-  std::vector<std::set<std::string>> writes(n);
+  // Intern local names once so the RAW/WAR/WAW tests below run on sorted
+  // dense-id vectors (two-pointer intersection) instead of string sets.
+  std::map<std::string, int> var_ids;
+  auto intern = [&var_ids](std::vector<std::string>&& names,
+                           std::vector<int>& out) {
+    for (auto& v : names) {
+      const auto [it, inserted] =
+          var_ids.try_emplace(std::move(v), static_cast<int>(var_ids.size()));
+      (void)inserted;
+      out.push_back(it->second);
+    }
+  };
+  std::vector<std::vector<int>> reads(n);
+  std::vector<std::vector<int>> writes(n);
   for (std::size_t i = 0; i < n; ++i) {
-    for (auto& v : h.tables[i].reads()) reads[i].insert(std::move(v));
-    for (auto& v : h.tables[i].guard_reads()) reads[i].insert(std::move(v));
-    for (auto& v : h.tables[i].writes()) writes[i].insert(std::move(v));
+    intern(h.tables[i].reads(), reads[i]);
+    intern(h.tables[i].guard_reads(), reads[i]);
+    intern(h.tables[i].writes(), writes[i]);
+    for (auto* v : {&reads[i], &writes[i]}) {
+      std::sort(v->begin(), v->end());
+      v->erase(std::unique(v->begin(), v->end()), v->end());
+    }
   }
-  auto intersects = [](const std::set<std::string>& a,
-                       const std::set<std::string>& b) {
-    for (const auto& x : a) {
-      if (b.count(x)) return true;
+  auto intersects = [](const std::vector<int>& a, const std::vector<int>& b) {
+    std::size_t x = 0;
+    std::size_t y = 0;
+    while (x < a.size() && y < b.size()) {
+      if (a[x] == b[y]) return true;
+      if (a[x] < b[y]) {
+        ++x;
+      } else {
+        ++y;
+      }
     }
     return false;
   };
@@ -307,7 +332,7 @@ std::vector<std::vector<int>> dependency_edges(const GuardedHandler& h,
       // Tables that can never fire for the same packet have no runtime
       // dataflow; leaving them unordered is what lets mutually exclusive
       // branch arms share a stage (Fig 8's idx_eq_0 / idx_eq_1).
-      if (guards_disjoint(h.tables[i], h.tables[j])) continue;
+      if (disjoint(static_cast<int>(i), static_cast<int>(j))) continue;
       // Only real dataflow orders tables — including stateful ones: the
       // paper's Fig 6(3) moves hcts_fset next to nexthops_get precisely
       // because independent stateful tables may share or swap stages.
@@ -317,12 +342,22 @@ std::vector<std::vector<int>> dependency_edges(const GuardedHandler& h,
       if (raw || war || waw) deps[j].push_back(static_cast<int>(i));
     }
   }
-  (void)ir;
   for (auto& d : deps) {
     std::sort(d.begin(), d.end());
     d.erase(std::unique(d.begin(), d.end()), d.end());
   }
   return deps;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> dependency_edges(const GuardedHandler& h,
+                                               const ir::ProgramIR& ir) {
+  (void)ir;
+  return dependency_edges_impl(h, [&h](int i, int j) {
+    return tables_disjoint(h.tables[static_cast<std::size_t>(i)],
+                           h.tables[static_cast<std::size_t>(j)]);
+  });
 }
 
 std::vector<int> asap_levels(const GuardedHandler& h,
@@ -337,7 +372,178 @@ std::vector<int> asap_levels(const GuardedHandler& h,
 }
 
 // ---------------------------------------------------------------------------
-// Pass 3: greedy merging
+// Phase A: the model-independent layout analysis
+// ---------------------------------------------------------------------------
+
+namespace {
+
+long rules_of(const AtomicTable& t) {
+  // Guard conjunctions plus the default (miss) rule.
+  return static_cast<long>(std::max<std::size_t>(t.guards.size(), 1)) + 1;
+}
+
+}  // namespace
+
+std::shared_ptr<const LayoutAnalysis> analyze_layout(const ir::ProgramIR& ir,
+                                                     int max_conjs) {
+  auto an = std::make_shared<LayoutAnalysis>();
+
+  // Pass 1 per handler. Diagnostics land on the artifact so every consumer
+  // (cold or shared) replays the identical transcript.
+  DiagnosticEngine local_diags;
+  an->guarded.reserve(ir.handlers.size());
+  for (const auto& hg : ir.handlers) {
+    an->guarded.push_back(inline_branches(hg, local_diags, max_conjs));
+  }
+  an->diagnostics = local_diags.all();
+
+  // Interned symbols. Handler id == guarded index; array id == declaration
+  // order (ir.arrays), extended on demand for arrays hand-built IR may have
+  // skipped registering.
+  an->handler_names.reserve(an->guarded.size());
+  for (const auto& g : an->guarded) an->handler_names.push_back(g.handler);
+  std::map<std::string, int> array_ids;
+  an->array_names.reserve(ir.arrays.size());
+  for (const auto& a : ir.arrays) {
+    array_ids.emplace(a.name, static_cast<int>(an->array_names.size()));
+    an->array_names.push_back(a.name);
+  }
+  auto array_id = [&an, &array_ids](const std::string& name) {
+    const auto it = array_ids.find(name);
+    if (it != array_ids.end()) return it->second;
+    const int id = static_cast<int>(an->array_names.size());
+    an->array_names.push_back(name);
+    array_ids.emplace(name, id);
+    return id;
+  };
+
+  // Global item space, handler-major. Built after every GuardedHandler is in
+  // place: the Item::table pointers must never dangle on vector growth.
+  const std::size_t handler_count = an->guarded.size();
+  std::vector<std::vector<int>> item_id(handler_count);
+  for (std::size_t h = 0; h < handler_count; ++h) {
+    const auto& tables = an->guarded[h].tables;
+    item_id[h].resize(tables.size());
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      item_id[h][i] = an->item_count();
+      LayoutAnalysis::Item item;
+      item.handler = static_cast<int>(h);
+      item.index = static_cast<int>(i);
+      item.table = &tables[i];
+      if (tables[i].kind == TableKind::Mem) {
+        item.array = array_id(tables[i].mem.array);
+      }
+      item.rules = rules_of(tables[i]);
+      item.uncond = tables[i].guards.empty();
+      an->items.push_back(item);
+    }
+  }
+  const std::size_t n = an->items.size();
+
+  // Memoized pairwise disjointness. Cross-handler pairs are disjoint by
+  // event id (the dispatcher selects one handler per packet); same-handler
+  // pairs are computed once and mirrored. The diagonal is "not disjoint"
+  // (a table always co-fires with itself), matching tables_disjoint.
+  an->disjoint_.assign(n * n, 1);
+  for (std::size_t h = 0; h < handler_count; ++h) {
+    const auto& tables = an->guarded[h].tables;
+    for (std::size_t i = 0; i < tables.size(); ++i) {
+      const std::size_t gi = static_cast<std::size_t>(item_id[h][i]);
+      an->disjoint_[gi * n + gi] = 0;
+      for (std::size_t j = i + 1; j < tables.size(); ++j) {
+        const std::size_t gj = static_cast<std::size_t>(item_id[h][j]);
+        const std::uint8_t d = tables_disjoint(tables[i], tables[j]) ? 1 : 0;
+        an->disjoint_[gi * n + gj] = d;
+        an->disjoint_[gj * n + gi] = d;
+      }
+    }
+  }
+
+  // Pass 2 per handler, consulting the memoized matrix, then ASAP levels.
+  an->deps.reserve(handler_count);
+  an->levels.reserve(handler_count);
+  for (std::size_t h = 0; h < handler_count; ++h) {
+    an->deps.push_back(dependency_edges_impl(
+        an->guarded[h], [&an, &item_id, h](int i, int j) {
+          return an->disjoint(item_id[h][static_cast<std::size_t>(i)],
+                              item_id[h][static_cast<std::size_t>(j)]);
+        }));
+    an->levels.push_back(asap_levels(an->guarded[h], an->deps.back()));
+    for (std::size_t i = 0; i < an->levels[h].size(); ++i) {
+      an->items[static_cast<std::size_t>(item_id[h][i])].level =
+          an->levels[h][i];
+    }
+  }
+
+  // Dependencies lifted into global item ids, for the merger's inner loop.
+  an->item_deps.resize(n);
+  for (std::size_t h = 0; h < handler_count; ++h) {
+    for (std::size_t j = 0; j < an->deps[h].size(); ++j) {
+      auto& out = an->item_deps[static_cast<std::size_t>(item_id[h][j])];
+      out.reserve(an->deps[h][j].size());
+      for (const int i : an->deps[h][j]) {
+        out.push_back(item_id[h][static_cast<std::size_t>(i)]);
+      }
+    }
+  }
+
+  // The global topological order every merge attempt walks, prebuilt once:
+  // restarts reuse it instead of rebuilding and re-sorting per attempt.
+  an->order.resize(n);
+  for (std::size_t g = 0; g < n; ++g) an->order[g] = static_cast<int>(g);
+  std::sort(an->order.begin(), an->order.end(), [&an](int a, int b) {
+    const auto& x = an->items[static_cast<std::size_t>(a)];
+    const auto& y = an->items[static_cast<std::size_t>(b)];
+    if (x.level != y.level) return x.level < y.level;
+    if (x.handler != y.handler) return x.handler < y.handler;
+    return x.index < y.index;
+  });
+
+  // Array stage lower bounds: max ASAP level of any access, then propagate
+  // the per-handler stateful-order edges across handlers (the dependency
+  // edges already skip mutually exclusive accesses). Non-disjoint accesses
+  // always follow declaration order (the effect system proved it), so the
+  // constraint graph is acyclic and a few passes converge. The Mem-kind
+  // guards are pass-invariant (and restart-invariant), so they are hoisted
+  // out of the convergence loop into a prebuilt pair list; a single-handler
+  // program's (typically unproductive) list costs one clean pass, not a
+  // re-scan of every table per pass.
+  an->array_lb.assign(an->array_names.size(), 0);
+  for (const auto& item : an->items) {
+    if (item.array < 0) continue;
+    auto& lb = an->array_lb[static_cast<std::size_t>(item.array)];
+    lb = std::max(lb, item.level);
+  }
+  std::vector<std::pair<int, int>> mem_dep_pairs;  // lb[second] >= lb[first]+1
+  for (std::size_t h = 0; h < handler_count; ++h) {
+    for (std::size_t j = 0; j < an->deps[h].size(); ++j) {
+      const auto& tj = an->items[static_cast<std::size_t>(item_id[h][j])];
+      if (tj.array < 0) continue;
+      for (const int i : an->deps[h][j]) {
+        const auto& ti =
+            an->items[static_cast<std::size_t>(item_id[h][static_cast<std::size_t>(i)])];
+        if (ti.array < 0) continue;
+        mem_dep_pairs.emplace_back(ti.array, tj.array);
+      }
+    }
+  }
+  for (std::size_t pass = 0; pass < an->array_names.size() + 1; ++pass) {
+    bool changed = false;
+    for (const auto& [from, to] : mem_dep_pairs) {
+      const int need = an->array_lb[static_cast<std::size_t>(from)] + 1;
+      if (an->array_lb[static_cast<std::size_t>(to)] < need) {
+        an->array_lb[static_cast<std::size_t>(to)] = need;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+
+  return an;
+}
+
+// ---------------------------------------------------------------------------
+// Phase B: greedy merging
 // ---------------------------------------------------------------------------
 
 long MergedTable::total_rules() const {
@@ -375,7 +581,7 @@ std::string Pipeline::str() const {
       s += "[";
       for (std::size_t m = 0; m < t.members.size(); ++m) {
         if (m > 0) s += " ";
-        s += t.members[m].handler + "#" + std::to_string(t.members[m].id);
+        s += t.members[m]->handler + "#" + std::to_string(t.members[m]->id);
       }
       if (!t.array.empty()) s += " @" + t.array;
       s += "] ";
@@ -385,160 +591,106 @@ std::string Pipeline::str() const {
   return s;
 }
 
-namespace {
-
-long rules_of(const AtomicTable& t) {
-  // Guard conjunctions plus the default (miss) rule.
-  return static_cast<long>(std::max<std::size_t>(t.guards.size(), 1)) + 1;
-}
-
-struct Item {
-  int handler = 0;   // index into guarded handlers
-  int index = 0;     // index into handler's tables
-  int level = 0;
-  const AtomicTable* t = nullptr;
-};
-
-}  // namespace
-
-Pipeline layout(const ir::ProgramIR& ir, const ResourceModel& model,
-                DiagnosticEngine& diags) {
+Pipeline layout(std::shared_ptr<const LayoutAnalysis> analysis,
+                const ResourceModel& model, DiagnosticEngine& diags) {
+  const LayoutAnalysis& an = *analysis;
   Pipeline pipe;
+  pipe.analysis = std::move(analysis);
 
-  // Pass 1 + 2 per handler.
-  std::vector<GuardedHandler> guarded;
-  std::vector<std::vector<std::vector<int>>> deps;
-  std::vector<std::vector<int>> levels;
-  guarded.reserve(ir.handlers.size());
-  for (const auto& hg : ir.handlers) {
-    guarded.push_back(inline_branches(hg, diags));
-    deps.push_back(dependency_edges(guarded.back(), ir));
-    levels.push_back(asap_levels(guarded.back(), deps.back()));
+  // Replay the Phase A diagnostics so a compile that shares the analysis
+  // produces the same transcript as one that computed it.
+  for (const Diagnostic& d : an.diagnostics) {
+    diags.add(d.severity, d.range, d.code, d.message);
   }
 
-  // Array stage lower bounds: max ASAP level of any access, then propagate
-  // the per-handler stateful-order edges across handlers (the dependency
-  // edges already skip mutually exclusive accesses). Non-disjoint accesses
-  // always follow declaration order (the effect system proved it), so the
-  // constraint graph is acyclic and a few passes converge.
-  std::map<std::string, int> array_lb;
-  for (std::size_t h = 0; h < guarded.size(); ++h) {
-    for (std::size_t i = 0; i < guarded[h].tables.size(); ++i) {
-      const AtomicTable& t = guarded[h].tables[i];
-      if (t.kind != TableKind::Mem) continue;
-      auto& lb = array_lb[t.mem.array];
-      lb = std::max(lb, levels[h][i]);
-    }
-  }
-  for (std::size_t pass = 0; pass < ir.arrays.size() + 1; ++pass) {
-    bool changed = false;
-    for (std::size_t h = 0; h < guarded.size(); ++h) {
-      for (std::size_t j = 0; j < guarded[h].tables.size(); ++j) {
-        const AtomicTable& tj = guarded[h].tables[j];
-        if (tj.kind != TableKind::Mem) continue;
-        for (const int i : deps[h][j]) {
-          const AtomicTable& ti =
-              guarded[h].tables[static_cast<std::size_t>(i)];
-          if (ti.kind != TableKind::Mem) continue;
-          const int need = array_lb[ti.mem.array] + 1;
-          if (array_lb[tj.mem.array] < need) {
-            array_lb[tj.mem.array] = need;
-            changed = true;
-          }
-        }
+  const int handler_count = static_cast<int>(an.guarded.size());
+  const int array_count = static_cast<int>(an.array_names.size());
+  const std::size_t n = an.items.size();
+
+  // Internal dense working state: member *indices* into the analysis, per-
+  // stage incremental counters, and dense-id pin state — no AtomicTable
+  // copies, string keys, or map lookups inside the placement loops.
+  struct TableState {
+    std::vector<int> members;            // global item ids
+    int array = -1;                      // dense array id
+    long rules_total = 0;                // incremental sum of member rules
+    std::vector<long> rules_by_handler;  // dense handler id -> rules
+  };
+  struct StageState {
+    std::vector<TableState> tables;
+    int atomic_ops = 0;       // incremental: members across all tables
+    std::vector<int> arrays;  // distinct array ids present (salus count)
+    [[nodiscard]] bool has_array(int a) const {
+      for (const int x : arrays) {
+        if (x == a) return true;
       }
+      return false;
     }
-    if (!changed) break;
-  }
+  };
+
+  std::vector<StageState> stages;
+  std::vector<int> array_pin = an.array_lb;  // lower bounds seed the pins
+  std::vector<int> array_stage(static_cast<std::size_t>(array_count), -1);
+  std::vector<int> placed(n, -1);
 
   // Greedy placement, restarting when an array must move later than where a
   // prior placement pinned it.
-  std::map<std::string, int> array_pin = array_lb;
-  const int max_restarts =
-      static_cast<int>(ir.arrays.size()) * (model.max_stages + 4) + 8;
+  const int max_restarts = array_count * (model.max_stages + 4) + 8;
+  const long ops_cap = static_cast<long>(model.alu_ops_per_stage) *
+                       std::max(1, model.tables_per_stage);
 
   for (int attempt = 0; attempt <= max_restarts; ++attempt) {
-    pipe.stages.clear();
-    pipe.array_stage.clear();
+    stages.clear();
+    std::fill(array_stage.begin(), array_stage.end(), -1);
+    std::fill(placed.begin(), placed.end(), -1);
     pipe.feasible = true;
     bool restart = false;
 
-    // Items in (level, handler, index) order: a global topological order.
-    std::vector<Item> items;
-    for (std::size_t h = 0; h < guarded.size(); ++h) {
-      for (std::size_t i = 0; i < guarded[h].tables.size(); ++i) {
-        items.push_back(Item{static_cast<int>(h), static_cast<int>(i),
-                             levels[h][i], &guarded[h].tables[i]});
-      }
-    }
-    std::stable_sort(items.begin(), items.end(),
-                     [](const Item& a, const Item& b) {
-                       if (a.level != b.level) return a.level < b.level;
-                       if (a.handler != b.handler) return a.handler < b.handler;
-                       return a.index < b.index;
-                     });
-
-    // placed[h][i] = stage of that table.
-    std::vector<std::vector<int>> placed(guarded.size());
-    for (std::size_t h = 0; h < guarded.size(); ++h) {
-      placed[h].assign(guarded[h].tables.size(), -1);
-    }
-
-    auto ensure_stage = [&](int s) -> StageLayout& {
-      while (static_cast<int>(pipe.stages.size()) <= s) {
-        pipe.stages.emplace_back();
-      }
-      return pipe.stages[static_cast<std::size_t>(s)];
-    };
-
-    for (const Item& item : items) {
-      const AtomicTable& t = *item.t;
+    for (const int g : an.order) {
+      const LayoutAnalysis::Item& item =
+          an.items[static_cast<std::size_t>(g)];
       int earliest = 0;
-      for (const int d :
-           deps[static_cast<std::size_t>(item.handler)]
-               [static_cast<std::size_t>(item.index)]) {
-        earliest = std::max(
-            earliest,
-            placed[static_cast<std::size_t>(item.handler)]
-                  [static_cast<std::size_t>(d)] + 1);
+      for (const int d : an.item_deps[static_cast<std::size_t>(g)]) {
+        earliest = std::max(earliest,
+                            placed[static_cast<std::size_t>(d)] + 1);
       }
 
-      const bool is_mem = t.kind == TableKind::Mem;
-      const std::string& array = t.mem.array;
+      const bool is_mem = item.array >= 0;
       if (is_mem) {
-        const auto pin = pipe.array_stage.find(array);
-        if (pin != pipe.array_stage.end() && earliest > pin->second) {
+        const int pin = array_stage[static_cast<std::size_t>(item.array)];
+        if (pin >= 0 && earliest > pin) {
           // The array was already placed earlier than this access needs:
           // push the pin and restart the placement.
-          array_pin[array] = earliest;
+          array_pin[static_cast<std::size_t>(item.array)] = earliest;
           restart = true;
           break;
         }
-        earliest = std::max(earliest, array_pin[array]);
-        if (pin != pipe.array_stage.end()) earliest = pin->second;
+        earliest = std::max(earliest,
+                            array_pin[static_cast<std::size_t>(item.array)]);
+        if (pin >= 0) earliest = pin;
       }
 
       // Scan stages from `earliest` for a merged table (or a slot for a new
-      // one) that fits.
+      // one) that fits. Stages past the high-water mark are virtually empty
+      // and materialized only on actual placement — a failed scan allocates
+      // nothing.
       int chosen = -1;
       for (int s = earliest; s < earliest + 4 * model.max_stages; ++s) {
-        StageLayout& stage = ensure_stage(s);
-        if (stage.atomic_ops() + 1 >
-            model.alu_ops_per_stage * std::max(1, model.tables_per_stage)) {
+        StageState* stage =
+            s < static_cast<int>(stages.size())
+                ? &stages[static_cast<std::size_t>(s)]
+                : nullptr;
+        if ((stage != nullptr ? stage->atomic_ops : 0) + 1 > ops_cap) {
           continue;
         }
         const bool array_new_here =
-            is_mem && [&] {
-              for (const auto& mt : stage.tables) {
-                if (mt.array == array) return false;
-              }
-              return true;
-            }();
+            is_mem && (stage == nullptr || !stage->has_array(item.array));
         if (is_mem && array_new_here &&
-            stage.salus() >= model.salus_per_stage) {
-          if (pipe.array_stage.count(array)) {
+            (stage != nullptr ? static_cast<int>(stage->arrays.size()) : 0) >=
+                model.salus_per_stage) {
+          if (array_stage[static_cast<std::size_t>(item.array)] >= 0) {
             // Pinned stage is full of other arrays: infeasible pin.
-            array_pin[array] = s + 1;
+            array_pin[static_cast<std::size_t>(item.array)] = s + 1;
             restart = true;
           }
           continue;
@@ -547,52 +699,65 @@ Pipeline layout(const ir::ProgramIR& ir, const ResourceModel& model,
         // either all unconditional (their ops combine into one action) or
         // pairwise disjoint (each gets its own rules) — mirroring the merged
         // tables of Fig 8. Members of different handlers are always disjoint
-        // on the event id.
-        MergedTable* target = nullptr;
-        for (auto& mt : stage.tables) {
-          if (static_cast<int>(mt.members.size()) >=
-              model.members_per_table) {
-            continue;
-          }
-          if (is_mem && !mt.array.empty() && mt.array != array) continue;
-          const bool my_uncond = t.guards.empty();
-          bool compatible = true;
-          for (const auto& member : mt.members) {
-            if (member.handler != t.handler) continue;
-            if (member.guards.empty() != my_uncond) {
-              compatible = false;
-              break;
+        // on the event id. All checks run on dense analysis indices; the
+        // disjointness tests hit the memoized matrix.
+        TableState* target = nullptr;
+        if (stage != nullptr) {
+          for (auto& mt : stage->tables) {
+            if (static_cast<int>(mt.members.size()) >=
+                model.members_per_table) {
+              continue;
             }
-            if (!my_uncond && !tables_disjoint(member, t)) {
-              compatible = false;
-              break;
+            if (is_mem && mt.array >= 0 && mt.array != item.array) continue;
+            bool compatible = true;
+            for (const int m : mt.members) {
+              const LayoutAnalysis::Item& member =
+                  an.items[static_cast<std::size_t>(m)];
+              if (member.handler != item.handler) continue;
+              if (member.uncond != item.uncond) {
+                compatible = false;
+                break;
+              }
+              if (!item.uncond && !an.disjoint(m, g)) {
+                compatible = false;
+                break;
+              }
             }
+            if (!compatible) continue;
+            // Rules add: disjoint same-handler members, disjoint handlers.
+            if (mt.rules_total + item.rules > model.rules_per_table) continue;
+            target = &mt;
+            break;
           }
-          if (!compatible) continue;
-          // Rules add: disjoint same-handler members, disjoint handlers.
-          std::map<std::string, long> next_rules = mt.rules_per_handler;
-          next_rules[t.handler] += rules_of(t);
-          long new_rules = 0;
-          for (const auto& [hname, r] : next_rules) new_rules += r;
-          if (new_rules > model.rules_per_table) continue;
-          target = &mt;
-          mt.rules_per_handler = std::move(next_rules);
-          break;
         }
         if (target == nullptr) {
-          if (static_cast<int>(stage.tables.size()) >=
-              model.tables_per_stage) {
+          if ((stage != nullptr ? static_cast<int>(stage->tables.size())
+                                : 0) >= model.tables_per_stage) {
             continue;
           }
-          stage.tables.emplace_back();
-          target = &stage.tables.back();
-          target->rules_per_handler[t.handler] = rules_of(t);
+          if (stage == nullptr) {
+            while (static_cast<int>(stages.size()) <= s) {
+              stages.emplace_back();
+            }
+            stage = &stages[static_cast<std::size_t>(s)];
+          }
+          stage->tables.emplace_back();
+          target = &stage->tables.back();
+          target->rules_by_handler.assign(
+              static_cast<std::size_t>(handler_count), 0);
         }
-        target->members.push_back(t);
+        target->members.push_back(g);
+        target->rules_total += item.rules;
+        target->rules_by_handler[static_cast<std::size_t>(item.handler)] +=
+            item.rules;
+        stage->atomic_ops += 1;
         if (is_mem) {
-          target->array = array;
-          pipe.array_stage[array] = s;
-          if (s > array_pin[array]) array_pin[array] = s;
+          target->array = item.array;
+          if (array_new_here) stage->arrays.push_back(item.array);
+          array_stage[static_cast<std::size_t>(item.array)] = s;
+          if (s > array_pin[static_cast<std::size_t>(item.array)]) {
+            array_pin[static_cast<std::size_t>(item.array)] = s;
+          }
         }
         chosen = s;
         break;
@@ -601,15 +766,15 @@ Pipeline layout(const ir::ProgramIR& ir, const ResourceModel& model,
       if (chosen < 0) {
         pipe.feasible = false;
         diags.warning({}, "opt-layout-infeasible",
-                      "could not place table '" + t.str() + "' of handler '" +
-                          t.handler + "'");
+                      "could not place table '" + item.table->str() +
+                          "' of handler '" + item.table->handler + "'");
         break;
       }
-      placed[static_cast<std::size_t>(item.handler)]
-            [static_cast<std::size_t>(item.index)] = chosen;
+      placed[static_cast<std::size_t>(g)] = chosen;
     }
 
     if (!restart) break;
+    ++pipe.restarts;
     if (attempt == max_restarts) {
       pipe.feasible = false;
       diags.warning({}, "opt-layout-restarts",
@@ -617,12 +782,50 @@ Pipeline layout(const ir::ProgramIR& ir, const ResourceModel& model,
     }
   }
 
-  // Trim trailing empty stages.
-  while (!pipe.stages.empty() && pipe.stages.back().tables.empty()) {
-    pipe.stages.pop_back();
+  // Trim trailing empty stages (interior gap stages, materialized to reach a
+  // later placement, stay — as before).
+  while (!stages.empty() && stages.back().tables.empty()) {
+    stages.pop_back();
   }
+
+  // Materialize the public pipeline once: members are pointers into the
+  // analysis (kept alive by pipe.analysis), never AtomicTable copies.
+  pipe.stages.resize(stages.size());
+  for (std::size_t s = 0; s < stages.size(); ++s) {
+    pipe.stages[s].tables.reserve(stages[s].tables.size());
+    for (const TableState& ts : stages[s].tables) {
+      MergedTable mt;
+      mt.members.reserve(ts.members.size());
+      for (const int m : ts.members) {
+        mt.members.push_back(an.items[static_cast<std::size_t>(m)].table);
+      }
+      if (ts.array >= 0) {
+        mt.array = an.array_names[static_cast<std::size_t>(ts.array)];
+      }
+      for (int h = 0; h < handler_count; ++h) {
+        const long r = ts.rules_by_handler[static_cast<std::size_t>(h)];
+        if (r != 0) {
+          mt.rules_per_handler[an.handler_names[static_cast<std::size_t>(h)]] =
+              r;
+        }
+      }
+      pipe.stages[s].tables.push_back(std::move(mt));
+    }
+  }
+  for (int a = 0; a < array_count; ++a) {
+    const int s = array_stage[static_cast<std::size_t>(a)];
+    if (s >= 0) {
+      pipe.array_stage[an.array_names[static_cast<std::size_t>(a)]] = s;
+    }
+  }
+
   pipe.fits = pipe.stage_count() <= model.max_stages && pipe.feasible;
   return pipe;
+}
+
+Pipeline layout(const ir::ProgramIR& ir, const ResourceModel& model,
+                DiagnosticEngine& diags) {
+  return layout(analyze_layout(ir), model, diags);
 }
 
 LayoutStats layout_stats(const ir::ProgramIR& ir, const ResourceModel& model,

@@ -1,6 +1,15 @@
 // The Lucid compiler's pipeline-layout optimizer (paper section 6.2).
 //
-// Three passes reduce the stage requirements of the atomic table graph:
+// ---------------------------------------------------------------------------
+// Two-phase architecture
+// ---------------------------------------------------------------------------
+//
+// Layout is split into two phases with a hard API boundary, so that resource-
+// model sweeps (src/core/sweep.hpp) pay the model-independent work once per
+// source instead of once per variant:
+//
+// *Phase A — `LayoutAnalysis` (analyze_layout)*: everything that is a pure
+// function of the IR and does not depend on the `ResourceModel`:
 //
 //  1. *Branch inlining*: every non-branch table learns the path conditions
 //     under which it executes, expressed as static match rules
@@ -10,19 +19,41 @@
 //     WAR, and WAW dependencies over locals (including guard reads), the
 //     declaration-order chain between stateful tables, and generate-order —
 //     so independent tables can share a stage (Fig 6(3)).
-//  3. *Merging tables and actions*: a greedy walk in topological order packs
-//     atomic tables into merged tables ("cross products", Fig 8) under an
-//     explicit Tofino-like resource model, producing M stages with N merged
-//     tables each.
+//
+// plus the derived structures the greedy merger consults in its inner loops:
+// an interned symbol table (handler/array names -> dense ids, so the merger
+// never touches std::string keys or std::map lookups), the globally sorted
+// item order (so restarts never rebuild or re-sort it), a memoized pairwise
+// table-disjointness matrix, per-item dependency lists in global item ids,
+// and the converged model-independent array stage lower bounds. Analysis
+// diagnostics (e.g. "opt-guard-blowup") are stored on the artifact and
+// replayed into every consuming compilation, so a compile that shares the
+// analysis produces an identical diagnostic transcript to a cold one.
+//
+// *Phase B — the greedy merger (layout)*: a greedy walk in the prebuilt
+// topological order packs atomic tables into merged tables ("cross
+// products", Fig 8) under an explicit Tofino-like resource model, producing
+// M stages with N merged tables each. The merger works entirely on dense
+// analysis indices: merged tables hold pointers into the analysis instead of
+// `AtomicTable` copies, stages keep incremental atomic-op/SALU/rule counters
+// instead of recomputing them by iteration inside the stage-scan loop, and
+// per-array pin state is dense-id indexed. Stages are materialized only on
+// actual placement (a failed scan allocates nothing).
 //
 // The merger is program-wide: handlers share one physical pipeline (the event
 // dispatcher selects among them), tables of different handlers are disjoint
 // by event id and can share stages, and each register array is pinned to a
 // single stage consistent with every handler's access order — which the
 // ordered type system has already guaranteed is possible.
+//
+// `Compilation` (src/core/driver.hpp) owns one `LayoutAnalysis` per source,
+// computed lazily and shared through `clone_from_stage`, so a sweep over any
+// grid of resource models runs Phase A exactly once.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -91,11 +122,80 @@ struct GuardedHandler {
     const GuardedHandler& h, const std::vector<std::vector<int>>& deps);
 
 // ---------------------------------------------------------------------------
-// Pass 3: greedy merging / pipeline layout
+// Phase A: the model-independent layout analysis
+// ---------------------------------------------------------------------------
+
+/// Everything the greedy merger needs that is a pure function of the IR.
+/// Immutable once built; safe to share across threads and across any number
+/// of resource-model variants (see the file header).
+struct LayoutAnalysis {
+  /// One guarded atomic table, flattened into the global item space.
+  struct Item {
+    int handler = 0;      // dense handler id (index into `guarded`)
+    int index = 0;        // index into guarded[handler].tables
+    int level = 0;        // ASAP level within the handler
+    int array = -1;       // dense array id (-1: not a Mem table)
+    long rules = 0;       // static rules this table adds when merged
+    bool uncond = false;  // no guards (executes unconditionally)
+    const ir::AtomicTable* table = nullptr;  // points into `guarded`
+  };
+
+  // Per-handler pass 1 + 2 artifacts, in ir.handlers order.
+  std::vector<GuardedHandler> guarded;
+  std::vector<std::vector<std::vector<int>>> deps;  // per handler, local ids
+  std::vector<std::vector<int>> levels;             // per handler
+
+  // Interned symbols: handler id == index into `guarded`/`handler_names`;
+  // array id == index into `array_names` (declaration order).
+  std::vector<std::string> handler_names;
+  std::vector<std::string> array_names;
+
+  // Global item space: one entry per guarded table, handler-major.
+  std::vector<Item> items;
+  /// Dependencies in global item ids: item_deps[g] lists items that must be
+  /// placed in a strictly earlier stage than g.
+  std::vector<std::vector<int>> item_deps;
+  /// Item ids sorted by (level, handler, index): the global topological
+  /// order every merge attempt walks. Prebuilt once; restarts reuse it.
+  std::vector<int> order;
+
+  /// Converged model-independent stage lower bound per array id: the max
+  /// ASAP level of any access, with the cross-handler stateful-order edges
+  /// propagated to a fixpoint.
+  std::vector<int> array_lb;
+
+  /// Diagnostics produced while analyzing (e.g. "opt-guard-blowup"),
+  /// replayed verbatim into every compilation that consumes this analysis.
+  std::vector<Diagnostic> diagnostics;
+
+  /// Memoized tables_disjoint() over the global item space.
+  [[nodiscard]] bool disjoint(int a, int b) const {
+    return disjoint_[static_cast<std::size_t>(a) * items.size() +
+                     static_cast<std::size_t>(b)] != 0;
+  }
+
+  [[nodiscard]] int item_count() const {
+    return static_cast<int>(items.size());
+  }
+
+  std::vector<std::uint8_t> disjoint_;  // items.size()^2 matrix (row-major)
+};
+
+/// Runs Phase A: branch inlining, dependency analysis, interning, the
+/// global item order, the disjointness matrix, and the array lower bounds.
+/// The result holds pointers into itself and is returned shared so pipelines
+/// (whose merged tables point into it) can keep it alive.
+[[nodiscard]] std::shared_ptr<const LayoutAnalysis> analyze_layout(
+    const ir::ProgramIR& ir, int max_conjs = 64);
+
+// ---------------------------------------------------------------------------
+// Phase B: greedy merging / pipeline layout
 // ---------------------------------------------------------------------------
 
 struct MergedTable {
-  std::vector<ir::AtomicTable> members;
+  /// Member atomic tables, pointing into the owning Pipeline's analysis
+  /// (kept alive by Pipeline::analysis) — never copies.
+  std::vector<const ir::AtomicTable*> members;
   std::string array;  // the single register array bound to this table ("")
   /// Rule count after cross-producting, per owning handler (rules from
   /// different handlers are disjoint on the event id, so they add).
@@ -114,6 +214,10 @@ struct Pipeline {
   std::map<std::string, int> array_stage;
   bool fits = true;       // stage count within the model
   bool feasible = true;   // layout algorithm completed
+  int restarts = 0;       // placement attempts abandoned to move an array pin
+  /// The Phase A artifact the merged tables point into. Shared, not copied:
+  /// every variant of a sweep holds the same analysis.
+  std::shared_ptr<const LayoutAnalysis> analysis;
   [[nodiscard]] int stage_count() const {
     return static_cast<int>(stages.size());
   }
@@ -121,9 +225,14 @@ struct Pipeline {
   [[nodiscard]] std::string str() const;
 };
 
-/// Lays out the whole program. `optimize == false` skips merging and
-/// reordering entirely: every atomic table (branch tables included) gets its
-/// own stage along the longest path — the paper's "unoptimized" baseline.
+/// Phase B alone: lays the program out under `model`, consuming a prebuilt
+/// analysis. Replays the analysis diagnostics into `diags` first, so the
+/// transcript is identical whether the analysis was computed here or shared.
+[[nodiscard]] Pipeline layout(std::shared_ptr<const LayoutAnalysis> analysis,
+                              const ResourceModel& model,
+                              DiagnosticEngine& diags);
+
+/// Convenience: analyze_layout + layout in one call (the "cold" path).
 [[nodiscard]] Pipeline layout(const ir::ProgramIR& ir,
                               const ResourceModel& model,
                               DiagnosticEngine& diags);

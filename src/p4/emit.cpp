@@ -159,7 +159,8 @@ class Emitter {
   void collect_vars() {
     for (const auto& stage : pipeline_.stages) {
       for (const auto& mt : stage.tables) {
-        for (const auto& t : mt.members) {
+        for (const auto* member : mt.members) {
+          const AtomicTable& t = *member;
           switch (t.kind) {
             case TableKind::Op: {
               auto& w = vars_[t.op.dst];
@@ -279,9 +280,9 @@ class Emitter {
     int n = 0;
     for (const auto& stage : pipeline_.stages) {
       for (const auto& mt : stage.tables) {
-        for (const auto& t : mt.members) {
-          if (t.kind == TableKind::Generate) {
-            sites.emplace_back(n++, t.gen.event);
+        for (const auto* t : mt.members) {
+          if (t->kind == TableKind::Generate) {
+            sites.emplace_back(n++, t->gen.event);
           }
         }
       }
@@ -358,7 +359,8 @@ class Emitter {
     // One RegisterAction per distinct stateful access.
     for (const auto& stage : pipeline_.stages) {
       for (const auto& mt : stage.tables) {
-        for (const auto& t : mt.members) {
+        for (const auto* member : mt.members) {
+          const AtomicTable& t = *member;
           if (t.kind != TableKind::Mem) continue;
           const std::string sig = mem_signature(t.mem);
           if (reg_actions_.count(sig)) continue;
@@ -553,9 +555,9 @@ class Emitter {
     int n = 0;
     for (const auto& stage : pipeline_.stages) {
       for (const auto& mt : stage.tables) {
-        for (const auto& m : mt.members) {
-          if (m.kind == TableKind::Generate) {
-            if (&m == t) return n;
+        for (const auto* m : mt.members) {
+          if (m->kind == TableKind::Generate) {
+            if (m == t) return n;
             ++n;
           }
         }
@@ -586,7 +588,8 @@ class Emitter {
 
   std::vector<EmitGroup> emission_groups(const opt::MergedTable& mt) const {
     std::vector<EmitGroup> groups;
-    for (const auto& t : mt.members) {
+    for (const auto* member : mt.members) {
+      const AtomicTable& t = *member;
       if (t.guards.empty()) {
         EmitGroup* g = nullptr;
         for (auto& eg : groups) {
@@ -599,14 +602,14 @@ class Emitter {
           g->event_id = event_id_of(t.handler);
           g->unconditional = true;
         }
-        g->members.push_back(&t);
+        g->members.push_back(member);
       } else {
         groups.emplace_back();
         EmitGroup& g = groups.back();
         g.handler = t.handler;
         g.event_id = event_id_of(t.handler);
         g.unconditional = false;
-        g.guarded = &t;
+        g.guarded = member;
       }
     }
     return groups;
@@ -626,8 +629,8 @@ class Emitter {
 
     // Key variables: the union of all guard variables.
     std::set<std::string> key_vars;
-    for (const auto& t : mt.members) {
-      for (const auto& conj : t.guards) {
+    for (const auto* t : mt.members) {
+      for (const auto& conj : t->guards) {
         for (const auto& test : conj) key_vars.insert(test.var);
       }
     }

@@ -80,9 +80,9 @@ TEST_P(AppProperty, MergedTablesBindAtMostOneArray) {
   for (const auto& stage : r->pipeline().stages) {
     for (const auto& mt : stage.tables) {
       std::set<std::string> arrays;
-      for (const auto& member : mt.members) {
-        if (member.kind == ir::TableKind::Mem) {
-          arrays.insert(member.mem.array);
+      for (const auto* member : mt.members) {
+        if (member->kind == ir::TableKind::Mem) {
+          arrays.insert(member->mem.array);
         }
       }
       EXPECT_LE(arrays.size(), 1u) << spec().key;
@@ -99,8 +99,8 @@ TEST_P(AppProperty, SameHandlerMembersAreDisjointOrAllUnconditional) {
     for (const auto& mt : stage.tables) {
       for (std::size_t i = 0; i < mt.members.size(); ++i) {
         for (std::size_t j = i + 1; j < mt.members.size(); ++j) {
-          const auto& a = mt.members[i];
-          const auto& b = mt.members[j];
+          const auto& a = *mt.members[i];
+          const auto& b = *mt.members[j];
           if (a.handler != b.handler) continue;
           const bool both_uncond = a.guards.empty() && b.guards.empty();
           EXPECT_TRUE(both_uncond || opt::tables_disjoint(a, b))

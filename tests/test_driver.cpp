@@ -147,6 +147,32 @@ TEST(Driver, TimingReportListsEveryRanStage) {
   }
 }
 
+TEST(Driver, TimingReportJsonIsMachineReadable) {
+  // The --time-passes=json payload: one object, every ran stage with its
+  // wall clock and sharing flags, and the total. A clone's Layout record
+  // must advertise the shared Phase A analysis.
+  const CompilerDriver driver;
+  const CompilationPtr comp = driver.run(kCounter, Stage::Layout);
+  const std::string json = comp->timing_report_json();
+  EXPECT_EQ(json.front(), '{');
+  for (const char* needle :
+       {"\"program\": ", "\"stage\": \"parse\"", "\"stage\": \"sema\"",
+        "\"stage\": \"lower\"", "\"stage\": \"layout\"", "\"wall_ms\": ",
+        "\"total_wall_ms\": ", "\"analysis_shared\": false"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << json;
+  }
+  EXPECT_EQ(json.find("\"analysis_shared\": true"), std::string::npos);
+
+  const CompilationPtr clone = comp->clone_from_stage(Stage::Lower);
+  ASSERT_NE(clone, nullptr);
+  ASSERT_TRUE(driver.run_until(clone, Stage::Layout));
+  const std::string clone_json = clone->timing_report_json();
+  EXPECT_NE(clone_json.find("\"shared\": true"), std::string::npos)
+      << clone_json;
+  EXPECT_NE(clone_json.find("\"analysis_shared\": true"), std::string::npos)
+      << clone_json;
+}
+
 // ---------------------------------------------------------------------------
 // Backend registry
 // ---------------------------------------------------------------------------

@@ -16,6 +16,7 @@
 
 #include "apps/apps.hpp"
 #include "core/backends.hpp"
+#include "core/sweep.hpp"
 #include "support/strings.hpp"
 
 namespace lucid {
@@ -117,6 +118,71 @@ TEST(Golden, EmissionMatchesCheckedInGolden) {
           << "if the emitter change is intentional, regenerate with "
              "UPDATE_GOLDEN=1 ./test_golden";
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layout pipelines (tests/golden/layout/<KEY>.txt)
+//
+// The optimizer's merged pipeline for every paper app, across the full
+// stages=4,8,12,16 x salus=2,4 sweep grid, pinned as Pipeline::str() bytes.
+// This is the drift guard for the two-phase layout engine: any change to the
+// greedy merger that alters a placement shows up as a byte diff here, for
+// every resource-model variant — not just the default Tofino model the
+// emitter goldens exercise.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kLayoutGoldenGrid = "stages=4,8,12,16;salus=2,4";
+
+std::string layout_golden_path(const std::string& key) {
+  return std::string(LUCID_SOURCE_DIR) + "/tests/golden/layout/" + key +
+         ".txt";
+}
+
+/// Lays the app out against every grid variant and renders one labelled
+/// transcript (variant header + Pipeline::str(), in grid order).
+std::string layout_transcript(const apps::AppSpec& spec) {
+  const auto variants = parse_sweep_grid(kLayoutGoldenGrid);
+  EXPECT_TRUE(variants.has_value());
+  std::string out;
+  for (const SweepVariant& v : *variants) {
+    DriverOptions opts;
+    opts.model = v.model;
+    opts.program_name = spec.key;
+    const CompilerDriver driver(opts);
+    const CompilationPtr comp = driver.run(spec.source, Stage::Layout);
+    EXPECT_TRUE(comp->ok()) << spec.key << " @ " << v.label << ":\n"
+                            << comp->diags().render();
+    const opt::Pipeline& p = comp->pipeline();
+    out += "=== " + v.label + " fits=" + (p.fits ? "yes" : "no") +
+           " feasible=" + (p.feasible ? "yes" : "no") + " ===\n";
+    out += p.str();
+  }
+  return out;
+}
+
+TEST(Golden, LayoutPipelinesMatchCheckedInGolden) {
+  for (const apps::AppSpec& spec : apps::all_apps()) {
+    SCOPED_TRACE(spec.key);
+    const std::string actual = layout_transcript(spec);
+    ASSERT_FALSE(actual.empty());
+
+    const std::string path = layout_golden_path(spec.key);
+    if (update_requested()) {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(out.good()) << "cannot write " << path;
+      out << actual;
+      continue;
+    }
+
+    bool read_ok = false;
+    const std::string expected = read_file(path, read_ok);
+    ASSERT_TRUE(read_ok) << "missing golden file " << path
+                         << " — regenerate with UPDATE_GOLDEN=1";
+    EXPECT_EQ(expected, actual)
+        << first_difference(expected, actual)
+        << "if the layout change is intentional, regenerate with "
+           "UPDATE_GOLDEN=1 ./test_golden";
   }
 }
 

@@ -1,9 +1,16 @@
 // Optimizer tests (section 6.2): branch inlining produces the Figure 6(2)
 // guards, dependency analysis enables the Figure 6(3) reordering, and the
 // greedy merger packs the program into fewer stages under the resource model.
+// The TwoPhase suite pins the Phase A / Phase B split: a shared
+// LayoutAnalysis must reproduce the cold path byte-for-byte across the full
+// sweep grid, deterministically, with identical diagnostics.
 #include <gtest/gtest.h>
 
+#include <tuple>
+
+#include "apps/apps.hpp"
 #include "core/driver.hpp"
+#include "core/sweep.hpp"
 
 namespace lucid::opt {
 namespace {
@@ -328,6 +335,173 @@ TEST(Layout, OpsPerStageReportsAllAtomicTables) {
 TEST(Layout, StageRatioComputed) {
   const auto r = compile_ok(kFigure6);
   EXPECT_GE(r->layout_stats().stage_ratio(), 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase engine: shared LayoutAnalysis vs cold layout
+// ---------------------------------------------------------------------------
+
+std::string diag_codes(const DiagnosticEngine& diags) {
+  std::string out;
+  for (const Diagnostic& d : diags.all()) {
+    out += std::string(severity_name(d.severity)) + "|" + d.code + "|" +
+           d.message + "\n";
+  }
+  return out;
+}
+
+TEST(TwoPhase, SharedAnalysisMatchesColdAcrossTheSweepGrid) {
+  // The load-bearing differential: for every paper app and every point of
+  // the full sweep grid, Phase B consuming a prebuilt analysis must be
+  // Pipeline::str()-byte-identical to the one-shot cold path, with the same
+  // pins, flags, restart counts, and diagnostic transcript — twice in a row
+  // (determinism).
+  const auto variants = *parse_sweep_grid("stages=4,8,12,16;salus=2,4");
+  ASSERT_EQ(variants.size(), 8u);
+  for (const apps::AppSpec& spec : apps::all_apps()) {
+    SCOPED_TRACE(spec.key);
+    const CompilerDriver driver;
+    const CompilationPtr comp = driver.run(spec.source, Stage::Lower);
+    ASSERT_TRUE(comp->ok()) << comp->diags().render();
+    const auto analysis = analyze_layout(comp->ir());
+    for (const SweepVariant& v : variants) {
+      SCOPED_TRACE(v.label);
+      DiagnosticEngine d_cold;
+      DiagnosticEngine d_shared;
+      DiagnosticEngine d_again;
+      const Pipeline cold = layout(comp->ir(), v.model, d_cold);
+      const Pipeline shared = layout(analysis, v.model, d_shared);
+      const Pipeline again = layout(analysis, v.model, d_again);
+      EXPECT_EQ(cold.str(), shared.str());
+      EXPECT_EQ(shared.str(), again.str());  // two-run determinism
+      EXPECT_EQ(cold.array_stage, shared.array_stage);
+      EXPECT_EQ(cold.fits, shared.fits);
+      EXPECT_EQ(cold.feasible, shared.feasible);
+      EXPECT_EQ(cold.restarts, shared.restarts);
+      EXPECT_EQ(diag_codes(d_cold), diag_codes(d_shared));
+      EXPECT_EQ(diag_codes(d_shared), diag_codes(d_again));
+    }
+  }
+}
+
+TEST(TwoPhase, AnalysisPrebuildsASortedItemOrder) {
+  const auto r = compile_ok(apps::app("SFW").source);
+  const auto an = analyze_layout(r->ir());
+  std::size_t expected_items = 0;
+  for (const auto& g : an->guarded) expected_items += g.tables.size();
+  ASSERT_EQ(an->items.size(), expected_items);
+  ASSERT_EQ(an->order.size(), expected_items);
+  ASSERT_EQ(an->item_deps.size(), expected_items);
+  // The prebuilt order is the (level, handler, index) topological sort the
+  // merger walks; restarts reuse it instead of re-sorting.
+  for (std::size_t k = 1; k < an->order.size(); ++k) {
+    const auto& a = an->items[static_cast<std::size_t>(an->order[k - 1])];
+    const auto& b = an->items[static_cast<std::size_t>(an->order[k])];
+    const auto key = [](const LayoutAnalysis::Item& it) {
+      return std::make_tuple(it.level, it.handler, it.index);
+    };
+    EXPECT_LT(key(a), key(b));
+  }
+  // Every dependency sits strictly earlier in ASAP levels.
+  for (std::size_t g = 0; g < an->items.size(); ++g) {
+    for (const int d : an->item_deps[g]) {
+      EXPECT_LT(an->items[static_cast<std::size_t>(d)].level,
+                an->items[g].level);
+      EXPECT_EQ(an->items[static_cast<std::size_t>(d)].handler,
+                an->items[g].handler);
+    }
+  }
+}
+
+TEST(TwoPhase, InternedSymbolsMatchTheIR) {
+  const auto r = compile_ok(kFigure6);
+  const auto an = analyze_layout(r->ir());
+  ASSERT_EQ(an->handler_names.size(), r->ir().handlers.size());
+  for (std::size_t h = 0; h < an->handler_names.size(); ++h) {
+    EXPECT_EQ(an->handler_names[h], r->ir().handlers[h].handler);
+    EXPECT_EQ(an->guarded[h].handler, an->handler_names[h]);
+  }
+  ASSERT_EQ(an->array_names.size(), r->ir().arrays.size());
+  ASSERT_EQ(an->array_lb.size(), an->array_names.size());
+  for (std::size_t a = 0; a < an->array_names.size(); ++a) {
+    EXPECT_EQ(an->array_names[a], r->ir().arrays[a].name);
+  }
+  // Items resolve their dense ids back to the right table.
+  for (const auto& item : an->items) {
+    const auto& t =
+        an->guarded[static_cast<std::size_t>(item.handler)]
+            .tables[static_cast<std::size_t>(item.index)];
+    EXPECT_EQ(item.table, &t);
+    if (t.kind == ir::TableKind::Mem) {
+      ASSERT_GE(item.array, 0);
+      EXPECT_EQ(an->array_names[static_cast<std::size_t>(item.array)],
+                t.mem.array);
+    } else {
+      EXPECT_EQ(item.array, -1);
+    }
+    EXPECT_EQ(item.uncond, t.guards.empty());
+  }
+}
+
+TEST(TwoPhase, DisjointnessMatrixMemoizesTablesDisjoint) {
+  const auto r = compile_ok(apps::app("DNS").source);
+  const auto an = analyze_layout(r->ir());
+  const int n = an->item_count();
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(an->disjoint(a, b),
+                tables_disjoint(*an->items[static_cast<std::size_t>(a)].table,
+                                *an->items[static_cast<std::size_t>(b)].table))
+          << a << " vs " << b;
+      EXPECT_EQ(an->disjoint(a, b), an->disjoint(b, a));
+    }
+  }
+}
+
+TEST(TwoPhase, AnalysisDiagnosticsAreStoredAndReplayed) {
+  // A tiny max_conjs forces the guard-blowup warning during Phase A; it must
+  // land on the artifact and be replayed into every consuming layout, so the
+  // transcript is independent of who computed the analysis.
+  const auto r = compile_ok(kFigure6);
+  const auto an = analyze_layout(r->ir(), /*max_conjs=*/1);
+  ASSERT_FALSE(an->diagnostics.empty());
+  bool found = false;
+  for (const Diagnostic& d : an->diagnostics) {
+    if (d.code == "opt-guard-blowup") found = true;
+  }
+  EXPECT_TRUE(found);
+  DiagnosticEngine d1;
+  DiagnosticEngine d2;
+  (void)layout(an, ResourceModel::tofino(), d1);
+  (void)layout(an, ResourceModel::tofino(), d2);
+  EXPECT_TRUE(d1.has_code("opt-guard-blowup"));
+  EXPECT_EQ(diag_codes(d1), diag_codes(d2));
+}
+
+TEST(TwoPhase, MergedTablesPointIntoTheSharedAnalysis) {
+  // Merged tables hold pointers into the analysis, not copies — and the
+  // pipeline keeps that analysis alive even after the source compilation's
+  // artifacts are gone.
+  const auto r = compile_ok(apps::app("CM").source);
+  const auto an = analyze_layout(r->ir());
+  DiagnosticEngine diags;
+  const Pipeline p = layout(an, ResourceModel::tofino(), diags);
+  EXPECT_EQ(p.analysis.get(), an.get());
+  for (const auto& stage : p.stages) {
+    for (const auto& mt : stage.tables) {
+      for (const auto* member : mt.members) {
+        bool inside = false;
+        for (const auto& g : an->guarded) {
+          if (!g.tables.empty() && member >= g.tables.data() &&
+              member < g.tables.data() + g.tables.size()) {
+            inside = true;
+          }
+        }
+        EXPECT_TRUE(inside) << "member does not point into the analysis";
+      }
+    }
+  }
 }
 
 }  // namespace

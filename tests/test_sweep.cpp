@@ -187,6 +187,58 @@ std::string interp_fingerprint(const ConstCompilationPtr& comp) {
   return fp;
 }
 
+TEST(Differential, LayoutAnalysisIsSharedByAddressAcrossVariants) {
+  // The StageRecord::shared-style proof for Phase A: every variant cloned
+  // from one front end resolves to the *same* LayoutAnalysis object (address
+  // equality, not equivalence), its Layout record carries analysis_shared,
+  // and its pipeline pins that same object — while a cold compile owns its
+  // analysis itself.
+  const apps::AppSpec& spec = apps::app("SFW");
+  const CompilerDriver driver(app_options(spec), &test_registry());
+  const CompilationPtr base = driver.run(spec.source, Stage::Lower);
+  ASSERT_TRUE(base->ok()) << base->diags().render();
+
+  DriverOptions small = app_options(spec);
+  small.model.max_stages = 8;
+  DriverOptions tight = app_options(spec);
+  tight.model.salus_per_stage = 2;
+
+  // Before anyone computes it: a clone that triggers the donor's analysis
+  // itself pays the cost, so its record must NOT claim analysis_shared.
+  EXPECT_FALSE(base->analysis_ready());
+  const CompilationPtr early = base->clone_from_stage(Stage::Lower, small);
+  ASSERT_NE(early, nullptr);
+  ASSERT_TRUE(CompilerDriver(small, &test_registry())
+                  .run_until(early, Stage::Layout));
+  EXPECT_FALSE(early->record(Stage::Layout).analysis_shared);
+  EXPECT_TRUE(base->analysis_ready());  // ... but it landed on the donor
+
+  const CompilationPtr v1 = base->clone_from_stage(Stage::Lower, small);
+  const CompilationPtr v2 = base->clone_from_stage(Stage::Lower, tight);
+  ASSERT_NE(v1, nullptr);
+  ASSERT_NE(v2, nullptr);
+  ASSERT_TRUE(CompilerDriver(small, &test_registry())
+                  .run_until(v1, Stage::Layout));
+  ASSERT_TRUE(CompilerDriver(tight, &test_registry())
+                  .run_until(v2, Stage::Layout));
+
+  EXPECT_EQ(v1->analysis_home(), base.get());
+  EXPECT_EQ(v2->analysis_home(), base.get());
+  EXPECT_EQ(&v1->layout_analysis(), &base->layout_analysis());
+  EXPECT_EQ(&v2->layout_analysis(), &base->layout_analysis());
+  EXPECT_TRUE(v1->record(Stage::Layout).analysis_shared);
+  EXPECT_TRUE(v2->record(Stage::Layout).analysis_shared);
+  EXPECT_EQ(v1->pipeline().analysis.get(), &base->layout_analysis());
+  EXPECT_EQ(v2->pipeline().analysis.get(), &base->layout_analysis());
+
+  // A cold compile computes (and owns) the analysis itself.
+  const CompilationPtr cold = driver.run(spec.source, Stage::Layout);
+  ASSERT_TRUE(cold->ok());
+  EXPECT_EQ(cold->analysis_home(), cold.get());
+  EXPECT_FALSE(cold->record(Stage::Layout).analysis_shared);
+  EXPECT_NE(&cold->layout_analysis(), &base->layout_analysis());
+}
+
 TEST(Differential, InterpResultsMatchBetweenColdAndClonedCompiles) {
   for (const apps::AppSpec& spec : apps::all_apps()) {
     SCOPED_TRACE(spec.key);
@@ -251,6 +303,38 @@ TEST(ArtifactCache, SourceChangeMissesOptionsChangeInvalidates) {
   EXPECT_EQ(recompiled->options().model.max_stages, 4);
   EXPECT_EQ(cache.stats().invalidations, 1u);
   EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(ArtifactCache, LowerDeepEntriesShareTheAnalysisAcrossModelChanges) {
+  // The Lower-deep options fingerprint covers only model-dependent inputs of
+  // that depth — i.e. nothing — so switching resource models must neither
+  // invalidate the entry nor fork the model-independent LayoutAnalysis.
+  const apps::AppSpec& spec = apps::app("SFW");
+  ArtifactCache cache;  // keep_stage = Lower
+  const CompilerDriver tofino(app_options(spec), &test_registry());
+  DriverOptions shrunk_opts = app_options(spec);
+  shrunk_opts.model.max_stages = 4;
+  shrunk_opts.model.salus_per_stage = 2;
+  const CompilerDriver shrunk(shrunk_opts, &test_registry());
+
+  const CompilationPtr a = cache.compile(tofino, spec.source);
+  const CompilationPtr b = cache.compile(shrunk, spec.source);
+  ASSERT_TRUE(tofino.run_until(a, Stage::Layout));
+  ASSERT_TRUE(shrunk.run_until(b, Stage::Layout));
+  EXPECT_EQ(cache.stats().invalidations, 0u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // One analysis across both models, owned by the cached master. `a` ran
+  // Layout first and so paid for the computation (analysis_shared false);
+  // `b` inherited it ready-made.
+  EXPECT_EQ(&a->layout_analysis(), &b->layout_analysis());
+  EXPECT_EQ(a->analysis_home(), b->analysis_home());
+  EXPECT_NE(a->analysis_home(), a.get());
+  EXPECT_FALSE(a->record(Stage::Layout).analysis_shared);
+  EXPECT_TRUE(b->record(Stage::Layout).analysis_shared);
+  // Phase B still ran per model — the shrunk model cannot fit SFW's twelve
+  // stages, the stock one can — so sharing Phase A leaks no Phase B state.
+  EXPECT_TRUE(a->pipeline().fits);
+  EXPECT_FALSE(b->pipeline().fits);
 }
 
 TEST(ArtifactCache, FailingSourcesAreNeverCached) {
@@ -420,6 +504,8 @@ TEST(SweepEngine, FourVariantsShareOneFrontEndRun) {
       if (rec.stage == Stage::Layout) {
         EXPECT_FALSE(rec.shared);
         EXPECT_TRUE(rec.ok);
+        // Phase B ran here, but Phase A came from the shared front end.
+        EXPECT_TRUE(rec.analysis_shared);
       }
     }
     ASSERT_EQ(vr.emissions.size(), 3u);  // p4 + ebpf + interp
@@ -567,6 +653,42 @@ TEST(SweepConcurrency, WidePipelineSweepUnderManyWorkers) {
     for (const auto& vr : report.variants) {
       EXPECT_TRUE(vr.ok) << vr.variant.label << "\n" << report.str();
     }
+  }
+}
+
+TEST(SweepConcurrency, SharedAnalysisLayoutMatchesColdUnderManyWorkers) {
+  // The shared Phase A path under maximum contention (TSan runs this via the
+  // concurrency label): 16 variants lay out concurrently off one front end,
+  // racing the analysis call_once, and every result must match a serial cold
+  // compile byte-for-byte while sharing one analysis by address.
+  const auto grid = parse_sweep_grid("stages=4,8,12,16;salus=2,4;tables=4,8");
+  ASSERT_TRUE(grid.has_value());
+  const apps::AppSpec& spec = apps::app("DNS");
+  const CompilerDriver driver(app_options(spec), &test_registry());
+  const CompilationPtr base = driver.run(spec.source, Stage::Lower);
+  ASSERT_TRUE(base->ok()) << base->diags().render();
+
+  std::vector<std::string> shared_strs(grid->size());
+  std::vector<const void*> analysis_addrs(grid->size());
+  parallel_for(grid->size(), 0, [&](std::size_t i) {
+    DriverOptions vopts = app_options(spec);
+    vopts.model = (*grid)[i].model;
+    const CompilationPtr clone = base->clone_from_stage(Stage::Lower, vopts);
+    const CompilerDriver vdriver(vopts, &test_registry());
+    if (!vdriver.run_until(clone, Stage::Layout)) return;
+    shared_strs[i] = clone->pipeline().str();
+    analysis_addrs[i] = &clone->layout_analysis();
+  });
+
+  for (std::size_t i = 0; i < grid->size(); ++i) {
+    SCOPED_TRACE((*grid)[i].label);
+    DriverOptions copts = app_options(spec);
+    copts.model = (*grid)[i].model;
+    const CompilationPtr cold =
+        CompilerDriver(copts, &test_registry()).run(spec.source);
+    ASSERT_TRUE(cold->ok());
+    EXPECT_EQ(shared_strs[i], cold->pipeline().str());
+    EXPECT_EQ(analysis_addrs[i], &base->layout_analysis());
   }
 }
 
