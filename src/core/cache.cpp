@@ -9,16 +9,11 @@
 #include <sstream>
 #include <utility>
 
-namespace lucid {
+#include "frontend/fingerprint.hpp"
+#include "frontend/parser.hpp"
+#include "frontend/printer.hpp"
 
-std::uint64_t fnv1a64(std::string_view data) {
-  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
-  for (const char c : data) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;  // FNV prime
-  }
-  return h;
-}
+namespace lucid {
 
 std::string options_fingerprint(const DriverOptions& options, Stage upto) {
   std::ostringstream os;
@@ -59,63 +54,154 @@ std::string hex64(std::uint64_t v) {
 ArtifactCache::ArtifactCache(Stage keep_stage, std::string cache_dir)
     : keep_stage_(clamp_keep_stage(keep_stage)), dir_(std::move(cache_dir)) {}
 
+std::uint64_t ArtifactCache::source_key(std::string_view source) {
+  const std::uint64_t raw = fnv1a64(source);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = key_memo_.find(raw);
+    if (it != key_memo_.end()) return it->second;
+  }
+  // Probe parse outside the lock (sources parse independently; a duplicate
+  // race just stores the same value twice).
+  DiagnosticEngine diags{std::string(source)};
+  const frontend::Program probe = frontend::Parser::parse(source, diags);
+  const std::uint64_t key =
+      diags.has_errors() ? raw : frontend::structural_hash(probe);
+  std::lock_guard<std::mutex> lock(mu_);
+  key_memo_.emplace(raw, key);
+  return key;
+}
+
 CompilationPtr ArtifactCache::compile(const CompilerDriver& driver,
                                       std::string_view source, bool* hit) {
-  const std::uint64_t key = fnv1a64(source);
   const std::string fp = options_fingerprint(driver.options(), keep_stage_);
   if (hit != nullptr) *hit = false;
 
+  // Structural keying, cheapest-first: the byte-hash memo resolves repeat
+  // lookups of previously seen bytes without parsing, and a hit whose
+  // master holds these exact bytes needs no structural confirmation. Only
+  // a *new formatting variant* of a cached program pays a probe parse —
+  // the structural program_equal guard against its master's AST needs the
+  // tree. An unparsable source keeps the raw byte hash — it can never be
+  // cached anyway (failures are not stored), so the key only routes it to
+  // a miss. A first-time miss parses once here and once inside driver.run
+  // below; the probe cannot be handed over (the master must own its stage
+  // records and diagnostics), and parse is the cheapest stage.
+  const std::uint64_t raw = fnv1a64(source);
+  std::optional<std::uint64_t> memo_key;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(key);
-    // The hash is only a bucket key; the master holds its exact source, so
-    // a collision can never serve another program's artifacts.
-    if (it != entries_.end() && it->second.master->source() == source) {
-      if (it->second.fingerprint == fp) {
-        CompilationPtr clone =
-            it->second.master->clone_from_stage(keep_stage_, driver.options());
-        if (clone != nullptr) {
-          ++stats_.hits;
-          if (hit != nullptr) *hit = true;
-          return clone;
-        }
-        // A master that cannot be cloned is a stale entry; fall through.
-      }
-      // Same source, different option fingerprint: the cached artifacts are
-      // stale for this caller — drop and recompile.
-      ++stats_.invalidations;
-      entries_.erase(it);
+    const auto it = key_memo_.find(raw);
+    if (it != key_memo_.end()) memo_key = it->second;
+  }
+  std::optional<frontend::Program> probe;
+  bool parsed = false;
+  const auto ensure_probe = [&] {
+    if (probe.has_value()) return;
+    DiagnosticEngine probe_diags{std::string(source)};
+    probe = frontend::Parser::parse(source, probe_diags);
+    parsed = !probe_diags.has_errors();
+  };
+  std::uint64_t key = 0;
+  if (memo_key.has_value()) {
+    key = *memo_key;
+    parsed = key != raw;  // raw keys are only ever memoized for parse fails
+  } else {
+    ensure_probe();
+    key = parsed ? frontend::structural_hash(*probe) : raw;
+    std::lock_guard<std::mutex> lock(mu_);
+    key_memo_.emplace(raw, key);
+  }
+
+  // Pull the candidate entry out, then confirm it without holding the
+  // lock (masters are immutable; the shared_ptr keeps ours alive even if
+  // the entry is concurrently replaced).
+  ConstCompilationPtr master;
+  std::string entry_fp;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      master = it->second.master;
+      entry_fp = it->second.fingerprint;
     }
+  }
+  if (master != nullptr) {
+    // The hash is only a bucket key; a hit is confirmed byte-for-byte
+    // against the master's source or — for a formatting variant —
+    // structurally against its AST (memoized per byte variant), so a
+    // collision can never serve another program's artifacts.
+    bool same = master->source() == source;
+    if (!same) {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = confirmed_.find(raw);
+      same = it != confirmed_.end() && it->second == master.get();
+    }
+    if (!same) {
+      ensure_probe();
+      same = parsed && frontend::program_equal(*probe, master->ast());
+      if (same) {
+        std::lock_guard<std::mutex> lock(mu_);
+        confirmed_[raw] = master.get();
+      }
+    }
+    if (same && entry_fp == fp) {
+      CompilationPtr clone =
+          master->clone_from_stage(keep_stage_, driver.options());
+      if (clone != nullptr) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.hits;
+        if (hit != nullptr) *hit = true;
+        return clone;
+      }
+      // A master that cannot be cloned is a stale entry; fall through.
+    }
+    if (same) {
+      // Same program, different option fingerprint (or unclonable): the
+      // cached artifacts are stale for this caller — drop and recompile.
+      // Pointer identity guards the erase against a concurrent replace.
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = entries_.find(key);
+      if (it != entries_.end() && it->second.master == master) {
+        ++stats_.invalidations;
+        entries_.erase(it);
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     ++stats_.misses;
   }
 
   // Front end runs outside the lock (compilations of different sources may
   // proceed in parallel; a duplicate race just overwrites an equal entry).
-  CompilationPtr master = driver.run(source, keep_stage_);
-  if (!master->succeeded(keep_stage_)) return master;  // failures not cached
+  CompilationPtr fresh = driver.run(source, keep_stage_);
+  if (!fresh->succeeded(keep_stage_)) return fresh;  // failures not cached
 
-  CompilationPtr clone = master->clone_from_stage(keep_stage_,
-                                                  driver.options());
+  CompilationPtr clone = fresh->clone_from_stage(keep_stage_,
+                                                 driver.options());
   {
     std::lock_guard<std::mutex> lock(mu_);
-    entries_[key] = Entry{fp, master};
+    entries_[key] = Entry{fp, fresh};
   }
-  return clone != nullptr ? clone : master;
+  return clone != nullptr ? clone : fresh;
 }
 
 // ---------------------------------------------------------------------------
 // Disk layer (emitted backend artifacts)
 // ---------------------------------------------------------------------------
 
-std::string ArtifactCache::artifact_path(std::string_view source,
+std::string ArtifactCache::artifact_path(std::uint64_t source_key,
                                          const DriverOptions& options,
                                          std::string_view backend) const {
   const std::string fp = options_fingerprint(options, Stage::Emit);
   // The key spells out the backend name and compiler version so artifacts
   // for the same source from different emitters (p4 vs ebpf) or different
   // compiler builds can never collide on disk; the in-file "compiler" record
-  // stays as a second line of defense for hand-copied entries.
-  std::string name = hex64(fnv1a64(source)) + "-" + hex64(fnv1a64(fp)) + "-" +
+  // stays as a second line of defense for hand-copied entries. source_key
+  // is the *structural* key, so every formatting variant of a program maps
+  // to one disk entry.
+  std::string name = hex64(source_key) + "-" + hex64(fnv1a64(fp)) + "-" +
                      std::string(backend) + "-v" + std::string(kLucidVersion) +
                      ".art";
   return dir_ + "/" + name;
@@ -125,8 +211,8 @@ std::optional<BackendArtifact> ArtifactCache::load_artifact(
     std::string_view source, const DriverOptions& options,
     std::string_view backend) {
   if (dir_.empty()) return std::nullopt;
-  std::ifstream in(artifact_path(source, options, backend),
-                   std::ios::binary);
+  const std::uint64_t skey = source_key(source);
+  std::ifstream in(artifact_path(skey, options, backend), std::ios::binary);
   const auto miss = [this]() -> std::optional<BackendArtifact> {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.disk_misses;
@@ -135,7 +221,7 @@ std::optional<BackendArtifact> ArtifactCache::load_artifact(
   if (!in) return miss();
 
   std::string line;
-  if (!std::getline(in, line) || line != "lucid-artifact v1") return miss();
+  if (!std::getline(in, line) || line != "lucid-artifact v2") return miss();
 
   BackendArtifact artifact;
   artifact.ok = true;
@@ -153,11 +239,11 @@ std::optional<BackendArtifact> ArtifactCache::load_artifact(
       ls >> version;
       if (version != kLucidVersion) return miss();
       version_ok = true;
-    } else if (tag == "srclen") {
-      // Weak anti-collision guard: the filename is hash-derived, so at
-      // least require the source length to agree.
-      std::size_t n = 0;
-      if (!(ls >> n) || n != source.size()) return miss();
+    } else if (tag == "skey") {
+      // Anti-collision guard: the filename is hash-derived, so require the
+      // entry to echo the structural key it was stored under.
+      std::string echoed;
+      if (!(ls >> echoed) || echoed != hex64(skey)) return miss();
     } else if (tag == "backend") {
       ls >> artifact.backend;
     } else if (tag == "metric") {
@@ -197,16 +283,17 @@ void ArtifactCache::store_artifact(std::string_view source,
   // Write-to-temp + rename keeps stores atomic: readers (other processes
   // sharing the cache dir included) only ever see complete entries, and a
   // crash or full disk leaves a .tmp file behind, not a corrupt entry.
-  const std::string path = artifact_path(source, options, artifact.backend);
+  const std::uint64_t skey = source_key(source);
+  const std::string path = artifact_path(skey, options, artifact.backend);
   static std::atomic<unsigned> tmp_seq{0};
   const std::string tmp = path + ".tmp-" + std::to_string(::getpid()) + "-" +
                           std::to_string(tmp_seq.fetch_add(1));
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return;
-    out << "lucid-artifact v1\n";
+    out << "lucid-artifact v2\n";
     out << "compiler " << kLucidVersion << "\n";
-    out << "srclen " << source.size() << "\n";
+    out << "skey " << hex64(skey) << "\n";
     out << "backend " << artifact.backend << "\n";
     for (const auto& [k, v] : artifact.metrics) {
       out << "metric " << k << " " << v << "\n";
@@ -243,6 +330,8 @@ std::size_t ArtifactCache::size() const {
 void ArtifactCache::clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
+  key_memo_.clear();
+  confirmed_.clear();
   stats_ = Stats{};
 }
 

@@ -1,24 +1,60 @@
-// ArtifactCache: source-hash-keyed reuse of compiler artifacts across driver
-// invocations.
+// ArtifactCache: structurally keyed reuse of compiler artifacts across
+// driver invocations.
 //
 // Two layers:
 //
 //   * An in-memory front-end cache. The first compilation of a source runs
 //     Parse..keep_stage (default Lower — everything that is independent of
 //     the resource model) and parks the result as an immutable "master".
-//     Later compilations of byte-identical source get a
+//     Later compilations of *structurally identical* source get a
 //     Compilation::clone_from_stage of the master: the AST, analysis info,
 //     and IR are shared, only Layout/Emit re-run. Entries are invalidated
-//     when the source bytes change (different hash, so a plain miss) or when
-//     the DriverOptions fingerprint relevant to the cached stages changes.
+//     when the structural key changes (a plain miss) or when the
+//     DriverOptions fingerprint relevant to the cached stages changes.
 //
 //   * An optional disk cache for emitted backend artifacts (--cache-dir).
 //     Emission output is a plain string, so it round-trips losslessly; the
-//     key covers the source hash, the options fingerprint (resource model +
-//     program name, both of which shape the emitted text), the backend
-//     name, and the compiler version — artifacts for the same source from
-//     different emitters or compiler builds never collide. Only successful
-//     artifacts are stored.
+//     key covers the structural source key, the options fingerprint, the
+//     backend name, and the compiler version — artifacts for the same
+//     source from different emitters or compiler builds never collide.
+//     Only successful artifacts are stored.
+//
+// ---------------------------------------------------------------------------
+// The two cache key ingredients, side by side
+// ---------------------------------------------------------------------------
+//
+// Every entry is keyed by (structural source key) x (options fingerprint);
+// the two cover disjoint inputs and invalidate independently:
+//
+// *Structural source key* — frontend::structural_hash: FNV-1a over the
+// ordered per-decl fingerprint sequence (frontend/fingerprint.hpp), where
+// each DeclFingerprint hashes the decl's kind, name, and canonical print.
+// Properties (pinned by regression tests in tests/test_incremental.cpp):
+//
+//   * whitespace-, comment-, and formatting-INSENSITIVE: reformatting a
+//     program is a plain cache hit — the canonical print is unchanged;
+//   * decl-content-SENSITIVE: editing any decl's body or signature is a
+//     miss;
+//   * decl-order-SENSITIVE: reordering decls is a miss — declaration order
+//     assigns pipeline stages (globals) and wire ids (events), so a
+//     reordered program is a genuinely different program.
+//
+// A source that does not parse falls back to the raw byte hash (and is
+// never cached — failures are not stored). Hash collisions cannot serve
+// wrong artifacts: memory hits are confirmed with frontend::program_equal
+// against the master's AST, and disk entries echo their structural key.
+//
+// *Options fingerprint* — options_fingerprint: the DriverOptions fields
+// that can influence stages up to the requested depth. Parse/Sema/Lower
+// depend on nothing; Layout adds the resource model; Emit adds the program
+// name. The fingerprint deliberately covers only *model-dependent* inputs
+// of the requested depth: a default (Lower-deep) cache entry is never
+// invalidated by a ResourceModel change, so the master — and the
+// model-independent opt::LayoutAnalysis it lazily owns
+// (Compilation::layout_analysis_ptr) — keeps being shared across sweeps
+// over different models. It is whitespace-irrelevant by construction (it
+// never sees the source); the structural key is options-irrelevant — each
+// guards its own axis.
 //
 // Thread safety: every public member is safe to call concurrently; the map
 // is mutex-guarded and cached masters are immutable once inserted (clones
@@ -33,21 +69,13 @@
 #include <string_view>
 
 #include "core/driver.hpp"
+#include "support/strings.hpp"  // fnv1a64 (the cache key hash)
 
 namespace lucid {
 
-/// 64-bit FNV-1a over arbitrary bytes (the cache key hash).
-[[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
-
 /// Stable fingerprint of the DriverOptions fields that can influence stages
-/// up to and including `upto`. Parse/Sema/Lower depend on nothing; Layout
-/// adds the resource model; Emit adds the program name.
-///
-/// The fingerprint deliberately covers only *model-dependent* inputs of the
-/// requested depth: a default (Lower-deep) cache entry is never invalidated
-/// by a ResourceModel change, so the master — and the model-independent
-/// opt::LayoutAnalysis it lazily owns (Compilation::layout_analysis_ptr) —
-/// keeps being shared across sweeps over different models.
+/// up to and including `upto` (see the "side by side" section in the file
+/// header for how it composes with the structural source key).
 [[nodiscard]] std::string options_fingerprint(const DriverOptions& options,
                                               Stage upto);
 
@@ -72,7 +100,10 @@ class ArtifactCache {
   [[nodiscard]] const std::string& cache_dir() const { return dir_; }
 
   /// Returns a compilation for `source` whose stages through keep_stage have
-  /// run, reusing the cached front end when possible. The returned
+  /// run, reusing the cached front end when possible. Lookup is by the
+  /// structural source key, so a whitespace/comment/formatting variant of a
+  /// cached program is a hit (served from the master parsed from the
+  /// original bytes — structurally the same program). The returned
   /// compilation always carries `driver.options()` and is exclusively the
   /// caller's (even on a miss it is a clone; the stored master stays
   /// pristine and immutable). A source whose front end fails is returned
@@ -81,6 +112,12 @@ class ArtifactCache {
   [[nodiscard]] CompilationPtr compile(const CompilerDriver& driver,
                                        std::string_view source,
                                        bool* hit = nullptr);
+
+  /// The structural key `source` would be cached under:
+  /// frontend::structural_hash of its parse, or the raw byte hash when it
+  /// does not parse. Memoized by byte hash, so repeated lookups (one per
+  /// (variant, backend) emission in a sweep) parse at most once.
+  [[nodiscard]] std::uint64_t source_key(std::string_view source);
 
   /// Disk layer: loads the emitted artifact for (source, options, backend),
   /// or nullopt when the disk layer is off or the entry is absent/corrupt.
@@ -103,14 +140,21 @@ class ArtifactCache {
     ConstCompilationPtr master;
   };
 
-  [[nodiscard]] std::string artifact_path(std::string_view source,
+  [[nodiscard]] std::string artifact_path(std::uint64_t source_key,
                                           const DriverOptions& options,
                                           std::string_view backend) const;
 
   Stage keep_stage_;
   std::string dir_;
   mutable std::mutex mu_;
-  std::map<std::uint64_t, Entry> entries_;
+  std::map<std::uint64_t, Entry> entries_;  // keyed by structural source key
+  std::map<std::uint64_t, std::uint64_t> key_memo_;  // byte hash -> key
+  /// Byte hash -> master these bytes were structurally confirmed against,
+  /// so repeat lookups of a known formatting variant skip the probe parse
+  /// and program_equal walk. Pointer identity self-invalidates when an
+  /// entry is replaced. (Like key_memo_, trusts the byte hash to identify
+  /// the bytes — the same 2^-64 collision class.)
+  std::map<std::uint64_t, const void*> confirmed_;
   Stats stats_;
 };
 

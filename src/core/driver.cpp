@@ -5,8 +5,10 @@
 #include <cstdio>
 #include <sstream>
 
+#include "core/cache.hpp"
 #include "frontend/parser.hpp"
 #include "ir/ir.hpp"
+#include "sema/depgraph.hpp"
 #include "support/chrono.hpp"
 
 namespace lucid {
@@ -62,6 +64,14 @@ std::optional<Stage> Compilation::last_stage() const {
 }
 
 Artifacts Compilation::release_artifacts() && { return std::move(artifacts_); }
+
+const std::vector<frontend::DeclFingerprint>& Compilation::decl_fingerprints()
+    const {
+  if (inherits(Stage::Parse)) return donor_->decl_fingerprints();
+  std::call_once(fingerprints_once_,
+                 [this] { fingerprints_ = frontend::fingerprint_program(ast()); });
+  return fingerprints_;
+}
 
 std::shared_ptr<const opt::LayoutAnalysis> Compilation::layout_analysis_ptr()
     const {
@@ -147,13 +157,18 @@ double Compilation::total_wall_ms() const {
 std::string Compilation::timing_report() const {
   std::ostringstream os;
   os << "=== pass timings (" << options_.program_name << ") ===\n";
-  char buf[96];
+  char buf[128];
   for (const auto& r : records_) {
     if (!r.ran) continue;
-    std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms  %s%s%s\n",
+    std::string reuse;
+    if (r.decls_reused > 0) {
+      reuse = " (reused " + std::to_string(r.decls_reused) + " decls)";
+    }
+    std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms  %s%s%s%s\n",
                   std::string(stage_name(r.stage)).c_str(), r.wall_ms,
                   r.ok ? "ok" : "FAILED", r.shared ? " (shared)" : "",
-                  r.analysis_shared ? " (analysis shared)" : "");
+                  r.analysis_shared ? " (analysis shared)" : "",
+                  reuse.c_str());
     os << buf;
   }
   std::snprintf(buf, sizeof(buf), "  %-8s %9.3f ms\n", "total",
@@ -184,7 +199,7 @@ std::string Compilation::timing_report_json() const {
        << ", \"ok\": " << (r.ok ? "true" : "false")
        << ", \"shared\": " << (r.shared ? "true" : "false")
        << ", \"analysis_shared\": " << (r.analysis_shared ? "true" : "false")
-       << "}";
+       << ", \"decls_reused\": " << r.decls_reused << "}";
   }
   os << "], \"total_wall_ms\": " << total_wall_ms() << "}\n";
   return os.str();
@@ -316,6 +331,109 @@ bool CompilerDriver::run_next(const CompilationPtr& comp) const {
 CompilationPtr CompilerDriver::run(std::string_view source, Stage until) const {
   CompilationPtr comp = start(source);
   run_until(comp, until);
+  return comp;
+}
+
+CompilationPtr CompilerDriver::recompile(const ConstCompilationPtr& prev,
+                                         std::string_view source,
+                                         Stage until) const {
+  const int last = std::min(static_cast<int>(until),
+                            static_cast<int>(Stage::Lower));
+  CompilationPtr comp = start(source);
+  if (!run_stage(*comp, Stage::Parse)) return comp;
+  if (last <= static_cast<int>(Stage::Parse)) return comp;  // no diff needed
+  if (prev == nullptr || !prev->succeeded(Stage::Lower)) {
+    run_until(comp, static_cast<Stage>(last));  // nothing reusable: cold
+    return comp;
+  }
+
+  // Both fingerprint vectors are cached on their compilations: prev pays
+  // for its canonical prints once across any number of edits, and comp's
+  // carry over if it becomes the next edit's prev.
+  const sema::RecompilePlan plan =
+      sema::plan_recompile(prev->ast(), prev->decl_fingerprints(),
+                           comp->artifacts_.program,
+                           comp->decl_fingerprints());
+
+  if (plan.identical) {
+    // Whitespace/comment/formatting-only edit: nothing past Parse re-runs.
+    // Inherit Layout too when prev completed it under these options (only
+    // when the caller wants the full front end).
+    Stage upto = static_cast<Stage>(last);
+    if (last == static_cast<int>(Stage::Lower) &&
+        prev->succeeded(Stage::Layout) &&
+        options_fingerprint(prev->options(), Stage::Layout) ==
+            options_fingerprint(options_, Stage::Layout)) {
+      upto = Stage::Layout;
+    }
+    if (CompilationPtr hit = prev->clone_from_stage(upto, options_)) {
+      // The clone carries the donor's (structurally equivalent) source;
+      // swap in the bytes the caller actually compiled.
+      hit->source_ = std::string(source);
+      hit->diags_.set_source(hit->source_);
+      StageRecord& parse = hit->mutable_record(Stage::Parse);
+      parse.wall_ms = comp->record(Stage::Parse).wall_ms;  // the diff's parse
+      const int n = static_cast<int>(plan.reuse_from.size());
+      parse.decls_reused = n;
+      hit->mutable_record(Stage::Sema).decls_reused = n;
+      if (last >= static_cast<int>(Stage::Lower)) {
+        hit->mutable_record(Stage::Lower).decls_reused =
+            static_cast<int>(prev->ir().handlers.size());
+      }
+      return hit;
+    }
+    // prev refused to clone (should not happen after the succeeded checks);
+    // the partial path below recomputes whatever it cannot reuse.
+  }
+
+  // ---- Sema: re-check only the dirty decl set --------------------------
+  {
+    StageRecord& rec = comp->mutable_record(Stage::Sema);
+    rec.diag_begin = comp->diags_.all().size();
+    const std::size_t errors_before = comp->diags_.error_count();
+    const auto t0 = Clock::now();
+    sema::TypeChecker tc(comp->diags_);
+    sema::SemaReuse reuse;
+    reuse.prev = &prev->ast();
+    reuse.prev_info = &prev->analysis();
+    reuse.reuse_from = plan.reuse_from;
+    const bool ok = tc.check(comp->artifacts_.program, &reuse) &&
+                    comp->diags_.error_count() == errors_before;
+    comp->artifacts_.info = tc.info();
+    rec.wall_ms = ms_since(t0);
+    rec.diag_end = comp->diags_.all().size();
+    rec.ran = true;
+    rec.ok = ok;
+    rec.decls_reused = static_cast<int>(tc.decls_reused());
+    if (!ok) return comp;
+  }
+  if (last <= static_cast<int>(Stage::Sema)) return comp;
+
+  // ---- Lower: splice unchanged handlers' graphs ------------------------
+  {
+    StageRecord& rec = comp->mutable_record(Stage::Lower);
+    rec.diag_begin = comp->diags_.all().size();
+    const std::size_t errors_before = comp->diags_.error_count();
+    const auto t0 = Clock::now();
+    ir::LowerReuse reuse;
+    reuse.prev = &prev->ir();
+    const auto& decls = comp->artifacts_.program.decls;
+    for (std::size_t i = 0;
+         i < decls.size() && i < plan.reuse_from.size(); ++i) {
+      if (plan.reuse_from[i] >= 0 &&
+          decls[i]->kind == frontend::DeclKind::Handler) {
+        reuse.handlers.insert(decls[i]->name);
+      }
+    }
+    std::size_t spliced = 0;
+    comp->artifacts_.ir =
+        ir::lower(comp->artifacts_.program, comp->diags_, &reuse, &spliced);
+    rec.wall_ms = ms_since(t0);
+    rec.diag_end = comp->diags_.all().size();
+    rec.ran = true;
+    rec.ok = comp->diags_.error_count() == errors_before;
+    rec.decls_reused = static_cast<int>(spliced);
+  }
   return comp;
 }
 

@@ -50,6 +50,7 @@
 #include <vector>
 
 #include "frontend/ast.hpp"
+#include "frontend/fingerprint.hpp"
 #include "ir/ir.hpp"
 #include "opt/passes.hpp"
 #include "sema/type_check.hpp"
@@ -58,7 +59,7 @@
 namespace lucid {
 
 /// Compiler/driver version, reported by `lucidc --version`.
-inline constexpr std::string_view kLucidVersion = "0.4.0";
+inline constexpr std::string_view kLucidVersion = "0.5.0";
 
 // ---------------------------------------------------------------------------
 // Stages
@@ -91,6 +92,13 @@ struct StageRecord {
   /// run triggered the donor's computation: wall_ms then includes the Phase
   /// A cost, and the flag stays honest about who paid it.
   bool analysis_shared = false;
+  /// Incremental recompiles only (CompilerDriver::recompile): how many
+  /// top-level decls this stage served from the previous compilation
+  /// instead of recomputing. For Sema that is decls whose body check was
+  /// skipped (annotations mirror-copied) plus header-only decls the diff
+  /// proved unchanged; for Lower it is spliced handler graphs. 0 for cold
+  /// compiles and plain clones.
+  int decls_reused = 0;
   double wall_ms = 0.0;
   /// Half-open index range into Compilation::diags().all() holding exactly
   /// the diagnostics this stage produced. For Stage::Emit this is the coarse
@@ -185,6 +193,20 @@ class Compilation : public std::enable_shared_from_this<Compilation> {
                : analysis_ready_.load(std::memory_order_acquire);
   }
 
+  // -- structural fingerprints ----------------------------------------------
+  /// The per-decl structural fingerprints of ast()
+  /// (frontend::fingerprint_program), computed lazily exactly once and
+  /// cached — recompiles diff against them, so a compilation that serves as
+  /// `prev` for many edits pays for its canonical prints once. Clones
+  /// resolve through the donor chain (same AST, same fingerprints).
+  /// Thread-safe (std::call_once). Valid once Stage::Parse has succeeded.
+  [[nodiscard]] const std::vector<frontend::DeclFingerprint>&
+  decl_fingerprints() const;
+  /// frontend::structural_hash over decl_fingerprints().
+  [[nodiscard]] std::uint64_t structural_hash() const {
+    return frontend::structural_hash(decl_fingerprints());
+  }
+
   /// Moves every artifact out (for the deprecated compile() shim). The
   /// Compilation must not be queried afterwards. Must not be called on a
   /// clone (its inherited artifacts live in the donor).
@@ -268,6 +290,9 @@ class Compilation : public std::enable_shared_from_this<Compilation> {
   mutable std::once_flag analysis_once_;
   mutable std::shared_ptr<const opt::LayoutAnalysis> analysis_;
   mutable std::atomic<bool> analysis_ready_{false};
+  /// Lazily computed decl fingerprints (see decl_fingerprints()).
+  mutable std::once_flag fingerprints_once_;
+  mutable std::vector<frontend::DeclFingerprint> fingerprints_;
 };
 
 using CompilationPtr = std::shared_ptr<Compilation>;
@@ -343,6 +368,34 @@ class CompilerDriver {
   /// start + run_until in one call.
   [[nodiscard]] CompilationPtr run(std::string_view source,
                                    Stage until = Stage::Layout) const;
+
+  /// Incremental edit pipeline: compiles `source` through Lower by reusing
+  /// everything `prev` already computed for an earlier version of the same
+  /// program. Parse always runs (it is the diff's input); the new decl
+  /// fingerprints are then diffed against `prev`'s
+  /// (sema::plan_recompile):
+  ///
+  ///   * structurally identical (whitespace/comment/formatting edits only):
+  ///     the result is a clone of `prev` — no stage past Parse re-runs, and
+  ///     when `prev` completed Layout under these options the Layout
+  ///     artifact is inherited too;
+  ///   * partial edit: Sema re-checks and Lower re-lowers only the dirty
+  ///     decl set (the edited decls plus transitive dependents per the
+  ///     DeclDepGraph), mirror-copying annotations and splicing handler
+  ///     graphs for the rest. StageRecord::decls_reused records the reuse.
+  ///
+  /// The result is byte-identical to a cold compile of `source` for every
+  /// backend and for interpreter execution (differential-tested). Falls
+  /// back to a cold compile when `prev` is null or its front end did not
+  /// succeed; returns early (like run) when the new source fails a stage.
+  /// `until` (clamped to [Parse, Lower]) bounds how deep the recompile
+  /// drives — Parse skips the diff entirely, Sema stops before Lower — so
+  /// `--stop-after` keeps its meaning under `--incremental-from`.
+  /// `prev` is only read — any number of recompiles and sweeps may share it
+  /// concurrently.
+  [[nodiscard]] CompilationPtr recompile(const ConstCompilationPtr& prev,
+                                         std::string_view source,
+                                         Stage until = Stage::Lower) const;
 
   /// Looks `backend` up in the registry, runs any stages it still needs, and
   /// emits. Unknown backend or failed prerequisite stages produce an error

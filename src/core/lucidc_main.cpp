@@ -13,6 +13,15 @@
 //                                     (e.g. --sweep=stages=8,12;salus=2,4),
 //                                     sharing one front-end run across all
 //                                     variants and emitting in parallel
+//   lucidc --fit=SPEC FILE            binary-search the smallest resource
+//                                     model the program fits (e.g.
+//                                     --fit=stages=1..20;salus=2,4: bisect
+//                                     stages per enumerated salus row)
+//   lucidc --incremental-from=OLD ... recompile against a previous version
+//                                     of the source: only decls that
+//                                     changed (plus dependents) re-run
+//                                     Sema/Lower; whitespace/comment edits
+//                                     reuse everything past Parse
 //   lucidc --cache-dir=DIR ...        cache emitted artifacts under DIR
 //   lucidc --jobs=N                   worker threads for --sweep (default:
 //                                     hardware concurrency)
@@ -56,6 +65,13 @@ void usage(std::ostream& os) {
         "  --sweep=GRID       compile against a resource-model grid, e.g.\n"
         "                     stages=8,12;salus=2,4 "
         "(fields: stages|tables|salus|rules|members|aluops)\n"
+        "  --fit=SPEC         bisect the smallest fitting resource model,\n"
+        "                     e.g. stages=1..20;salus=2,4 (one MIN..MAX\n"
+        "                     range field; exits 1 if any row cannot fit)\n"
+        "  --incremental-from=OLD\n"
+        "                     recompile reusing a previous compile of OLD:\n"
+        "                     only changed decls (and dependents) re-run\n"
+        "                     Sema/Lower\n"
         "  --cache-dir=DIR    reuse/store emitted artifacts under DIR\n"
         "  --jobs=N           sweep worker threads (default: all cores)\n"
         "  --backends=LIST    backends a --sweep emits (default: p4,ebpf,"
@@ -95,6 +111,9 @@ int main(int argc, char** argv) {
   std::string dump;  // "ir" | "layout"
   std::string sweep_spec;                         // --sweep=...
   bool sweep_requested = false;
+  std::string fit_spec;                           // --fit=...
+  bool fit_requested = false;
+  std::string incremental_from;                   // --incremental-from=...
   std::vector<std::string> sweep_backends;        // --backends=...
   bool backends_requested = false;
   std::string cache_dir;                          // --cache-dir=...
@@ -156,6 +175,15 @@ int main(int argc, char** argv) {
     } else if (lucid::starts_with(arg, "--sweep=") || arg == "--sweep") {
       sweep_spec = arg == "--sweep" ? "" : arg.substr(8);
       sweep_requested = true;
+    } else if (lucid::starts_with(arg, "--fit=")) {
+      fit_spec = arg.substr(6);
+      fit_requested = true;
+    } else if (lucid::starts_with(arg, "--incremental-from=")) {
+      incremental_from = arg.substr(19);
+      if (incremental_from.empty()) {
+        std::cerr << "lucidc: --incremental-from requires a file path\n";
+        return kExitUsage;
+      }
     } else if (lucid::starts_with(arg, "--backends=")) {
       sweep_backends.clear();
       for (const std::string& b : lucid::split(arg.substr(11), ',')) {
@@ -210,6 +238,17 @@ int main(int argc, char** argv) {
 
   // Reject contradictory or unsatisfiable combinations up front (exit 2),
   // before any compilation work.
+  if (sweep_requested && fit_requested) {
+    std::cerr << "lucidc: --sweep and --fit are different drivers; pick "
+                 "one\n";
+    return kExitUsage;
+  }
+  if (!incremental_from.empty() && (sweep_requested || fit_requested)) {
+    std::cerr << "lucidc: --incremental-from applies to single compiles "
+                 "(--emit / dumps / the default summary), not --sweep or "
+                 "--fit\n";
+    return kExitUsage;
+  }
   std::vector<lucid::SweepVariant> sweep_variants;
   if (sweep_requested) {
     if (!backend.empty() || stop_requested || !dump.empty() || time_passes) {
@@ -226,8 +265,25 @@ int main(int argc, char** argv) {
       return kExitUsage;
     }
     sweep_variants = *parsed;
-  } else if (jobs > 0) {
-    std::cerr << "lucidc: --jobs only applies to --sweep\n";
+  }
+  std::optional<lucid::FitSpec> fit_parsed;
+  if (fit_requested) {
+    if (!backend.empty() || stop_requested || !dump.empty() || time_passes) {
+      std::cerr << "lucidc: --fit runs its own layout bisection and reports "
+                   "per-row results itself; it cannot be combined with "
+                   "--emit, --stop-after, --ir, --layout, or "
+                   "--time-passes\n";
+      return kExitUsage;
+    }
+    std::string fit_error;
+    fit_parsed = lucid::parse_fit_spec(fit_spec, &fit_error);
+    if (!fit_parsed) {
+      std::cerr << "lucidc: bad --fit spec: " << fit_error << "\n";
+      return kExitUsage;
+    }
+  }
+  if (jobs > 0 && !sweep_requested && !fit_requested) {
+    std::cerr << "lucidc: --jobs only applies to --sweep and --fit\n";
     return kExitUsage;
   }
   if (backends_requested) {
@@ -248,7 +304,10 @@ int main(int argc, char** argv) {
     }
   }
   if (!cache_dir.empty() && !sweep_requested && backend.empty()) {
-    std::cerr << "lucidc: --cache-dir only applies to --emit or --sweep\n";
+    // --fit emits nothing, so the disk layer would never be read or
+    // written; rejecting the combination beats silently ignoring it.
+    std::cerr << "lucidc: --cache-dir only applies to --emit or --sweep "
+                 "(--fit emits no artifacts to cache)\n";
     return kExitUsage;
   }
   if (!backend.empty()) {
@@ -309,7 +368,55 @@ int main(int argc, char** argv) {
     return report.ok ? kExitOk : kExitError;
   }
 
-  lucid::CompilationPtr comp = driver.start(source);
+  // Auto-fitting: bisect the smallest fitting resource model. Exit 0 only
+  // when every enumerated row found a fit inside the range. (FitOptions'
+  // cache stays a library affordance — a one-shot process has nothing to
+  // share, and --cache-dir is rejected above.)
+  if (fit_requested) {
+    lucid::FitOptions fit_opts;
+    fit_opts.spec = std::move(*fit_parsed);
+    fit_opts.program_name = path;
+    fit_opts.workers = jobs;
+    const lucid::FitReport report =
+        lucid::SweepEngine().fit(source, fit_opts);
+    std::cout << report.str();
+    return report.ok && report.all_fit ? kExitOk : kExitError;
+  }
+
+  // Incremental recompile: read the previous version up front (cheap
+  // input validation), but defer compiling it until a compilation is
+  // actually needed — the --emit disk-cache fast path below can skip all
+  // compilation, including prev's.
+  std::string prev_source;
+  if (!incremental_from.empty()) {
+    bool prev_ok = false;
+    prev_source = slurp(incremental_from, prev_ok);
+    if (!prev_ok) {
+      std::cerr << "lucidc: cannot read '" << incremental_from << "'\n";
+      return kExitError;
+    }
+  }
+  lucid::CompilationPtr comp;
+  const auto make_comp = [&] {
+    if (incremental_from.empty()) {
+      comp = driver.start(source);
+      return;
+    }
+    // Lower-deep: recompile() reuses Parse..Lower artifacts, and Layout is
+    // cheapest paid exactly once — on the result (an edit would invalidate
+    // a prev Layout run anyway). Library callers holding a fully compiled
+    // prev (the IDE loop) get Layout inherited for free on formatting
+    // edits; a one-shot CLI process has no such compile to reuse.
+    const lucid::CompilationPtr prev =
+        driver.run(prev_source, lucid::Stage::Lower);
+    if (!prev->succeeded(lucid::Stage::Lower)) {
+      std::cerr << "lucidc: warning: previous version '" << incremental_from
+                << "' does not compile; falling back to a cold compile\n";
+    }
+    // --stop-after bounds the recompile like it bounds a cold compile.
+    comp = driver.recompile(prev, source,
+                            stop_requested ? stop_after : lucid::Stage::Lower);
+  };
 
   // Shared by every exit path below. In json mode the object is printed as
   // the *last line* of stderr (diagnostics render first), so consumers can
@@ -322,10 +429,11 @@ int main(int argc, char** argv) {
 
   // Backends drive exactly the stages they need through the driver's emit().
   if (!backend.empty()) {
-    // Disk cache fast path: a prior invocation already emitted this exact
-    // (source, options, backend) combination with this compiler version.
-    // A hit skips compilation entirely, so it also skips non-fatal
-    // diagnostics; --time-passes forces a real compile.
+    // Disk cache fast path: a prior invocation already emitted this
+    // structural (source, options, backend) combination with this compiler
+    // version. A hit skips compilation entirely (the incremental prev
+    // compile included), so it also skips non-fatal diagnostics;
+    // --time-passes forces a real compile.
     lucid::ArtifactCache cache(lucid::Stage::Lower, cache_dir);
     if (!cache_dir.empty() && !time_passes) {
       if (auto cached = cache.load_artifact(source, opts, backend)) {
@@ -333,6 +441,7 @@ int main(int argc, char** argv) {
         return kExitOk;
       }
     }
+    make_comp();
     const lucid::BackendArtifact artifact = driver.emit(comp, backend);
     std::cerr << comp->diags().render();
     print_timings();
@@ -343,6 +452,7 @@ int main(int argc, char** argv) {
   }
 
   // Dumps imply the stages they need.
+  make_comp();
   lucid::Stage until = stop_after;
   if (dump == "ir" && !stop_requested) until = lucid::Stage::Lower;
   driver.run_until(comp, until);
@@ -385,6 +495,12 @@ int main(int argc, char** argv) {
             << "  unoptimized stages: " << stats.unoptimized_stages << "\n"
             << "  optimized stages  : " << stats.optimized_stages << "\n"
             << "  fits Tofino model : " << (stats.fits ? "yes" : "NO") << "\n";
+  if (!incremental_from.empty()) {
+    std::cout << "  decls reused      : "
+              << comp->record(lucid::Stage::Sema).decls_reused << " (sema), "
+              << comp->record(lucid::Stage::Lower).decls_reused
+              << " handler graphs (lower)\n";
+  }
   print_timings();
   return kExitOk;
 }

@@ -90,6 +90,92 @@ std::optional<std::vector<SweepVariant>> parse_sweep_grid(
   return variants;
 }
 
+std::optional<FitSpec> parse_fit_spec(std::string_view spec,
+                                      std::string* error) {
+  const auto fail = [error](std::string msg) -> std::optional<FitSpec> {
+    if (error != nullptr) *error = std::move(msg);
+    return std::nullopt;
+  };
+
+  FitSpec out;
+  out.base.push_back(SweepVariant{"tofino", opt::ResourceModel::tofino()});
+  const std::string trimmed{trim(spec)};
+  if (trimmed.empty()) {
+    return fail("fit spec is empty (expected e.g. stages=1..20;salus=2,4)");
+  }
+
+  std::set<std::string> seen_fields;
+  for (const std::string& dim : split(trimmed, ';')) {
+    const std::string d{trim(dim)};
+    if (d.empty()) continue;
+    const std::size_t eq = d.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= d.size()) {
+      return fail("fit dimension '" + d +
+                  "' is not of the form field=MIN..MAX or field=v1,v2,...");
+    }
+    const std::string field = d.substr(0, eq);
+    opt::ResourceModel probe;
+    if (model_field(probe, field) == nullptr) {
+      return fail("unknown fit field '" + field +
+                  "' (expected stages|tables|salus|rules|members|aluops)");
+    }
+    if (!seen_fields.insert(field).second) {
+      return fail("fit field '" + field + "' appears more than once");
+    }
+    const std::string value = d.substr(eq + 1);
+    const std::size_t dots = value.find("..");
+    if (dots != std::string::npos) {
+      if (!out.search_field.empty()) {
+        return fail("fit spec has more than one MIN..MAX range dimension ('" +
+                    out.search_field + "' and '" + field +
+                    "'); bisect one field at a time");
+      }
+      const auto lo = parse_positive_int(trim(value.substr(0, dots)));
+      const auto hi = parse_positive_int(trim(value.substr(dots + 2)));
+      if (!lo || !hi) {
+        return fail("fit range '" + value + "' for field '" + field +
+                    "' is not MIN..MAX over positive integers");
+      }
+      if (*lo > *hi) {
+        return fail("fit range for field '" + field + "' is empty (" +
+                    std::to_string(*lo) + " > " + std::to_string(*hi) + ")");
+      }
+      out.search_field = field;
+      out.lo = *lo;
+      out.hi = *hi;
+      continue;
+    }
+    // Enumerated dimension: multiplies the row set, exactly like a sweep.
+    std::vector<int> values;
+    for (const std::string& v : split(value, ',')) {
+      const std::string vt{trim(v)};
+      const std::optional<int> parsed = parse_positive_int(vt);
+      if (!parsed) {
+        return fail("fit value '" + vt + "' for field '" + field +
+                    "' is not a positive integer");
+      }
+      values.push_back(*parsed);
+    }
+    std::vector<SweepVariant> next;
+    next.reserve(out.base.size() * values.size());
+    for (const SweepVariant& base : out.base) {
+      for (const int v : values) {
+        SweepVariant row = base;
+        *model_field(row.model, field) = v;
+        const std::string term = field + "=" + std::to_string(v);
+        row.label = (base.label == "tofino") ? term : base.label + "," + term;
+        next.push_back(std::move(row));
+      }
+    }
+    out.base = std::move(next);
+  }
+  if (out.search_field.empty()) {
+    return fail("fit spec needs exactly one field=MIN..MAX range dimension "
+                "(the field to bisect)");
+  }
+  return out;
+}
+
 void parallel_for(std::size_t n, int workers,
                   const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
@@ -356,6 +442,167 @@ SweepReport SweepEngine::run(std::string_view source,
     if (!vr.ok) report.ok = false;
   }
   report.total_wall_ms = ms_since(sweep_t0);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Auto-fitting
+// ---------------------------------------------------------------------------
+
+std::string FitReport::str() const {
+  std::ostringstream os;
+  os << "=== fit: " << program_name << " (smallest " << search_field
+     << " in [" << lo << ".." << hi << "], " << rows.size() << " row"
+     << (rows.size() == 1 ? "" : "s") << ") ===\n";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "front end: %d run%s (%.3f ms)\n",
+                frontend_runs, frontend_runs == 1 ? "" : "s",
+                frontend_wall_ms);
+  os << buf;
+  if (!frontend_diagnostics.empty()) {
+    os << "front-end diagnostics:\n";
+    for (const Diagnostic& d : frontend_diagnostics) {
+      os << "  " << d.str() << "\n";
+    }
+  }
+  if (!rows.empty()) {
+    std::size_t label_w = 7;
+    for (const auto& r : rows) label_w = std::max(label_w, r.label.size());
+    std::snprintf(buf, sizeof(buf), "%-*s %12s %7s  %s\n",
+                  static_cast<int>(label_w), "variant",
+                  ("min " + search_field).c_str(), "probes", "probed values");
+    os << buf;
+    for (const FitRow& r : rows) {
+      std::string fitted = !r.layout_ok ? "ERROR"
+                           : r.fitted < 0 ? "none"
+                                          : std::to_string(r.fitted);
+      std::string probed;
+      for (const int v : r.probed) {
+        if (!probed.empty()) probed += ",";
+        probed += std::to_string(v);
+      }
+      std::snprintf(buf, sizeof(buf), "%-*s %12s %7zu  %s\n",
+                    static_cast<int>(label_w), r.label.c_str(),
+                    fitted.c_str(), r.probed.size(), probed.c_str());
+      os << buf;
+    }
+  }
+  std::snprintf(buf, sizeof(buf), "total wall: %.3f ms%s\n", total_wall_ms,
+                !ok          ? "  (FAILURES)"
+                : !all_fit   ? "  (some rows do not fit in range)"
+                             : "");
+  os << buf;
+  return os.str();
+}
+
+FitReport SweepEngine::fit(std::string_view source,
+                           const FitOptions& options) const {
+  const auto fit_t0 = Clock::now();
+
+  FitReport report;
+  report.program_name = options.program_name;
+  report.search_field = options.spec.search_field;
+  report.lo = options.spec.lo;
+  report.hi = options.spec.hi;
+
+  int workers = options.workers;
+  if (workers <= 0) {
+    workers = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+
+  // One front end for every row and probe, exactly as in run().
+  DriverOptions base_opts;
+  base_opts.program_name = options.program_name;
+  const CompilerDriver driver(base_opts, registry_);
+  bool cache_hit = false;
+  const CompilationPtr base =
+      options.cache != nullptr
+          ? options.cache->compile(driver, source, &cache_hit)
+          : driver.run(source, Stage::Lower);
+  driver.run_until(base, Stage::Lower);
+  report.frontend_runs =
+      options.cache != nullptr ? (cache_hit ? 0 : 1)
+                               : (base->record(Stage::Parse).ran &&
+                                          !base->record(Stage::Parse).shared
+                                      ? 1
+                                      : 0);
+  for (const Stage s : {Stage::Parse, Stage::Sema, Stage::Lower}) {
+    const StageRecord& rec = base->record(s);
+    if (!rec.ran) continue;
+    report.frontend_wall_ms += rec.wall_ms;
+    for (const Diagnostic& d : base->stage_diagnostics(s)) {
+      report.frontend_diagnostics.push_back(d);
+    }
+  }
+  if (!base->succeeded(Stage::Lower)) {
+    report.ok = false;
+    report.total_wall_ms = ms_since(fit_t0);
+    return report;
+  }
+  // Phase A paid serially once; every probe's Layout shares it.
+  (void)base->layout_analysis_ptr();
+
+  report.rows.resize(options.spec.base.size());
+  std::atomic<bool> probes_ok{true};
+  parallel_for(options.spec.base.size(), workers, [&](std::size_t i) {
+    const SweepVariant& v = options.spec.base[i];
+    FitRow& row = report.rows[i];
+    row.label = v.label;
+    row.model = v.model;
+    *model_field(row.model, options.spec.search_field) = options.spec.hi;
+
+    // One probe: lay the program out with the search field at `value`.
+    // 1 = fits, 0 = does not fit, -1 = layout error (not a fit verdict).
+    const auto probe = [&](int value) -> int {
+      opt::ResourceModel m = v.model;
+      *model_field(m, options.spec.search_field) = value;
+      DriverOptions vopts;
+      vopts.model = m;
+      vopts.program_name = options.program_name;
+      CompilationPtr clone = base->clone_from_stage(Stage::Lower, vopts);
+      if (clone == nullptr) return -1;
+      CompilerDriver(vopts, registry_).run_until(clone, Stage::Layout);
+      row.probed.push_back(value);
+      if (!clone->succeeded(Stage::Layout)) return -1;
+      return clone->layout_stats().fits ? 1 : 0;
+    };
+
+    // Every sweepable field is monotone (more resources never un-fits), so
+    // first decide whether the range contains a fit at all, then bisect.
+    const int at_hi = probe(options.spec.hi);
+    if (at_hi < 0) {
+      row.layout_ok = false;
+      probes_ok.store(false);
+      return;
+    }
+    if (at_hi == 0) return;  // fitted stays -1: nothing in range fits
+    int lo = options.spec.lo;
+    int hi = options.spec.hi;
+    while (lo < hi) {
+      const int mid = lo + (hi - lo) / 2;
+      const int r = probe(mid);
+      if (r < 0) {
+        row.layout_ok = false;
+        probes_ok.store(false);
+        return;
+      }
+      if (r == 1) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    row.fitted = lo;
+    *model_field(row.model, options.spec.search_field) = lo;
+  });
+
+  report.ok = probes_ok.load();
+  report.all_fit = report.ok;
+  for (const FitRow& r : report.rows) {
+    if (r.fitted < 0) report.all_fit = false;
+  }
+  report.total_wall_ms = ms_since(fit_t0);
   return report;
 }
 

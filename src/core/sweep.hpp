@@ -115,6 +115,68 @@ struct SweepOptions {
   ArtifactCache* cache = nullptr;
 };
 
+// ---------------------------------------------------------------------------
+// Auto-fitting (the CLI's --fit=<fit-spec>)
+// ---------------------------------------------------------------------------
+
+/// A fit spec is a sweep grid where exactly one dimension is a *range*
+/// (`field=MIN..MAX`) instead of an enumeration: for every point of the
+/// enumerated cross product, the engine binary-searches the smallest value
+/// of the range field under which the program still fits. Every sweepable
+/// ResourceModel field is monotone (more resources never un-fits a
+/// program), which is what makes bisection sound.
+///
+///   stages=1..20              -> 1 row, search stages in [1, 20]
+///   stages=1..20;salus=2,4    -> 2 rows (salus=2 and salus=4), same search
+struct FitSpec {
+  std::string search_field;            // stages|tables|salus|rules|members|aluops
+  int lo = 0;
+  int hi = 0;
+  std::vector<SweepVariant> base;      // enumerated cross product (>= 1 row)
+};
+
+/// Parses a fit spec (see FitSpec). Returns nullopt and sets `*error` on a
+/// malformed spec, an unknown field, a repeated field, or a spec without
+/// exactly one MIN..MAX range dimension.
+[[nodiscard]] std::optional<FitSpec> parse_fit_spec(
+    std::string_view spec, std::string* error = nullptr);
+
+/// One enumerated grid point's bisection result.
+struct FitRow {
+  std::string label;              // base variant label ("tofino", "salus=2")
+  opt::ResourceModel model;       // base model with search_field = fitted
+                                  // (or = hi when nothing fits)
+  int fitted = -1;                // smallest fitting value; -1 = none in range
+  std::vector<int> probed;        // values probed, in probe order
+  bool layout_ok = true;          // false when a probe's Layout errored
+};
+
+struct FitReport {
+  std::string program_name;
+  std::string search_field;
+  int lo = 0;
+  int hi = 0;
+  bool ok = false;       // front end and every probe's layout succeeded
+  bool all_fit = false;  // every row found a fitting value in [lo, hi]
+  int frontend_runs = 0;          // like SweepReport::frontend_runs
+  double frontend_wall_ms = 0.0;
+  double total_wall_ms = 0.0;
+  std::vector<Diagnostic> frontend_diagnostics;
+  std::vector<FitRow> rows;
+
+  /// Human-readable table (one row per enumerated grid point).
+  [[nodiscard]] std::string str() const;
+};
+
+struct FitOptions {
+  FitSpec spec;
+  /// Worker threads across rows; 0 = hardware concurrency.
+  int workers = 0;
+  std::string program_name = "program";
+  /// Optional cache for the front end (memory layer), as in SweepOptions.
+  ArtifactCache* cache = nullptr;
+};
+
 class SweepEngine {
  public:
   /// `registry` defaults to the process-wide backend registry. Register all
@@ -123,6 +185,13 @@ class SweepEngine {
 
   [[nodiscard]] SweepReport run(std::string_view source,
                                 const SweepOptions& options) const;
+
+  /// Sweep-driven auto-fitting: pays for the front end (and the shared
+  /// layout analysis) once, then bisects the spec's range field per
+  /// enumerated row on Lower-level clones — ~log2(hi-lo) Layout runs per
+  /// row instead of a full-grid sweep.
+  [[nodiscard]] FitReport fit(std::string_view source,
+                              const FitOptions& options) const;
 
  private:
   BackendRegistry* registry_;

@@ -180,6 +180,17 @@ std::string print_program(const Program& p) {
   return os.str();
 }
 
+// The pretty-printer already renders purely from the AST — no comments, one
+// normalized spacing — so it *is* the canonical form. These names pin that
+// contract for fingerprint consumers: print_decl may evolve for human
+// output, but canonical_print_decl changing means every structural cache key
+// changes, which the fingerprint tests guard.
+std::string canonical_print_decl(const Decl& d) { return print_decl(d); }
+
+std::string canonical_print_program(const Program& p) {
+  return print_program(p);
+}
+
 // ---------------------------------------------------------------------------
 // Structural equality
 // ---------------------------------------------------------------------------

@@ -15,6 +15,20 @@ namespace lucid::frontend {
 [[nodiscard]] std::string print_decl(const Decl& d);
 [[nodiscard]] std::string print_program(const Program& p);
 
+/// The *canonical form* of a declaration / program: surface syntax rendered
+/// purely from the AST, so comments are stripped, whitespace is normalized,
+/// and formatting is stable regardless of how the source was written. Two
+/// sources whose decls canonical-print identically are structurally the same
+/// program. This is the preimage of the structural fingerprints
+/// (frontend/fingerprint.hpp) that key the artifact cache and drive
+/// incremental recompiles.
+///
+/// Contract (pinned by tests): re-parsing a canonical print yields a
+/// program_equal tree, and canonical_print is a fixed point (printing the
+/// re-parse reproduces the same bytes).
+[[nodiscard]] std::string canonical_print_decl(const Decl& d);
+[[nodiscard]] std::string canonical_print_program(const Program& p);
+
 /// Structural equality over ASTs, ignoring source ranges and annotations.
 /// Used by round-trip tests.
 [[nodiscard]] bool expr_equal(const Expr& a, const Expr& b);

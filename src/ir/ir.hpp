@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -238,9 +239,31 @@ struct ProgramIR {
   [[nodiscard]] int total_longest_path() const;
 };
 
+/// Incremental-lowering inputs (CompilerDriver::recompile): the previous
+/// compile's IR plus the handlers the structural diff proved unchanged.
+/// Program-level metadata (arrays, events, memops, groups) is always
+/// rebuilt from the annotated AST — it is cheap and keeps declaration-order
+/// semantics native — while each reused handler's atomic table graph is
+/// spliced from `prev` instead of re-lowered. Splicing is byte-exact:
+/// HandlerBuilder's temp numbering is per-handler, so a spliced graph is
+/// identical to what re-lowering the unchanged handler would produce.
+struct LowerReuse {
+  const ProgramIR* prev = nullptr;
+  std::set<std::string> handlers;  // handler names safe to splice
+};
+
 /// Lowers a type-checked program (function inlining + flattening to atomic
-/// tables). Reports unsupported constructs through `diags`.
+/// tables). Reports unsupported constructs through `diags`. A non-null
+/// `reuse` splices unchanged handlers' graphs from a previous IR (see
+/// LowerReuse); `reused_handlers`, when non-null, receives the number of
+/// graphs spliced.
 [[nodiscard]] ProgramIR lower(const frontend::Program& program,
-                              DiagnosticEngine& diags);
+                              DiagnosticEngine& diags,
+                              const LowerReuse* reuse,
+                              std::size_t* reused_handlers = nullptr);
+[[nodiscard]] inline ProgramIR lower(const frontend::Program& program,
+                                     DiagnosticEngine& diags) {
+  return lower(program, diags, nullptr);
+}
 
 }  // namespace lucid::ir

@@ -964,8 +964,10 @@ class HandlerBuilder {
 
 }  // namespace
 
-ProgramIR lower(const Program& program, DiagnosticEngine& diags) {
+ProgramIR lower(const Program& program, DiagnosticEngine& diags,
+                const LowerReuse* reuse, std::size_t* reused_handlers) {
   ProgramIR ir;
+  if (reused_handlers != nullptr) *reused_handlers = 0;
 
   std::map<std::string, std::int64_t> consts;
   for (const auto& d : program.decls) {
@@ -1007,6 +1009,24 @@ ProgramIR lower(const Program& program, DiagnosticEngine& diags) {
   }
 
   for (const auto* h : program.handlers()) {
+    // Splice the previous compile's graph when the structural diff proved
+    // this handler (and everything it references) unchanged. The graph is
+    // copied, not aliased: the new IR owns its artifacts outright.
+    if (reuse != nullptr && reuse->prev != nullptr &&
+        reuse->handlers.count(h->name) != 0) {
+      const HandlerGraph* prev_graph = nullptr;
+      for (const HandlerGraph& g : reuse->prev->handlers) {
+        if (g.handler == h->name) {
+          prev_graph = &g;
+          break;
+        }
+      }
+      if (prev_graph != nullptr) {
+        ir.handlers.push_back(*prev_graph);
+        if (reused_handlers != nullptr) ++*reused_handlers;
+        continue;
+      }
+    }
     HandlerBuilder builder(program, ir, consts, diags);
     ir.handlers.push_back(builder.build(*h));
   }

@@ -97,15 +97,19 @@ struct FunInfo {
 
 class Checker {
  public:
-  Checker(Program& program, DiagnosticEngine& diags, AnalysisInfo& info)
-      : program_(program), diags_(diags), info_(info) {}
+  Checker(Program& program, DiagnosticEngine& diags, AnalysisInfo& info,
+          const SemaReuse* reuse)
+      : program_(program), diags_(diags), info_(info), reuse_(reuse) {}
 
   bool run();
+
+  [[nodiscard]] std::size_t decls_reused() const { return decls_reused_; }
 
  private:
   // ---- symbol collection -------------------------------------------------
   void collect_decls();
   void eval_consts_and_globals();
+  void prepare_reuse();
 
   [[nodiscard]] bool is_const_name(std::string_view name) const {
     return consts_.count(std::string(name)) > 0 || name == "SELF";
@@ -170,6 +174,13 @@ class Checker {
   std::map<std::string, EventDecl*> events_;
   std::map<std::string, HandlerDecl*> handlers_;
 
+  // Incremental reuse (see SemaReuse): decls whose body check is skipped
+  // this run because their annotations were mirror-copied from the previous
+  // compile.
+  const SemaReuse* reuse_ = nullptr;
+  std::set<const Decl*> skip_body_;
+  std::size_t decls_reused_ = 0;
+
   EffectVar next_var_ = 0;
   bool ok_ = true;
 };
@@ -180,9 +191,11 @@ bool Checker::run() {
   const std::size_t errors_at_entry = diags_.error_count();
   collect_decls();
   eval_consts_and_globals();
+  prepare_reuse();
 
   // Memops (syntactic single-ALU restrictions).
   for (auto& [name, m] : memops_) {
+    if (skip_body_.count(m) != 0) continue;  // validated in the prior compile
     if (!check_memop(*m, [this](std::string_view n) { return is_const_name(n); },
                      diags_)) {
       ok_ = false;
@@ -190,17 +203,93 @@ bool Checker::run() {
   }
 
   // Functions (on demand from call sites, but force-check all here so
-  // unused functions are validated too).
+  // unused functions are validated too). Reused funs arrive pre-checked
+  // (prepare_reuse seeded their signatures).
   for (auto& [name, fi] : funs_) {
     if (!fi.checked) check_fun(fi);
   }
 
   // Handlers.
   for (auto& d : program_.decls) {
-    if (d->kind == DeclKind::Handler) check_handler(*d->as<HandlerDecl>());
+    if (d->kind == DeclKind::Handler && skip_body_.count(d.get()) == 0) {
+      check_handler(*d->as<HandlerDecl>());
+    }
   }
 
   return ok_ && diags_.error_count() == errors_at_entry;
+}
+
+void Checker::prepare_reuse() {
+  if (reuse_ == nullptr || reuse_->prev == nullptr ||
+      reuse_->prev_info == nullptr) {
+    return;
+  }
+  const Program& prev = *reuse_->prev;
+  const AnalysisInfo& prev_info = *reuse_->prev_info;
+
+  const auto bump_vars = [this](const StageAtom& a) {
+    if (a.var >= next_var_) next_var_ = a.var + 1;
+  };
+  const auto bump_sig = [&](const FunEffectSig& sig) {
+    if (sig.start_var >= next_var_) next_var_ = sig.start_var + 1;
+    for (const EffectVar v : sig.param_vars) {
+      if (v >= next_var_) next_var_ = v + 1;
+    }
+    for (const StageAtom& a : sig.end.atoms) bump_vars(a);
+    for (const EffectConstraint& c : sig.constraints) {
+      for (const StageAtom& a : c.lhs.atoms) bump_vars(a);
+      bump_vars(c.rhs);
+    }
+  };
+
+  for (std::size_t i = 0;
+       i < program_.decls.size() && i < reuse_->reuse_from.size(); ++i) {
+    const int j = reuse_->reuse_from[i];
+    if (j < 0 || static_cast<std::size_t>(j) >= prev.decls.size()) continue;
+    Decl& d = *program_.decls[i];
+    const Decl& p = *prev.decls[static_cast<std::size_t>(j)];
+    bool applied = false;
+    switch (d.kind) {
+      case DeclKind::Memop:
+        applied = copy_annotations(p, d);
+        if (applied) skip_body_.insert(&d);
+        break;
+      case DeclKind::Fun: {
+        const auto sig = prev_info.fun_sigs.find(d.name);
+        const auto fit = funs_.find(d.name);
+        if (sig != prev_info.fun_sigs.end() && fit != funs_.end() &&
+            fit->second.decl == &d && copy_annotations(p, d)) {
+          fit->second.sig = sig->second;
+          fit->second.checked = true;
+          info_.fun_sigs[d.name] = sig->second;
+          // Fresh variables allocated for re-checked decls must not collide
+          // with the ones baked into reused signatures.
+          bump_sig(sig->second);
+          applied = true;
+        }
+        break;
+      }
+      case DeclKind::Handler:
+        applied = copy_annotations(p, d);
+        if (applied) {
+          skip_body_.insert(&d);
+          const auto end = prev_info.handler_end_stage.find(d.name);
+          if (end != prev_info.handler_end_stage.end()) {
+            info_.handler_end_stage[d.name] = end->second;
+          }
+        }
+        break;
+      case DeclKind::Const:
+      case DeclKind::Global:
+      case DeclKind::Event:
+      case DeclKind::Group:
+        // Header-only decls: collect_decls/eval_consts_and_globals already
+        // recomputed their annotations natively (and cheaply).
+        applied = true;
+        break;
+    }
+    if (applied) ++decls_reused_;
+  }
 }
 
 void Checker::collect_decls() {
@@ -1130,10 +1219,13 @@ void Checker::check_handler(HandlerDecl& h) {
 
 }  // namespace
 
-bool TypeChecker::check(Program& program) {
+bool TypeChecker::check(Program& program, const SemaReuse* reuse) {
   info_ = AnalysisInfo{};
-  Checker checker(program, diags_, info_);
-  return checker.run();
+  decls_reused_ = 0;
+  Checker checker(program, diags_, info_, reuse);
+  const bool ok = checker.run();
+  decls_reused_ = checker.decls_reused();
+  return ok;
 }
 
 FrontendResult parse_and_check(std::string_view source,

@@ -1,12 +1,17 @@
 // Small string utilities shared across the compiler and simulator.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 namespace lucid {
+
+/// 64-bit FNV-1a over arbitrary bytes. The hash behind every cache key and
+/// structural fingerprint in the compiler (core/cache, frontend/fingerprint).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view data);
 
 /// Split `s` on `sep`, keeping empty fields.
 [[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);

@@ -288,8 +288,17 @@ TEST(ArtifactCache, SourceChangeMissesOptionsChangeInvalidates) {
   (void)cache.compile(tofino, kCounter);
   EXPECT_EQ(cache.stats().misses, 1u);
 
-  // Different source bytes: a plain miss, new entry.
-  (void)cache.compile(tofino, std::string(kCounter) + "// edited\n");
+  // Different bytes, same structure: a comment-only edit is a *hit* now
+  // that the key is structural (PR 5); the entry count stays 1.
+  bool hit = false;
+  (void)cache.compile(tofino, std::string(kCounter) + "// edited\n", &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // A structurally different program: a plain miss, new entry.
+  (void)cache.compile(tofino,
+                      std::string(kCounter) + "event extra(int x);\n");
   EXPECT_EQ(cache.stats().misses, 2u);
   EXPECT_EQ(cache.stats().invalidations, 0u);
   EXPECT_EQ(cache.size(), 2u);
@@ -689,6 +698,84 @@ TEST(SweepConcurrency, SharedAnalysisLayoutMatchesColdUnderManyWorkers) {
     ASSERT_TRUE(cold->ok());
     EXPECT_EQ(shared_strs[i], cold->pipeline().str());
     EXPECT_EQ(analysis_addrs[i], &base->layout_analysis());
+  }
+}
+
+TEST(SweepConcurrency, RecompilesRaceSweepsOverOneSharedPrev) {
+  // The incremental edit pipeline's concurrency contract: recompile() only
+  // *reads* prev, so any number of recompiles (formatting hits cloning prev,
+  // one-decl edits splicing its IR) may race full sweeps over the same
+  // source — and the donor's lazily computed layout analysis — with every
+  // result byte-identical to its serial counterpart. TSan (preset
+  // debug-tsan) runs this via the concurrency label.
+  const apps::AppSpec& spec = apps::app("CM");
+  const CompilerDriver driver(app_options(spec), &test_registry());
+  const CompilationPtr prev = driver.run(spec.source, Stage::Layout);
+  ASSERT_TRUE(prev->ok()) << prev->diags().render();
+
+  const std::string ws = "// reformatted\n" + spec.source + "\n// tail\n";
+  std::string edited = spec.source;
+  const std::size_t brace = edited.find('{', edited.find("handle "));
+  ASSERT_NE(brace, std::string::npos);
+  edited.insert(brace + 1, " int __zz_race = 1 + 2; ");
+
+  DriverOptions tight = app_options(spec);
+  tight.model.salus_per_stage = 2;
+
+  // Serial ground truths.
+  const CompilerDriver tight_driver(tight, &test_registry());
+  const CompilationPtr cold_ws = tight_driver.run(ws, Stage::Layout);
+  ASSERT_TRUE(cold_ws->ok());
+  const std::string want_ws = tight_driver.emit(cold_ws, "p4").text;
+  const CompilationPtr cold_edit = driver.run(edited, Stage::Layout);
+  ASSERT_TRUE(cold_edit->ok());
+  const std::string want_edit = driver.emit(cold_edit, "p4").text;
+
+  const auto grid = parse_sweep_grid("stages=4,8,12,16");
+  ASSERT_TRUE(grid.has_value());
+  const SweepEngine engine(&test_registry());
+
+  constexpr std::size_t kTasks = 12;
+  std::vector<std::string> got(kTasks);
+  std::vector<bool> ok(kTasks, false);
+  parallel_for(kTasks, 0, [&](std::size_t i) {
+    switch (i % 3) {
+      case 0: {  // a full sweep of the same program
+        SweepOptions opts;
+        opts.variants = *grid;
+        opts.program_name = spec.key;
+        opts.workers = 1;
+        opts.backends = {"p4"};
+        const SweepReport report = engine.run(spec.source, opts);
+        ok[i] = report.ok;
+        got[i] = report.ok ? "sweep-ok" : "sweep-failed";
+        break;
+      }
+      case 1: {  // formatting hit under a *different* model: clones prev at
+                 // Lower and races the donor's analysis call_once
+        const CompilerDriver d(tight, &test_registry());
+        const CompilationPtr c = d.recompile(prev, ws);
+        ok[i] = d.run_until(c, Stage::Layout);
+        got[i] = d.emit(c, "p4").text;
+        break;
+      }
+      case 2: {  // one-decl edit splicing prev's IR
+        const CompilerDriver d(app_options(spec), &test_registry());
+        const CompilationPtr c = d.recompile(prev, edited);
+        ok[i] = d.run_until(c, Stage::Layout);
+        got[i] = d.emit(c, "p4").text;
+        break;
+      }
+    }
+  });
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_TRUE(ok[i]);
+    if (i % 3 == 0) {
+      EXPECT_EQ(got[i], "sweep-ok");
+    } else {
+      EXPECT_EQ(got[i], i % 3 == 1 ? want_ws : want_edit);
+    }
   }
 }
 
