@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "apps/apps.hpp"
+#include "bench/bench_common.hpp"
 #include "interp/testbed.hpp"
 #include "workload/workload.hpp"
 
@@ -82,11 +83,10 @@ double pct(std::vector<double> v, double p) {
 }  // namespace
 
 int main() {
-  std::printf(
-      "------------------------------------------------------------------\n"
-      "Figure 17 — SFW flow installation time: integrated vs remote\n"
-      "(1280 trials; 2048-entry cuckoo table at load factor 0.3125)\n"
-      "------------------------------------------------------------------\n");
+  bench::print_header("Figure 17",
+                      "SFW flow installation time: integrated vs remote "
+                      "(1280 trials; 2048-entry cuckoo table at load factor "
+                      "0.3125)");
 
   Samples s;
   run_round(5, s);
@@ -131,19 +131,52 @@ int main() {
       speedup);
 
   // CDF rows (log-scale buckets, like the figure's x axis).
+  const std::vector<double> buckets = {0.0,      600.0,    1200.0,  2400.0,
+                                       12'000.0, 20'000.0, 40'000.0};
+  auto frac = [](const std::vector<double>& v, double bucket) {
+    std::size_t c = 0;
+    for (const double x : v) {
+      if (x <= bucket) ++c;
+    }
+    return 100.0 * static_cast<double>(c) / static_cast<double>(v.size());
+  };
   std::printf("\nCDF of installation time:\n");
   std::printf("  %12s | %11s | %8s\n", "<= bucket", "integrated", "remote");
-  for (const double bucket :
-       {0.0, 600.0, 1200.0, 2400.0, 12'000.0, 20'000.0, 40'000.0}) {
-    auto frac = [&](const std::vector<double>& v) {
-      std::size_t c = 0;
-      for (const double x : v) {
-        if (x <= bucket) ++c;
-      }
-      return 100.0 * static_cast<double>(c) / static_cast<double>(v.size());
-    };
+  for (const double bucket : buckets) {
     std::printf("  %9.0f ns | %10.1f%% | %7.1f%%\n", bucket,
-                frac(s.integrated_ns), frac(s.remote_ns));
+                frac(s.integrated_ns, bucket), frac(s.remote_ns, bucket));
   }
+
+  bench::JsonWriter j;
+  j.obj_open()
+      .field("bench", "bench_fig17_flow_install")
+      .field("trials", n)
+      .obj_open("integrated")
+      .field("first_pass_pct",
+             100.0 * static_cast<double>(zero) / static_cast<double>(n))
+      .field("single_recirc_pct",
+             100.0 * static_cast<double>(one_recirc) /
+                 static_cast<double>(n))
+      .field("mean_ns", mean(s.integrated_ns))
+      .field("p99_ns", pct(s.integrated_ns, 0.99))
+      .field("worst_ns", worst)
+      .obj_close()
+      .obj_open("remote")
+      .field("min_ns", pct(s.remote_ns, 0.0))
+      .field("mean_ns", mean(s.remote_ns))
+      .field("p99_ns", pct(s.remote_ns, 0.99))
+      .obj_close()
+      .field("mean_speedup", speedup);
+  j.arr_open("cdf_bucket_ns");
+  for (const double b : buckets) j.item(b);
+  j.arr_close();
+  j.arr_open("cdf_integrated_pct");
+  for (const double b : buckets) j.item(frac(s.integrated_ns, b));
+  j.arr_close();
+  j.arr_open("cdf_remote_pct");
+  for (const double b : buckets) j.item(frac(s.remote_ns, b));
+  j.arr_close();
+  j.obj_close();
+  j.save("BENCH_fig17.json");
   return 0;
 }

@@ -1,0 +1,209 @@
+#include "ctrl/control_plane.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lucid::ctrl {
+
+ControlPlane::ControlPlane(DataPlane& dp, sched::EventScheduler& sched,
+                           ControlPlaneConfig cfg)
+    : dp_(dp),
+      sched_(sched),
+      cfg_(cfg),
+      alive_(std::make_shared<bool>(true)),
+      wall_start_(SteadyClock::now()) {
+  boundary_now_ = sim().now();
+  sched_.set_apply_point([this] { on_apply_point(); });
+  arm_tick();
+}
+
+ControlPlane::~ControlPlane() {
+  *alive_ = false;
+  sched_.set_apply_point(nullptr);
+}
+
+void ControlPlane::submit(UpdateBatch batch) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ++stats_.batches_submitted;
+  Pending item;
+  item.submitted_ns = boundary_now_;
+  item.batch = std::move(batch);
+  queue_.push_back(std::move(item));
+  stats_.max_queue_depth = std::max(stats_.max_queue_depth, queue_.size());
+}
+
+void ControlPlane::write(std::string array, std::int64_t index,
+                         Value value) {
+  UpdateBatch b;
+  b.writes.push_back(RegWrite{std::move(array), index, value});
+  submit(std::move(b));
+}
+
+void ControlPlane::post_event(std::string event, std::vector<Value> args,
+                              sim::Time delay_ns) {
+  UpdateBatch b;
+  b.events.push_back(EventPost{std::move(event), std::move(args), delay_ns});
+  submit(std::move(b));
+}
+
+std::size_t ControlPlane::pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.size();
+}
+
+void ControlPlane::flush() {
+  drain(std::numeric_limits<std::size_t>::max());
+}
+
+void ControlPlane::on_apply_point() {
+  drain(cfg_.max_ops_per_apply);
+}
+
+void ControlPlane::drain(std::size_t budget) {
+  // A drained batch may raise control events, whose packets land back on
+  // the simulator queue — never re-entering here synchronously — but guard
+  // against recursive apply points anyway.
+  if (draining_) return;
+  draining_ = true;
+  const sim::Time now = sim().now();
+  std::size_t spent = 0;
+  sim::Time commit_cost = 0;
+  for (;;) {
+    Pending item;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      boundary_now_ = now;
+      if (queue_.empty()) break;
+      const std::size_t ops = queue_.front().batch.ops();
+      // The budget never splits a batch: at least one batch applies per
+      // boundary, further ones only while the budget lasts.
+      if (spent != 0 && spent + ops > budget) break;
+      item = std::move(queue_.front());
+      queue_.pop_front();
+      spent += ops;
+    }
+    apply_one(std::move(item), &commit_cost);
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.apply_points;
+    stats_.update_path_busy_ns += commit_cost;
+  }
+  if (commit_cost > 0) sched_.node().stall_pipeline(commit_cost);
+  draining_ = false;
+}
+
+void ControlPlane::apply_one(Pending item, sim::Time* commit_cost) {
+  const UpdateBatch& b = item.batch;
+  BatchResult res;
+  res.submitted_ns = item.submitted_ns;
+  res.applied_ns = sim().now();
+
+  // Validate every op first: a batch is all-or-nothing.
+  std::string err;
+  for (const RegWrite& w : b.writes) {
+    if (!dp_.has_array(w.array)) {
+      err = "unknown array '" + w.array + "'";
+      break;
+    }
+  }
+  if (err.empty()) {
+    for (const RegRead& r : b.reads) {
+      if (!dp_.has_array(r.array)) {
+        err = "unknown array '" + r.array + "'";
+        break;
+      }
+    }
+  }
+  if (err.empty()) {
+    for (const EventPost& e : b.events) {
+      if (!dp_.can_inject(e.event, e.args.size())) {
+        err = "unknown event or arity mismatch '" + e.event + "'";
+        break;
+      }
+    }
+  }
+
+  if (!err.empty()) {
+    res.applied = false;
+    res.error = std::move(err);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.batches_rejected;
+  } else {
+    for (const RegWrite& w : b.writes) dp_.write(w.array, w.index, w.value);
+    res.reads.reserve(b.reads.size());
+    for (const RegRead& r : b.reads) {
+      res.reads.push_back(dp_.read(r.array, r.index));
+    }
+    for (const EventPost& e : b.events) {
+      dp_.inject_event(e.event, e.args, e.delay_ns);
+    }
+    res.applied = true;
+    *commit_cost +=
+        cfg_.batch_overhead_ns +
+        cfg_.per_op_ns * static_cast<sim::Time>(b.ops());
+    const sim::Time latency =
+        std::max<sim::Time>(0, res.applied_ns - res.submitted_ns);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.batches_applied;
+    stats_.writes_applied += b.writes.size();
+    stats_.reads_served += b.reads.size();
+    stats_.events_injected += b.events.size();
+    stats_.apply_latency_max_ns =
+        std::max(stats_.apply_latency_max_ns, latency);
+    latency_samples_.push_back(latency);
+  }
+  if (b.on_done) b.on_done(res);
+}
+
+void ControlPlane::arm_tick() {
+  if (cfg_.tick_ns <= 0) return;
+  sim().after(cfg_.tick_ns, [this, alive = alive_] {
+    if (!*alive) return;
+    on_apply_point();
+    arm_tick();
+  });
+}
+
+ControlPlaneStats ControlPlane::snapshot() const {
+  std::vector<sim::Time> samples;
+  ControlPlaneStats out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out = stats_;
+    out.queue_depth = queue_.size();
+    samples = latency_samples_;
+  }
+  if (!samples.empty()) {
+    double sum = 0;
+    for (const sim::Time s : samples) sum += static_cast<double>(s);
+    out.apply_latency_mean_ns = sum / static_cast<double>(samples.size());
+    const auto idx = static_cast<std::size_t>(
+        0.99 * static_cast<double>(samples.size() - 1));
+    std::nth_element(samples.begin(),
+                     samples.begin() + static_cast<std::ptrdiff_t>(idx),
+                     samples.end());
+    out.apply_latency_p99_ns =
+        static_cast<double>(samples[idx]);
+  }
+  const double wall_s = ms_since(wall_start_) / 1000.0;
+  if (wall_s > 0) {
+    out.wall_installs_per_sec =
+        static_cast<double>(out.writes_applied) / wall_s;
+  }
+  if (out.update_path_busy_ns > 0) {
+    out.modeled_installs_per_sec =
+        static_cast<double>(out.writes_applied) * 1e9 /
+        static_cast<double>(out.update_path_busy_ns);
+  }
+  return out;
+}
+
+void ControlPlane::reset_stats() {
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_ = ControlPlaneStats{};
+  latency_samples_.clear();
+  wall_start_ = SteadyClock::now();
+}
+
+}  // namespace lucid::ctrl

@@ -78,36 +78,94 @@ Runtime::Runtime(ConstCompilationPtr comp, sched::EventScheduler& node)
   for (const auto& arr : comp_->ir().arrays) {
     node_.node().add_array(arr.name, arr.width, arr.size);
   }
+  // Prebuild every per-event lookup the hot path needs: handlers dense by
+  // event id, everything else hashed by name.
+  handlers_by_id_.assign(comp_->ir().events.size(), nullptr);
+  exec_count_by_id_.assign(comp_->ir().events.size(), 0);
+  gen_count_by_id_.assign(comp_->ir().events.size(), 0);
   for (const auto& d : comp_->ast().decls) {
     if (d->kind == DeclKind::Handler) {
       const auto* ev = comp_->ast().find_event(d->name);
-      if (ev != nullptr) {
-        handlers_by_id_[ev->event_id] = d->as<HandlerDecl>();
+      if (ev != nullptr && ev->event_id >= 0 &&
+          static_cast<std::size_t>(ev->event_id) < handlers_by_id_.size()) {
+        handlers_by_id_[static_cast<std::size_t>(ev->event_id)] =
+            d->as<HandlerDecl>();
       }
     } else if (d->kind == DeclKind::Event) {
-      events_by_name_[d->name] = d->as<EventDecl>();
+      events_by_name_.emplace(d->name, d->as<EventDecl>());
+    } else if (d->kind == DeclKind::Fun) {
+      funs_by_name_.emplace(d->name, d->as<FunDecl>());
     }
+  }
+  for (const auto& mo : comp_->ir().memops) {
+    memops_by_name_.emplace(mo.name, &mo);
   }
   node_.set_execute([this](const pisa::Packet& p) { execute(p); });
 }
 
-void Runtime::inject(const std::string& event, std::vector<Value> args,
+bool Runtime::make_event(const std::string& event, std::vector<Value>& args,
+                         sched::GenEvent* out) const {
+  const auto it = events_by_name_.find(std::string_view(event));
+  if (it == events_by_name_.end()) return false;
+  const EventDecl& ev = *it->second;
+  if (args.size() != ev.params.size()) return false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    args[i] = mask_width(args[i], ev.params[i].type.width);
+  }
+  out->event_id = ev.event_id;
+  out->args = std::move(args);
+  return true;
+}
+
+bool Runtime::inject(const std::string& event, std::vector<Value> args,
                      sim::Time delay_ns, std::int64_t location) {
-  const auto it = events_by_name_.find(event);
-  if (it == events_by_name_.end()) return;
   sched::GenEvent ev;
-  ev.event_id = it->second->event_id;
-  ev.args = std::move(args);
+  if (!make_event(event, args, &ev)) return false;
   ev.delay_ns = delay_ns;
   ev.location = location;
   node_.inject(std::move(ev));
+  return true;
+}
+
+bool Runtime::inject_control(const std::string& event,
+                             std::vector<Value> args, sim::Time delay_ns) {
+  sched::GenEvent ev;
+  if (!make_event(event, args, &ev)) return false;
+  ev.delay_ns = delay_ns;
+  node_.inject_control(std::move(ev));
+  return true;
+}
+
+const frontend::EventDecl* Runtime::find_event(
+    const std::string& name) const {
+  const auto it = events_by_name_.find(std::string_view(name));
+  return it == events_by_name_.end() ? nullptr : it->second;
+}
+
+const RunStats& Runtime::stats() const {
+  // Materialize the name-keyed view from the dense per-event counters (only
+  // names that actually occurred, matching the historical map behavior).
+  stats_.executions.clear();
+  stats_.generated.clear();
+  stats_.total_executions = total_executions_;
+  const auto& events = comp_->ir().events;
+  for (std::size_t id = 0; id < events.size(); ++id) {
+    if (exec_count_by_id_[id] != 0) {
+      stats_.executions[events[id].name] = exec_count_by_id_[id];
+    }
+    if (gen_count_by_id_[id] != 0) {
+      stats_.generated[events[id].name] = gen_count_by_id_[id];
+    }
+  }
+  return stats_;
 }
 
 Value Runtime::memop_apply(const std::string& name, Value cell,
                            Value arg) const {
   if (name.empty()) return arg;  // identity write
-  const ir::MemopInfo* mo = comp_->ir().find_memop(name);
-  if (mo == nullptr) return arg;
+  const auto it = memops_by_name_.find(std::string_view(name));
+  if (it == memops_by_name_.end()) return arg;
+  const ir::MemopInfo* mo = it->second;
   const bool take_then =
       !mo->has_condition ||
       cmp_eval(mo->cond_op, memop_operand_value(mo->cond_lhs, cell, arg),
@@ -132,11 +190,15 @@ pisa::RegisterArray* Runtime::resolve_array(const std::string& name) {
 }
 
 void Runtime::execute(const pisa::Packet& p) {
-  const auto it = handlers_by_id_.find(p.event_id);
-  if (it == handlers_by_id_.end()) return;
-  const HandlerDecl& h = *it->second;
-  ++stats_.total_executions;
-  ++stats_.executions[h.name];
+  const HandlerDecl* h_ptr =
+      p.event_id >= 0 &&
+              static_cast<std::size_t>(p.event_id) < handlers_by_id_.size()
+          ? handlers_by_id_[static_cast<std::size_t>(p.event_id)]
+          : nullptr;
+  if (h_ptr == nullptr) return;
+  const HandlerDecl& h = *h_ptr;
+  ++total_executions_;
+  ++exec_count_by_id_[static_cast<std::size_t>(p.event_id)];
   if (trace_) trace_(h.name, p);
 
   Frame frame;
@@ -145,7 +207,7 @@ void Runtime::execute(const pisa::Packet& p) {
     v.i = i < p.args.size()
               ? mask_width(p.args[i], h.params[i].type.width)
               : 0;
-    frame[h.params[i].name] = v;
+    frame.slot(h.params[i].name) = std::move(v);
   }
   Val ret;
   (void)exec_block(frame, h.body, &ret);
@@ -170,12 +232,13 @@ bool Runtime::exec_stmt(Frame& frame, const Stmt& s, Val* ret) {
       if (!v.is_event() && d->declared_type.is_int()) {
         v.i = mask_width(v.i, d->declared_type.width);
       }
-      frame[d->name] = std::move(v);
+      frame.slot(d->name) = std::move(v);
       return false;
     }
     case StmtKind::Assign: {
       const auto* a = s.as<AssignStmt>();
-      frame[a->name] = eval(frame, *a->value);
+      Val v = eval(frame, *a->value);
+      frame.slot(a->name) = std::move(v);
       return false;
     }
     case StmtKind::If: {
@@ -199,11 +262,8 @@ bool Runtime::exec_stmt(Frame& frame, const Stmt& s, Val* ret) {
       ev.multicast = v.ev->multicast || g->multicast;
       ev.members = v.ev->members;
       if (ev.event_id >= 0 &&
-          static_cast<std::size_t>(ev.event_id) <
-              comp_->ir().events.size()) {
-        ++stats_.generated[comp_->ir()
-                               .events[static_cast<std::size_t>(ev.event_id)]
-                               .name];
+          static_cast<std::size_t>(ev.event_id) < gen_count_by_id_.size()) {
+        ++gen_count_by_id_[static_cast<std::size_t>(ev.event_id)];
       }
       node_.generate(std::move(ev));
       return false;
@@ -244,8 +304,7 @@ Runtime::Val Runtime::eval(Frame& frame, const Expr& e) {
         v.i = node_.self();
         return v;
       }
-      const auto it = frame.find(r->name);
-      if (it != frame.end()) return it->second;
+      if (const Val* found = frame.find(r->name)) return *found;
       return v;
     }
     case ExprKind::Unary: {
@@ -356,8 +415,9 @@ Runtime::Val Runtime::eval_call(Frame& frame, const CallExpr& c) {
       return out;
     }
     case CallKind::UserFun: {
-      const FunDecl* f = comp_->ast().find_fun(c.callee);
-      if (f == nullptr) return {};
+      const auto fit = funs_by_name_.find(std::string_view(c.callee));
+      if (fit == funs_by_name_.end()) return {};
+      const FunDecl* f = fit->second;
       Frame inner;
       for (std::size_t i = 0; i < f->params.size() && i < c.args.size();
            ++i) {
@@ -368,7 +428,7 @@ Runtime::Val Runtime::eval_call(Frame& frame, const CallExpr& c) {
           // store the referenced array name in the frame.
           Val v;
           v.i = 0;
-          inner[f->params[i].name] = v;
+          inner.slot(f->params[i].name) = std::move(v);
           array_alias_[f->params[i].name] =
               c.args[i]->as<VarRefExpr>()->name;
         } else {
@@ -376,7 +436,7 @@ Runtime::Val Runtime::eval_call(Frame& frame, const CallExpr& c) {
           if (f->params[i].type.is_int()) {
             v.i = mask_width(v.i, f->params[i].type.width);
           }
-          inner[f->params[i].name] = std::move(v);
+          inner.slot(f->params[i].name) = std::move(v);
         }
       }
       Val ret;
@@ -389,9 +449,9 @@ Runtime::Val Runtime::eval_call(Frame& frame, const CallExpr& c) {
     case CallKind::EventCtor: {
       Val out;
       out.ev = std::make_shared<EventValue>();
-      const EventDecl* ev = events_by_name_.count(c.callee)
-                                ? events_by_name_.at(c.callee)
-                                : nullptr;
+      const auto eit = events_by_name_.find(std::string_view(c.callee));
+      const EventDecl* ev =
+          eit == events_by_name_.end() ? nullptr : eit->second;
       out.ev->event_id = ev ? ev->event_id : -1;
       for (std::size_t i = 0; i < c.args.size(); ++i) {
         Value a = int_arg(i);

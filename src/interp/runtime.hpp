@@ -10,12 +10,18 @@
 // lives in the switch's register arrays (width-masked). `generate` feeds the
 // event scheduler, which serializes the event through the recirculation port
 // or the fabric. Memops are applied in their canonicalized single-sALU form.
+//
+// The per-event hot path (inject → dispatch → handler body) uses dense-id
+// and unordered lookups prebuilt at construction; the name-keyed RunStats
+// view is materialized lazily from dense counters.
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "core/driver.hpp"
@@ -47,14 +53,33 @@ class Runtime {
 
   [[nodiscard]] const Compilation& compilation() const { return *comp_; }
 
-  /// Injects an event by name (external arrival at this switch).
-  void inject(const std::string& event, std::vector<Value> args,
+  /// Injects an event by name (external arrival at this switch through a
+  /// front-panel port). Returns false — and injects nothing — if the event
+  /// is unknown or the argument count does not match the declaration;
+  /// arguments are masked to their declared widths like `EventCtor` does.
+  bool inject(const std::string& event, std::vector<Value> args,
               sim::Time delay_ns = 0, std::int64_t location = -1);
+
+  /// Injects an event from the control plane (src/ctrl): the packet enters
+  /// through the recirculation port (switch-CPU path), not the wire. Same
+  /// validation as inject().
+  bool inject_control(const std::string& event, std::vector<Value> args,
+                      sim::Time delay_ns = 0);
+
+  /// Event-declaration lookup for control-plane validation: nullptr when
+  /// the program declares no such event.
+  [[nodiscard]] const frontend::EventDecl* find_event(
+      const std::string& name) const;
 
   [[nodiscard]] pisa::RegisterArray* array(const std::string& name) {
     return node_.node().find_array(name);
   }
-  [[nodiscard]] const RunStats& stats() const { return stats_; }
+  /// Resolves an array name through function-parameter aliases installed by
+  /// UserFun calls (between handler executions the alias map is empty, so
+  /// control-plane callers see exactly the declared arrays).
+  [[nodiscard]] pisa::RegisterArray* resolve_array(const std::string& name);
+
+  [[nodiscard]] const RunStats& stats() const;
   [[nodiscard]] sched::EventScheduler& node() { return node_; }
 
   /// Optional per-execution trace hook (event name, packet).
@@ -79,7 +104,32 @@ class Runtime {
     [[nodiscard]] bool is_event() const { return ev != nullptr; }
   };
 
-  using Frame = std::map<std::string, Val>;
+  /// Handler-execution locals: a flat vector beats any tree/hash map at the
+  /// handful of names a handler binds. Keys are string_views into AST-owned
+  /// strings (the Runtime co-owns the Compilation, so they stay valid).
+  class Frame {
+   public:
+    [[nodiscard]] Val& slot(std::string_view name) {
+      for (auto& s : slots_) {
+        if (s.name == name) return s.v;
+      }
+      slots_.push_back(Slot{name, Val{}});
+      return slots_.back().v;
+    }
+    [[nodiscard]] const Val* find(std::string_view name) const {
+      for (const auto& s : slots_) {
+        if (s.name == name) return &s.v;
+      }
+      return nullptr;
+    }
+
+   private:
+    struct Slot {
+      std::string_view name;
+      Val v;
+    };
+    std::vector<Slot> slots_;
+  };
 
   void execute(const pisa::Packet& p);
 
@@ -92,17 +142,32 @@ class Runtime {
 
   [[nodiscard]] Value memop_apply(const std::string& name, Value cell,
                                   Value arg) const;
-  /// Resolves an array name through function-parameter aliases installed by
-  /// UserFun calls.
-  [[nodiscard]] pisa::RegisterArray* resolve_array(const std::string& name);
+  /// Validates + width-masks an injected event; false on unknown name or
+  /// arity mismatch.
+  bool make_event(const std::string& event, std::vector<Value>& args,
+                  sched::GenEvent* out) const;
 
   ConstCompilationPtr comp_;
   sched::EventScheduler& node_;
-  RunStats stats_;
   std::function<void(const std::string&, const pisa::Packet&)> trace_;
-  std::map<int, const frontend::HandlerDecl*> handlers_by_id_;
-  std::map<std::string, const frontend::EventDecl*> events_by_name_;
-  std::map<std::string, std::string> array_alias_;
+
+  // Prebuilt hot-path lookups: dense by event id where an id exists,
+  // unordered by name otherwise. The string_view keys point into AST/IR
+  // strings owned via comp_.
+  std::vector<const frontend::HandlerDecl*> handlers_by_id_;
+  std::unordered_map<std::string_view, const frontend::EventDecl*>
+      events_by_name_;
+  std::unordered_map<std::string_view, const ir::MemopInfo*> memops_by_name_;
+  std::unordered_map<std::string_view, const frontend::FunDecl*>
+      funs_by_name_;
+  std::unordered_map<std::string, std::string> array_alias_;
+
+  // Dense per-event counters; the name-keyed RunStats view is rebuilt on
+  // demand by stats().
+  std::vector<std::uint64_t> exec_count_by_id_;
+  std::vector<std::uint64_t> gen_count_by_id_;
+  std::uint64_t total_executions_ = 0;
+  mutable RunStats stats_;
 };
 
 }  // namespace lucid::interp

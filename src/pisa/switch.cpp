@@ -29,9 +29,29 @@ void Switch::deliver_to_ingress(Packet p) {
     // completing; the callback runs handler logic "at" egress time.
     sim_.after(config_.pipeline_latency_ns,
                [this, p = std::move(p)]() mutable {
-                 if (ingress_) ingress_(std::move(p));
+                 finish_pipeline_pass(std::move(p));
                });
   }
+}
+
+void Switch::finish_pipeline_pass(Packet p) {
+  if (sim_.now() < busy_until_) {
+    // A control-plane update commit occupies the MAU pipeline; the packet
+    // waits until the commit finishes, then completes its pass.
+    ++stalled_deliveries_;
+    sim_.at(busy_until_, [this, p = std::move(p)]() mutable {
+      finish_pipeline_pass(std::move(p));
+    });
+    return;
+  }
+  if (ingress_) ingress_(std::move(p));
+}
+
+void Switch::stall_pipeline(sim::Time duration) {
+  if (duration <= 0) return;
+  const sim::Time start = std::max(busy_until_, sim_.now());
+  busy_until_ = start + duration;
+  stall_ns_total_ += duration;
 }
 
 void Switch::inject(Packet p) {

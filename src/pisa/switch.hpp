@@ -98,6 +98,18 @@ class Switch {
   void start_pfc_stream(sim::Time interval, sim::Time window);
   void stop_pfc_stream() { pfc_running_ = false; }
 
+  // ---- control-plane pipeline occupancy ---------------------------------------
+  /// Models a control-plane update commit occupying the MAU pipeline for
+  /// `duration` ns: packets whose pipeline pass would complete while the
+  /// commit is in flight are held (in the parser buffer) until it finishes.
+  /// Consecutive stalls queue back-to-back rather than overlapping.
+  void stall_pipeline(sim::Time duration);
+  [[nodiscard]] sim::Time busy_until() const { return busy_until_; }
+  [[nodiscard]] sim::Time stall_ns_total() const { return stall_ns_total_; }
+  [[nodiscard]] std::uint64_t stalled_deliveries() const {
+    return stalled_deliveries_;
+  }
+
   // ---- stats ------------------------------------------------------------------
   [[nodiscard]] const PortStats& recirc_stats() const {
     return recirc_port_.stats();
@@ -114,6 +126,7 @@ class Switch {
  private:
   void pfc_tick(sim::Time interval, sim::Time window);
   void deliver_to_ingress(Packet p);
+  void finish_pipeline_pass(Packet p);
 
   sim::Simulator& sim_;
   SwitchConfig config_;
@@ -127,6 +140,9 @@ class Switch {
   ManagementCpu cpu_;
   std::uint64_t recirculations_ = 0;
   std::uint64_t next_uid_ = 1;
+  sim::Time busy_until_ = 0;
+  sim::Time stall_ns_total_ = 0;
+  std::uint64_t stalled_deliveries_ = 0;
 };
 
 }  // namespace lucid::pisa

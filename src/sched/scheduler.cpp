@@ -28,6 +28,13 @@ void EventScheduler::inject(GenEvent ev) {
   switch_.inject(to_packet(std::move(ev)));
 }
 
+void EventScheduler::inject_control(GenEvent ev) {
+  ++stats_.control_injected;
+  pisa::Packet p = to_packet(std::move(ev));
+  p.location = -1;
+  switch_.recirculate(std::move(p));
+}
+
 void EventScheduler::generate(GenEvent ev) {
   // Serializer: one event packet per generated event; multicast expands
   // through the multicast engine into unicast clones.
@@ -91,6 +98,9 @@ void EventScheduler::on_ingress(pisa::Packet p) {
                                       now - p.due_ns);
   }
   if (execute_) execute_(p);
+  // Event boundary: the handler (if any) ran to completion; queued
+  // control-plane updates may now be applied atomically.
+  if (apply_point_) apply_point_();
 }
 
 }  // namespace lucid::sched

@@ -55,6 +55,7 @@ class EventScheduler {
     std::uint64_t executed = 0;
     std::uint64_t forwarded = 0;
     std::uint64_t delayed_enqueues = 0;
+    std::uint64_t control_injected = 0;
     /// (requested delay, actual error) per delayed execution.
     std::vector<std::pair<sim::Time, sim::Time>> delay_samples;
   };
@@ -73,9 +74,22 @@ class EventScheduler {
     net_send_ = std::move(fn);
   }
 
+  /// Installed by the control plane (src/ctrl): invoked at every event
+  /// boundary — right after a handler execution completes, never during
+  /// one. This is the *apply point* where queued control-plane batches may
+  /// touch register state without disturbing in-flight packet processing.
+  void set_apply_point(std::function<void()> fn) {
+    apply_point_ = std::move(fn);
+  }
+
   /// External arrival (workload traffic or a neighbor's event packet).
   void inject(GenEvent ev);
   void inject_packet(pisa::Packet p) { switch_.inject(std::move(p)); }
+
+  /// Control-plane entry: the event packet enters through the recirculation
+  /// port (the switch-CPU / packet-generator path) instead of a front-panel
+  /// port — Lucid control events raised by the control plane, not the wire.
+  void inject_control(GenEvent ev);
 
   /// Called from inside a handler: schedule `ev` per its combinators.
   void generate(GenEvent ev);
@@ -91,6 +105,7 @@ class EventScheduler {
   SchedulerConfig config_;
   std::function<void(const pisa::Packet&)> execute_;
   std::function<void(pisa::Packet)> net_send_;
+  std::function<void()> apply_point_;
   Stats stats_;
 };
 

@@ -230,5 +230,83 @@ TEST(Interp, ShortCircuitLogicalOps) {
   EXPECT_EQ(tb.node(1).array("out2")->get(0), 2);
 }
 
+TEST(Interp, InjectUnknownEventIsRejected) {
+  Testbed tb(
+      "global cnt = new Array<<32>>(1);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event bump(int i);\n"
+      "handle bump(int i) { Array.set(cnt, 0, plus, 1); }\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  EXPECT_FALSE(tb.node(1).inject("no_such_event", {1}));
+  tb.settle();
+  EXPECT_EQ(tb.node(1).stats().total_executions, 0u);
+}
+
+TEST(Interp, InjectArityMismatchIsRejected) {
+  Testbed tb(
+      "global cnt = new Array<<32>>(1);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event bump(int i);\n"
+      "handle bump(int i) { Array.set(cnt, 0, plus, 1); }\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  EXPECT_FALSE(tb.node(1).inject("bump", {}));      // too few
+  EXPECT_FALSE(tb.node(1).inject("bump", {1, 2}));  // too many
+  tb.settle();
+  EXPECT_EQ(tb.node(1).array("cnt")->get(0), 0);
+  EXPECT_EQ(tb.node(1).stats().total_executions, 0u);
+  EXPECT_TRUE(tb.node(1).inject("bump", {7}));  // exact arity still works
+  tb.settle();
+  EXPECT_EQ(tb.node(1).array("cnt")->get(0), 1);
+}
+
+TEST(Interp, InjectMasksArgsToDeclaredWidths) {
+  Testbed tb(
+      "global lo = new Array<<32>>(1);\n"
+      "global hi = new Array<<32>>(1);\n"
+      "event e(int<<8>> small, int big);\n"
+      "handle e(int<<8>> small, int big) {\n"
+      "  Array.set(lo, 0, small);\n"
+      "  Array.set(hi, 0, big);\n"
+      "}\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  // 0x1ff exceeds 8 bits; the injected argument is masked like EventCtor
+  // masks constructor arguments.
+  ASSERT_TRUE(tb.node(1).inject("e", {0x1ff, 0x1ff}));
+  tb.settle();
+  EXPECT_EQ(tb.node(1).array("lo")->get(0), 0xff);
+  EXPECT_EQ(tb.node(1).array("hi")->get(0), 0x1ff);
+}
+
+TEST(Interp, TraceHookObservesExecutions) {
+  Testbed tb(
+      "event a(int n);\n"
+      "event b();\n"
+      "handle a(int n) {\n"
+      "  if (n > 0) { generate b(); }\n"
+      "}\n"
+      "handle b() { int x = 0; }\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  std::vector<std::string> names;
+  std::vector<std::vector<Value>> args;
+  tb.node(1).set_trace([&](const std::string& ev, const pisa::Packet& p) {
+    names.push_back(ev);
+    args.push_back(p.args);
+  });
+  tb.inject_and_run(1, "a", {3});
+  // The hook sees both the injected event and the generated one, in
+  // execution order, with the executed argument values.
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  ASSERT_EQ(args[0].size(), 1u);
+  EXPECT_EQ(args[0][0], 3);
+  EXPECT_TRUE(args[1].empty());
+
+  // Detaching stops the stream.
+  tb.node(1).set_trace(nullptr);
+  tb.inject_and_run(1, "a", {1});
+  EXPECT_EQ(names.size(), 2u);
+}
+
 }  // namespace
 }  // namespace lucid::interp
