@@ -6,19 +6,27 @@
 // table filled to load factor 0.3125 (640 flows per round, two independent
 // rounds). Installation time is measured from the first packet's pass: a
 // flow whose claim succeeds in-pass installs in 0 ns; each cuckoo
-// re-install costs one recirculation (~600 ns). The remote baseline samples
-// the paper's measured envelope: minimum 12 us, mean 17.5 us.
+// re-install costs one recirculation (~600 ns).
+//
+// The remote baseline is measured, not sampled: each install goes through
+// the real ctrl::ControlPlane queue (submit -> wait for the switch CPU's
+// next apply tick -> batched register writes), with the CPU's service loop
+// ticking every 35 us so the mean queue wait matches the paper's measured
+// 17.5 us mean. Latency is the batch's applied_ns minus its submit time,
+// reported by the plane's completion callback.
 //
 // Paper numbers to reproduce in shape: integrated average 49 ns, >90% at
 // 0 ns, worst case ~2.4 us (4 recirculations); remote average 17.5 us —
-// over 300x slower.
+// over 300x slower. Both are hard gates at the bottom of main.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "apps/apps.hpp"
 #include "bench/bench_common.hpp"
+#include "ctrl/interp_bridge.hpp"
 #include "interp/testbed.hpp"
+#include "support/hash.hpp"
 #include "workload/workload.hpp"
 
 namespace {
@@ -48,7 +56,6 @@ void run_round(std::uint64_t seed, Samples& out) {
         if (ev == "cuckoo_insert") last_cuckoo = tb.sim().now();
       });
 
-  sim::Rng rng(seed * 7919 + 13);
   const auto flows = workload::distinct_flows(640, 1 << 20, seed);
   for (const auto& f : flows) {
     const sim::Time t0 = tb.sim().now();
@@ -61,8 +68,51 @@ void run_round(std::uint64_t seed, Samples& out) {
             ? 0.0
             : static_cast<double>(last_cuckoo - (t0 + pipeline));
     out.integrated_ns.push_back(std::max(install, 0.0));
-    out.remote_ns.push_back(
-        static_cast<double>(tb.switch_at(1).cpu().sample_install(rng)));
+  }
+}
+
+// Mantis-style remote install: the switch CPU computes the flow key and the
+// bank-1 slot (the same modeled hash the data plane uses), then pushes the
+// register writes through the control-plane queue. The install is done when
+// the CPU's apply tick commits the batch; latency is applied - submitted.
+void run_remote_round(std::uint64_t seed, Samples& out) {
+  interp::Testbed tb(apps::app("SFW").source);
+  if (!tb.ok()) {
+    std::fprintf(stderr, "SFW failed to compile:\n%s\n",
+                 tb.diagnostics().c_str());
+    std::exit(1);
+  }
+  ctrl::ControlPlaneConfig cfg;
+  cfg.tick_ns = 35 * sim::kUs;  // CPU service loop -> 17.5 us mean wait
+  ctrl::RuntimeControl rc(tb.node(1), cfg);
+
+  sim::Rng rng(seed * 7919 + 13);
+  const auto flows = workload::distinct_flows(640, 1 << 20, seed);
+  for (const auto& f : flows) {
+    // flowkey(src, dst) and the bank-1 index, as SFW's handlers compute
+    // them (src/support/hash.hpp is the single modeled-hash definition).
+    const auto k = static_cast<std::int64_t>(
+        support::model_hash32(77, {f.src, f.dst}) | 1u);
+    const std::int64_t i1 = support::model_hash32(1, {k}) & 1023;
+
+    const sim::Time t0 = tb.sim().now();
+    sim::Time applied = -1;
+    ctrl::UpdateBatch batch;
+    batch.writes.push_back(ctrl::RegWrite{"key1", i1, k});
+    batch.writes.push_back(
+        ctrl::RegWrite{"ts1", i1, t0 & 0xFFFFFFFF});
+    batch.on_done = [&applied](const ctrl::BatchResult& r) {
+      applied = r.applied_ns;
+    };
+    rc.plane().submit(std::move(batch));
+    // Jittered spacing decorrelates the submit phase from the 35 us tick,
+    // so waits sample the whole period (uniform phase -> 17.5 us mean).
+    tb.settle(60 * sim::kUs + rng.uniform(0, 40 * sim::kUs));
+    if (applied < t0) {
+      std::fprintf(stderr, "FATAL: control-plane batch never applied\n");
+      std::exit(1);
+    }
+    out.remote_ns.push_back(static_cast<double>(applied - t0));
   }
 }
 
@@ -91,6 +141,8 @@ int main() {
   Samples s;
   run_round(5, s);
   run_round(17, s);
+  run_remote_round(5, s);
+  run_remote_round(17, s);
 
   const std::size_t n = s.integrated_ns.size();
   std::size_t zero = 0;
@@ -116,8 +168,10 @@ int main() {
               "~2400 ns)\n",
               pct(s.integrated_ns, 0.99), worst);
 
-  std::printf("\nremote control (Mantis-style switch CPU):\n");
-  std::printf("  minimum                    : %6.0f ns (paper: >= 12 us)\n",
+  std::printf("\nremote control (switch CPU via the control-plane queue, "
+              "35 us apply tick):\n");
+  std::printf("  minimum                    : %6.0f ns (submit just before "
+              "a tick)\n",
               pct(s.remote_ns, 0.0));
   std::printf("  average                    : %6.0f ns (paper: 17.5 us)\n",
               mean(s.remote_ns));
@@ -176,7 +230,23 @@ int main() {
   j.arr_open("cdf_remote_pct");
   for (const double b : buckets) j.item(frac(s.remote_ns, b));
   j.arr_close();
-  j.obj_close();
+
+  // Acceptance gates: the modeled batching claim must actually hold in the
+  // numbers this run produced — a remote mean inside the paper's measured
+  // envelope, and an integrated-vs-remote speedup of at least two orders.
+  const double remote_mean = mean(s.remote_ns);
+  const bool gate =
+      speedup >= 100.0 && remote_mean >= 10'000.0 && remote_mean <= 40'000.0;
+  j.field("remote_model", "control-plane queue, 35us tick")
+      .field("gate_passed", gate)
+      .obj_close();
   j.save("BENCH_fig17.json");
+  if (!gate) {
+    std::fprintf(stderr,
+                 "FAIL: batching speedup gate not met (speedup %.0fx, "
+                 "remote mean %.0f ns)\n",
+                 speedup, remote_mean);
+    return 1;
+  }
   return 0;
 }

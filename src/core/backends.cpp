@@ -2,6 +2,7 @@
 
 #include "ebpf/emit.hpp"
 #include "interp/backend.hpp"
+#include "native/backend.hpp"
 #include "p4/emit.hpp"
 
 namespace lucid {
@@ -10,6 +11,7 @@ void register_default_backends(BackendRegistry& registry) {
   p4::register_backend(registry);
   interp::register_backend(registry);
   ebpf::register_backend(registry);
+  native::register_backend(registry);
 }
 
 }  // namespace lucid

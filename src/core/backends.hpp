@@ -7,7 +7,7 @@
 
 namespace lucid {
 
-/// Registers the stock backends ("p4", "interp", "ebpf") with `registry`
+/// Registers the stock backends ("p4", "interp", "ebpf", "native") with `registry`
 /// (the process-wide global registry by default). Idempotent:
 /// already-registered names are left untouched.
 void register_default_backends(BackendRegistry& registry =

@@ -1,7 +1,9 @@
-// DataPlane adapter over the interpreter Runtime, plus the convenience
-// bundle (`RuntimeControl`) that wires a ControlPlane to a Testbed node in
-// one line. The native execution engine's twin adapter lives in
-// native_bridge.hpp and reuses ControlPlane unchanged.
+// DataPlane adapter over the native execution engine — the sibling of
+// interp_bridge.hpp promised there ("a future native execution engine
+// provides its own DataPlane and reuses ControlPlane unchanged"). The
+// ControlPlane, batching model, and apply-point discipline are untouched:
+// native::Runtime installs its executor on the same sched::EventScheduler,
+// so control batches still apply only at event boundaries.
 #pragma once
 
 #include <string>
@@ -9,18 +11,18 @@
 #include <vector>
 
 #include "ctrl/control_plane.hpp"
-#include "interp/runtime.hpp"
+#include "native/engine.hpp"
 
 namespace lucid::ctrl {
 
-/// Drives interpreter register state. Array lookups resolve through the
-/// Runtime's aliased-array resolution (between handler executions the alias
-/// map is empty, so names mean exactly the declared globals) and are
-/// memoized — register arrays are created once at Runtime construction and
+/// Drives native-engine register state. The native Runtime has no array
+/// aliasing (generated code references arrays by slot), so lookups resolve
+/// declared names directly against the switch, memoized like the interp
+/// adapter — register arrays are created once at Runtime construction and
 /// never move.
-class InterpDataPlane final : public DataPlane {
+class NativeDataPlane final : public DataPlane {
  public:
-  explicit InterpDataPlane(interp::Runtime& rt) : rt_(rt) {}
+  explicit NativeDataPlane(native::Runtime& rt) : rt_(rt) {}
 
   [[nodiscard]] bool has_array(const std::string& name) const override {
     return lookup(name) != nullptr;
@@ -44,7 +46,7 @@ class InterpDataPlane final : public DataPlane {
   }
   [[nodiscard]] bool can_inject(const std::string& event,
                                 std::size_t arity) const override {
-    const frontend::EventDecl* ev = rt_.find_event(event);
+    const ir::EventInfo* ev = rt_.find_event(event);
     return ev != nullptr && ev->params.size() == arity;
   }
   bool inject_event(const std::string& event, std::vector<Value> args,
@@ -56,29 +58,30 @@ class InterpDataPlane final : public DataPlane {
   [[nodiscard]] pisa::RegisterArray* lookup(const std::string& name) const {
     const auto it = cache_.find(name);
     if (it != cache_.end()) return it->second;
-    pisa::RegisterArray* a = rt_.resolve_array(name);
+    pisa::RegisterArray* a = rt_.array(name);
     if (a != nullptr) cache_.emplace(name, a);
     return a;
   }
 
-  interp::Runtime& rt_;
+  native::Runtime& rt_;
   mutable std::unordered_map<std::string, pisa::RegisterArray*> cache_;
 };
 
-/// Owns the adapter and the plane for the common single-node case:
+/// Owns the adapter and the plane for the common single-node case —
+/// the native twin of RuntimeControl:
 ///
-///   ctrl::RuntimeControl rc(tb.node(1));
-///   rc.plane().submit(batch);
-class RuntimeControl {
+///   ctrl::NativeControl nc(rt);
+///   nc.plane().submit(batch);
+class NativeControl {
  public:
-  explicit RuntimeControl(interp::Runtime& rt, ControlPlaneConfig cfg = {})
+  explicit NativeControl(native::Runtime& rt, ControlPlaneConfig cfg = {})
       : dp_(rt), plane_(dp_, rt.node(), cfg) {}
 
   [[nodiscard]] ControlPlane& plane() { return plane_; }
-  [[nodiscard]] InterpDataPlane& dataplane() { return dp_; }
+  [[nodiscard]] NativeDataPlane& dataplane() { return dp_; }
 
  private:
-  InterpDataPlane dp_;
+  NativeDataPlane dp_;
   ControlPlane plane_;
 };
 

@@ -443,6 +443,13 @@ class Emitter {
     w_.blank();
   }
 
+  // NOTE: this is a deliberate divergence from the modeled hash. The
+  // interpreter and the native engine share salted FNV-1a
+  // (support/hash.hpp), which keeps their register state byte-identical
+  // under differential tests. An XDP program, however, should hash the way
+  // the adjacent hardware does — CRC32 is what NIC/switch hash units
+  // implement — so this emitter inlines CRC32 and is excluded from
+  // cross-engine state-equality tests.
   void crc_helper() {
     w_.line(LineCategory::Helper,
             "// Hash builtin: inline CRC32 (one unrolled round per input "

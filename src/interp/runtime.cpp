@@ -1,32 +1,21 @@
 #include "interp/runtime.hpp"
 
+#include "support/bits.hpp"
+#include "support/hash.hpp"
+
 namespace lucid::interp {
 
 using namespace frontend;
 
 std::uint32_t hash32(std::int64_t seed, const std::vector<Value>& args) {
-  // FNV-1a over the argument words, salted by the seed. Deterministic and
-  // well-spread — a stand-in for the Tofino's CRC units.
-  std::uint32_t h = 2166136261u ^ (static_cast<std::uint32_t>(seed) *
-                                   0x9E3779B1u);
-  for (const Value v : args) {
-    auto word = static_cast<std::uint64_t>(v);
-    for (int i = 0; i < 8; ++i) {
-      h ^= static_cast<std::uint32_t>(word & 0xff);
-      h *= 16777619u;
-      word >>= 8;
-    }
-  }
-  return h;
+  // The shared modeled hash (support/hash.hpp) — one definition across the
+  // interpreter and the native engine so differential state tests hold.
+  return support::model_hash32(seed, args);
 }
 
 namespace {
 
-Value mask_width(Value v, int width) {
-  if (width >= 64 || width <= 0) return v;
-  const auto m = (std::uint64_t{1} << width) - 1;
-  return static_cast<Value>(static_cast<std::uint64_t>(v) & m);
-}
+using support::mask_width;
 
 Value memop_operand_value(const ir::Operand& o, Value cell, Value arg) {
   if (o.is_const()) return o.value;

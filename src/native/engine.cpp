@@ -1,0 +1,474 @@
+#include "native/engine.hpp"
+
+#include <algorithm>
+
+#include "support/bits.hpp"
+
+namespace lucid::native {
+
+namespace {
+
+using support::mask_width;
+
+/// Shared by Runtime and Replica: validate an injected event against the IR
+/// declaration and mask args to their param widths (EventCtor semantics).
+const ir::EventInfo* validate_event(const ir::ProgramIR& ir,
+                                    const std::string& name,
+                                    std::vector<std::int64_t>& args) {
+  for (const auto& ev : ir.events) {
+    if (ev.name != name) continue;
+    if (args.size() != ev.params.size()) return nullptr;
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      args[i] = mask_width(args[i], ev.params[i].second);
+    }
+    return &ev;
+  }
+  return nullptr;
+}
+
+void build_run_stats(const ir::ProgramIR& ir,
+                     const std::vector<std::uint64_t>& execs,
+                     const std::vector<std::uint64_t>& gens,
+                     std::uint64_t total, RunStats* out) {
+  out->executions.clear();
+  out->generated.clear();
+  out->total_executions = total;
+  for (std::size_t id = 0; id < ir.events.size(); ++id) {
+    if (execs[id] != 0) out->executions[ir.events[id].name] = execs[id];
+    if (gens[id] != 0) out->generated[ir.events[id].name] = gens[id];
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const Program> Program::build(ConstCompilationPtr comp,
+                                              std::string* error) {
+  auto fail = [&](const std::string& why) -> std::shared_ptr<const Program> {
+    if (error != nullptr) *error = why;
+    return nullptr;
+  };
+  if (!comp || !comp->succeeded(Stage::Layout) || !comp->ok()) {
+    return fail("native engine needs a compilation that passed Layout");
+  }
+  if (!comp->pipeline().feasible) {
+    return fail("pipeline layout is infeasible; nothing to compile");
+  }
+  for (const auto& ev : comp->ir().events) {
+    if (ev.params.size() > static_cast<std::size_t>(kMaxArgs)) {
+      return fail("event " + ev.name + " has " +
+                  std::to_string(ev.params.size()) +
+                  " params; native ABI caps at " + std::to_string(kMaxArgs));
+    }
+  }
+
+  auto prog = std::make_shared<Program>();
+  prog->comp_ = std::move(comp);
+  prog->emitted_ =
+      emit_source(*prog->comp_, prog->comp_->options().program_name);
+  prog->module_ = Module::load(prog->emitted_.text, error);
+  if (prog->module_ == nullptr) return nullptr;
+  return prog;
+}
+
+const ir::EventInfo* Program::find_event(const std::string& name) const {
+  for (const auto& ev : comp_->ir().events) {
+    if (ev.name == name) return &ev;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime (coupled)
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(std::shared_ptr<const Program> prog,
+                 sched::EventScheduler& node)
+    : prog_(std::move(prog)), node_(node) {
+  const ir::ProgramIR& ir = prog_->ir();
+  for (const auto& arr : ir.arrays) {
+    node_.node().add_array(arr.name, arr.width, arr.size);
+  }
+  // Cache raw cell pointers only after every array exists: add_array may
+  // replace entries, but never moves others (std::map nodes are stable).
+  array_ptrs_.reserve(ir.arrays.size());
+  for (const auto& arr : ir.arrays) {
+    array_ptrs_.push_back(node_.node().find_array(arr.name)->data());
+  }
+  gen_buf_.resize(
+      static_cast<std::size_t>(std::max<std::int32_t>(
+          prog_->module().max_gens(), 1)));
+  has_handler_by_id_.assign(ir.events.size(), 0);
+  exec_count_by_id_.assign(ir.events.size(), 0);
+  gen_count_by_id_.assign(ir.events.size(), 0);
+  for (const auto& ev : ir.events) {
+    if (ev.has_handler) {
+      has_handler_by_id_[static_cast<std::size_t>(ev.event_id)] = 1;
+    }
+  }
+  node_.set_execute([this](const pisa::Packet& p) { execute(p); });
+}
+
+bool Runtime::make_event(const std::string& event,
+                         std::vector<std::int64_t>& args,
+                         sched::GenEvent* out) const {
+  const ir::EventInfo* ev = validate_event(prog_->ir(), event, args);
+  if (ev == nullptr) return false;
+  out->event_id = ev->event_id;
+  out->args = std::move(args);
+  return true;
+}
+
+bool Runtime::inject(const std::string& event, std::vector<std::int64_t> args,
+                     sim::Time delay_ns, std::int64_t location) {
+  sched::GenEvent ev;
+  if (!make_event(event, args, &ev)) return false;
+  ev.delay_ns = delay_ns;
+  ev.location = location;
+  node_.inject(std::move(ev));
+  return true;
+}
+
+bool Runtime::inject_control(const std::string& event,
+                             std::vector<std::int64_t> args,
+                             sim::Time delay_ns) {
+  sched::GenEvent ev;
+  if (!make_event(event, args, &ev)) return false;
+  ev.delay_ns = delay_ns;
+  node_.inject_control(std::move(ev));
+  return true;
+}
+
+void Runtime::execute(const pisa::Packet& p) {
+  const auto id = static_cast<std::size_t>(p.event_id);
+  if (p.event_id < 0 || id >= has_handler_by_id_.size() ||
+      has_handler_by_id_[id] == 0) {
+    return;
+  }
+  ++total_executions_;
+  ++exec_count_by_id_[id];
+
+  PacketIn in;
+  in.event_id = p.event_id;
+  in.nargs = static_cast<std::int32_t>(
+      std::min<std::size_t>(p.args.size(), kMaxArgs));
+  in.now_ns = node_.node().sim().now();
+  in.self_id = node_.self();
+  for (std::int32_t i = 0; i < in.nargs; ++i) in.args[i] = p.args[i];
+
+  const std::int32_t n =
+      prog_->module().run_one(array_ptrs_.data(), in, gen_buf_.data());
+  const ir::ProgramIR& ir = prog_->ir();
+  for (std::int32_t g = 0; g < n; ++g) {
+    const GenOut& go = gen_buf_[static_cast<std::size_t>(g)];
+    sched::GenEvent ev;
+    ev.event_id = go.event_id;
+    ev.args.assign(go.args, go.args + go.nargs);
+    ev.delay_ns = go.delay_ns;
+    ev.location = go.location;
+    ev.multicast = go.multicast != 0;
+    if (go.group >= 0) {
+      ev.members = ir.groups[static_cast<std::size_t>(go.group)].members;
+    }
+    if (go.event_id >= 0 &&
+        static_cast<std::size_t>(go.event_id) < gen_count_by_id_.size()) {
+      ++gen_count_by_id_[static_cast<std::size_t>(go.event_id)];
+    }
+    node_.generate(std::move(ev));
+  }
+}
+
+const RunStats& Runtime::stats() const {
+  build_run_stats(prog_->ir(), exec_count_by_id_, gen_count_by_id_,
+                  total_executions_, &stats_);
+  return stats_;
+}
+
+// ---------------------------------------------------------------------------
+// Replica (decoupled)
+// ---------------------------------------------------------------------------
+
+Replica::Replica(std::shared_ptr<const Program> prog, ReplicaConfig cfg)
+    : prog_(std::move(prog)), cfg_(cfg) {
+  const ir::ProgramIR& ir = prog_->ir();
+  cells_.reserve(ir.arrays.size());
+  for (const auto& arr : ir.arrays) {
+    cells_.emplace_back(static_cast<std::size_t>(arr.size), 0);
+  }
+  array_ptrs_.reserve(cells_.size());
+  for (auto& c : cells_) array_ptrs_.push_back(c.data());
+  gen_buf_.resize(
+      static_cast<std::size_t>(std::max<std::int32_t>(
+          prog_->module().max_gens(), 1)));
+  has_handler_by_id_.assign(ir.events.size(), 0);
+  exec_count_by_id_.assign(ir.events.size(), 0);
+  gen_count_by_id_.assign(ir.events.size(), 0);
+  for (const auto& ev : ir.events) {
+    if (ev.has_handler) {
+      has_handler_by_id_[static_cast<std::size_t>(ev.event_id)] = 1;
+    }
+  }
+  recirc_ = RPort{cfg_.switch_cfg.recirc_rate_gbps,
+                  cfg_.switch_cfg.recirc_latency_ns, 0, 0, 0};
+  front_ = RPort{cfg_.switch_cfg.front_rate_gbps, 0, 0, 0, 0};
+  // EventScheduler's constructor starts the PFC stream synchronously at
+  // t=0, before any injection closures are registered — mirror that order.
+  if (cfg_.sched.mode == sched::DelayMode::PausableQueue) pfc_tick();
+}
+
+std::int32_t Replica::alloc_slot() {
+  if (!free_.empty()) {
+    const std::int32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  pool_.emplace_back();
+  return static_cast<std::int32_t>(pool_.size() - 1);
+}
+
+void Replica::release_slot(std::int32_t idx) { free_.push_back(idx); }
+
+void Replica::push_idx(sim::Time t, Kind kind, std::int32_t idx) {
+  Entry e;
+  e.t = std::max(t, now_);  // Simulator::at clamps to now
+  e.seq = next_seq_++;
+  e.kind = kind;
+  e.pkt = idx;
+  heap_.push(e);
+}
+
+void Replica::push(sim::Time t, Kind kind) { push_idx(t, kind, -1); }
+
+void Replica::push(sim::Time t, Kind kind, const RPacket& pkt) {
+  const std::int32_t idx = alloc_slot();
+  pool_[static_cast<std::size_t>(idx)] = pkt;
+  push_idx(t, kind, idx);
+}
+
+bool Replica::make_packet(const std::string& event,
+                          std::vector<std::int64_t>& args,
+                          RPacket* out) const {
+  const ir::EventInfo* ev = validate_event(prog_->ir(), event, args);
+  if (ev == nullptr) return false;
+  out->event_id = ev->event_id;
+  out->nargs = static_cast<std::int32_t>(args.size());
+  for (std::int32_t i = 0; i < out->nargs; ++i) out->args[i] = args[i];
+  out->size_bytes =
+      std::max<int>(64, 34 + 4 * static_cast<int>(args.size()));
+  return true;
+}
+
+bool Replica::schedule_inject(sim::Time t, const std::string& event,
+                              std::vector<std::int64_t> args,
+                              sim::Time delay_ns, std::int64_t location) {
+  RPacket p;
+  if (!make_packet(event, args, &p)) return false;
+  p.location = location;
+  p.created = t;  // to_packet stamps creation when the closure fires, == t
+  p.due = t + delay_ns;
+  const sim::Time at = std::max(t, now_);
+  if (!pending_.empty() && at < pending_.back().t) {
+    // Out-of-order registration: keep the sorted fast path intact and let
+    // the heap order this one (seq still allocated here, at registration).
+    push(at, Kind::Inject, p);
+    return true;
+  }
+  PendingInject pi;
+  pi.t = at;
+  pi.seq = next_seq_++;
+  pi.pkt = p;
+  pending_.push_back(pi);
+  return true;
+}
+
+void Replica::pfc_tick() {
+  // Mirror of Switch::pfc_tick: the (unpause, pause) pair costs recirc
+  // bandwidth; three sim entries allocated in this order.
+  RPacket frame;  // minimum-size PFC frame: 64B -> 84 wire bytes
+  push(recirc_.send(now_, frame.wire_bytes()), Kind::PfcOpen);
+  push(now_ + cfg_.sched.release_window_ns, Kind::PfcPauseSend);
+  push(now_ + cfg_.sched.release_interval_ns, Kind::PfcTick);
+}
+
+void Replica::recirculate(const RPacket& p) {
+  ++stats_.recirculations;
+  push(recirc_.send(now_, p.wire_bytes()), Kind::RecircDeliver, p);
+}
+
+void Replica::route_out(const RPacket& p) {
+  // Front-port serialization is accounted, but the delivery entry is not
+  // pushed: in a single-node topology the network drops it (no side
+  // effects), and skipping an allocation-sequence element preserves the
+  // relative (t, seq) order of everything else.
+  ++stats_.forwarded;
+  (void)front_.send(now_, p.wire_bytes());
+}
+
+void Replica::on_ingress(const RPacket& p) {
+  const int self = cfg_.switch_cfg.id;
+  if (p.location >= 0 && p.location != self) {
+    route_out(p);
+    return;
+  }
+  if (now_ < p.due) {
+    if (cfg_.sched.mode == sched::DelayMode::BaselineRecirculation) {
+      recirculate(p);
+      return;
+    }
+    if (delay_open_) {
+      recirculate(p);
+    } else {
+      ++stats_.delayed_enqueues;
+      delay_queue_.push_back(p);
+    }
+    return;
+  }
+  ++stats_.executed;
+  if (p.due > p.created) ++stats_.delay_samples;
+  execute(p);
+}
+
+void Replica::execute(const RPacket& p) {
+  const auto id = static_cast<std::size_t>(p.event_id);
+  if (p.event_id < 0 || id >= has_handler_by_id_.size() ||
+      has_handler_by_id_[id] == 0) {
+    return;
+  }
+  ++total_executions_;
+  ++exec_count_by_id_[id];
+
+  PacketIn in;
+  in.event_id = p.event_id;
+  in.nargs = p.nargs;
+  in.now_ns = now_;
+  in.self_id = cfg_.switch_cfg.id;
+  for (std::int32_t i = 0; i < p.nargs; ++i) in.args[i] = p.args[i];
+
+  const std::int32_t n =
+      prog_->module().run_one(array_ptrs_.data(), in, gen_buf_.data());
+  for (std::int32_t g = 0; g < n; ++g) {
+    dispatch_gen(gen_buf_[static_cast<std::size_t>(g)]);
+  }
+}
+
+void Replica::dispatch_gen(const GenOut& g) {
+  if (g.event_id >= 0 &&
+      static_cast<std::size_t>(g.event_id) < gen_count_by_id_.size()) {
+    ++gen_count_by_id_[static_cast<std::size_t>(g.event_id)];
+  }
+  RPacket p;
+  p.event_id = g.event_id;
+  p.nargs = g.nargs;
+  for (std::int32_t i = 0; i < g.nargs; ++i) p.args[i] = g.args[i];
+  p.size_bytes = std::max<int>(64, 34 + 4 * g.nargs);
+  p.created = now_;
+  p.due = now_ + g.delay_ns;
+
+  const int self = cfg_.switch_cfg.id;
+  const ir::ProgramIR& ir = prog_->ir();
+  const std::vector<std::int64_t>* members =
+      g.multicast != 0 && g.group >= 0
+          ? &ir.groups[static_cast<std::size_t>(g.group)].members
+          : nullptr;
+  if (members != nullptr && !members->empty()) {
+    // Multicast engine: one unicast clone per member, in member order.
+    for (const std::int64_t member : *members) {
+      RPacket clone = p;
+      clone.location = member;
+      if (member == self) {
+        recirculate(clone);
+      } else {
+        route_out(clone);
+      }
+    }
+    return;
+  }
+  if (g.location >= 0 && g.location != self) {
+    p.location = g.location;
+    route_out(p);
+    return;
+  }
+  p.location = -1;
+  recirculate(p);
+}
+
+void Replica::run_until(sim::Time t) {
+  // Two-way merge by (t, seq): the sorted pending-injection vector against
+  // the in-flight heap. Seq numbers were allocated in registration/fire
+  // order on both sides, so the merged order is exactly the order one big
+  // heap would produce — but the heap stays a handful of entries deep.
+  for (;;) {
+    const bool have_pending = pending_head_ < pending_.size();
+    const bool have_heap = !heap_.empty();
+    if (!have_pending && !have_heap) break;
+    bool take_pending = have_pending;
+    if (have_pending && have_heap) {
+      const PendingInject& p = pending_[pending_head_];
+      const Entry& h = heap_.top();
+      take_pending = p.t < h.t || (p.t == h.t && p.seq < h.seq);
+    }
+    if (take_pending) {
+      const PendingInject& p = pending_[pending_head_];
+      if (p.t > t) break;
+      ++pending_head_;
+      now_ = p.t;
+      // deliver_to_ingress: one pipeline pass of latency, then dispatch.
+      push(now_ + cfg_.switch_cfg.pipeline_latency_ns, Kind::FinishPass,
+           p.pkt);
+      continue;
+    }
+    const Entry e = heap_.top();
+    if (e.t > t) break;
+    heap_.pop();
+    now_ = e.t;
+    switch (e.kind) {
+      case Kind::Inject:
+      case Kind::RecircDeliver:
+        // deliver_to_ingress: one pipeline pass of latency, then dispatch.
+        // The packet slot is reused verbatim by the FinishPass entry.
+        push_idx(now_ + cfg_.switch_cfg.pipeline_latency_ns, Kind::FinishPass,
+                 e.pkt);
+        break;
+      case Kind::FinishPass: {
+        // Copy out before dispatching: on_ingress can allocate pool slots,
+        // which may reallocate the slab under a held reference.
+        const RPacket pkt = pool_[static_cast<std::size_t>(e.pkt)];
+        release_slot(e.pkt);
+        on_ingress(pkt);
+        break;
+      }
+      case Kind::PfcOpen:
+        delay_open_ = true;
+        // Drain FIFO through the recirculation port (set_delay_queue_open).
+        while (delay_head_ < delay_queue_.size()) {
+          recirculate(delay_queue_[delay_head_++]);
+        }
+        delay_queue_.clear();
+        delay_head_ = 0;
+        break;
+      case Kind::PfcClose:
+        delay_open_ = false;
+        break;
+      case Kind::PfcPauseSend: {
+        RPacket frame;
+        push(recirc_.send(now_, frame.wire_bytes()), Kind::PfcClose);
+        break;
+      }
+      case Kind::PfcTick:
+        pfc_tick();
+        break;
+    }
+  }
+  now_ = std::max(now_, t);
+}
+
+const RunStats& Replica::run_stats() const {
+  build_run_stats(prog_->ir(), exec_count_by_id_, gen_count_by_id_,
+                  total_executions_, &run_stats_);
+  return run_stats_;
+}
+
+}  // namespace lucid::native

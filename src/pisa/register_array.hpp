@@ -51,6 +51,12 @@ class RegisterArray {
     for (auto& c : cells_) c = mask(value);
   }
 
+  /// Raw cell storage for the native engine: generated modules read and
+  /// write cells directly (they emit the same width-mask and index-clamp the
+  /// accessors above apply). The pointer is stable for the array's lifetime.
+  [[nodiscard]] std::int64_t* data() { return cells_.data(); }
+  [[nodiscard]] const std::int64_t* data() const { return cells_.data(); }
+
  private:
   std::string name_;
   int width_ = 32;

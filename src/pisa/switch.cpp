@@ -34,13 +34,16 @@ void Switch::deliver_to_ingress(Packet p) {
   }
 }
 
-void Switch::finish_pipeline_pass(Packet p) {
+void Switch::finish_pipeline_pass(Packet p, bool counted) {
   if (sim_.now() < busy_until_) {
     // A control-plane update commit occupies the MAU pipeline; the packet
-    // waits until the commit finishes, then completes its pass.
-    ++stalled_deliveries_;
+    // waits until the commit finishes, then completes its pass. A packet is
+    // one stalled delivery no matter how many consecutive commits it waits
+    // through — `counted` marks the rescheduled closure so re-entry (a
+    // second commit landed while we waited) does not count it again.
+    if (!counted) ++stalled_deliveries_;
     sim_.at(busy_until_, [this, p = std::move(p)]() mutable {
-      finish_pipeline_pass(std::move(p));
+      finish_pipeline_pass(std::move(p), /*counted=*/true);
     });
     return;
   }

@@ -126,7 +126,10 @@ class Switch {
  private:
   void pfc_tick(sim::Time interval, sim::Time window);
   void deliver_to_ingress(Packet p);
-  void finish_pipeline_pass(Packet p);
+  /// `counted` is true on re-entry from a stall reschedule: the packet was
+  /// already counted in stalled_deliveries_ and must not be counted again
+  /// even if another commit extended busy_until_ while it waited.
+  void finish_pipeline_pass(Packet p, bool counted = false);
 
   sim::Simulator& sim_;
   SwitchConfig config_;

@@ -1,0 +1,21 @@
+// Width-masking for modeled register values. This is the single definition
+// of Lucid's integer-truncation semantics: every engine (interpreter, native)
+// funnels through it so `int<<w>>` arithmetic agrees bit-for-bit across
+// backends. The native code generator (src/native/emit.cpp) emits an inline
+// copy of exactly this function into generated modules.
+#pragma once
+
+#include <cstdint>
+
+namespace lucid::support {
+
+/// Truncates `v` to `width` bits. Widths outside (0, 64) pass the value
+/// through unchanged — width-64 values keep their sign bit, and nonpositive
+/// widths mean "untyped" internals that must not be clipped.
+[[nodiscard]] constexpr std::int64_t mask_width(std::int64_t v, int width) {
+  if (width >= 64 || width <= 0) return v;
+  const std::uint64_t m = (std::uint64_t{1} << width) - 1;
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(v) & m);
+}
+
+}  // namespace lucid::support

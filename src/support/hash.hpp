@@ -1,0 +1,46 @@
+// The modeled `hash` builtin, shared by every engine that executes Lucid
+// semantics in software: salted FNV-1a over the argument words. It stands in
+// for the Tofino's CRC hash units; what matters for the reproduction is that
+// it is deterministic, well-spread, and — crucially — *identical* across the
+// interpreter and the native engine, so differential state tests can demand
+// byte-for-byte equal register arrays.
+//
+// The eBPF/XDP backend intentionally diverges: it inlines CRC32 (see the
+// comment at crc_helper() in src/ebpf/emit.cpp), because an XDP program
+// should hash like the hardware it stands next to, not like the simulator.
+// Cross-engine differential tests therefore cover interp vs native only.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lucid::support {
+
+/// One FNV-1a round over an argument word, least-significant byte first.
+/// The native code generator emits an inline copy of this function
+/// (lucid_fnv1a_word in generated modules); keep them in lockstep.
+[[nodiscard]] constexpr std::uint32_t fnv1a_word(std::uint32_t h,
+                                                 std::int64_t word) {
+  auto w = static_cast<std::uint64_t>(word);
+  for (int i = 0; i < 8; ++i) {
+    h ^= static_cast<std::uint32_t>(w & 0xff);
+    h *= 16777619u;
+    w >>= 8;
+  }
+  return h;
+}
+
+/// Seed salting: FNV offset basis XOR the golden-ratio-scrambled seed.
+[[nodiscard]] constexpr std::uint32_t fnv1a_init(std::int64_t seed) {
+  return 2166136261u ^ (static_cast<std::uint32_t>(seed) * 0x9E3779B1u);
+}
+
+/// The full modeled hash: `hash(seed, args...)` in Lucid source.
+[[nodiscard]] inline std::uint32_t model_hash32(
+    std::int64_t seed, const std::vector<std::int64_t>& args) {
+  std::uint32_t h = fnv1a_init(seed);
+  for (const std::int64_t v : args) h = fnv1a_word(h, v);
+  return h;
+}
+
+}  // namespace lucid::support

@@ -283,5 +283,44 @@ TEST(Ctrl, AppliesNeverInterleaveWithHandlers) {
   }
 }
 
+// Regression: a packet whose pipeline pass waits through TWO consecutive
+// commits is one stalled delivery, not two. The reschedule path used to
+// re-count the same packet when a second commit extended busy_until_ while
+// it was already waiting.
+TEST(Ctrl, PacketSpanningTwoCommitsCountsOneStall) {
+  interp::Testbed tb(kProg);
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  ControlPlaneConfig cfg;
+  cfg.tick_ns = 300;           // apply points at 300, 600, ...
+  cfg.batch_overhead_ns = 1000;  // each commit occupies the pipeline 1 us
+  cfg.per_op_ns = 0;
+  RuntimeControl rc(tb.node(1), cfg);
+
+  // Commit A applies at the 300 ns tick: busy until 1300.
+  UpdateBatch a;
+  a.writes.push_back(RegWrite{"alo", 0, 1});
+  rc.plane().submit(std::move(a));
+
+  // The probe is injected at t=0; its pass would finish at 400, inside
+  // commit A's window, so it stalls (count 1) and waits until 1300.
+  tb.node(1).inject("probe", {0});
+
+  // Commit B is submitted at 500 and applies at the 600 ns tick; its stall
+  // queues behind A (1300 -> 2300), landing while the probe still waits.
+  tb.sim().after(500, [&rc] {
+    UpdateBatch b;
+    b.writes.push_back(RegWrite{"alo", 1, 2});
+    rc.plane().submit(std::move(b));
+  });
+
+  tb.settle();
+  // The probe executed (exactly once) after both commits drained...
+  EXPECT_EQ(tb.node(1).array("seen")->get(0), 1);
+  EXPECT_EQ(tb.switch_at(1).stall_ns_total(), 2000);
+  // ...and was counted as ONE stalled delivery despite spanning two
+  // commits. (The double-count bug reported 2 here.)
+  EXPECT_EQ(tb.switch_at(1).stalled_deliveries(), 1u);
+}
+
 }  // namespace
 }  // namespace lucid::ctrl

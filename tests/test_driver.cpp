@@ -183,11 +183,12 @@ TEST(Driver, DefaultBackendsAreRegistered) {
   ASSERT_NE(registry.find("p4"), nullptr);
   ASSERT_NE(registry.find("interp"), nullptr);
   ASSERT_NE(registry.find("ebpf"), nullptr);
+  ASSERT_NE(registry.find("native"), nullptr);
   EXPECT_EQ(registry.names(),
-            (std::vector<std::string>{"ebpf", "interp", "p4"}));
+            (std::vector<std::string>{"ebpf", "interp", "native", "p4"}));
   // Idempotent: a second registration does not duplicate.
   register_default_backends(registry);
-  EXPECT_EQ(registry.size(), 3u);
+  EXPECT_EQ(registry.size(), 4u);
 }
 
 TEST(Driver, UnknownBackendIsADiagnosticNotACrash) {

@@ -3,7 +3,11 @@
 // width masking, and the hash builtin.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "interp/testbed.hpp"
+#include "support/bits.hpp"
 
 namespace lucid::interp {
 namespace {
@@ -306,6 +310,67 @@ TEST(Interp, TraceHookObservesExecutions) {
   tb.node(1).set_trace(nullptr);
   tb.inject_and_run(1, "a", {1});
   EXPECT_EQ(names.size(), 2u);
+}
+
+// support::mask_width is the single modeled truncation shared by the
+// interpreter and the native engine; pin its edge widths explicitly.
+TEST(Interp, MaskWidthEdgeWidths) {
+  using support::mask_width;
+
+  // Width 1: a single bit survives.
+  EXPECT_EQ(mask_width(0, 1), 0);
+  EXPECT_EQ(mask_width(1, 1), 1);
+  EXPECT_EQ(mask_width(2, 1), 0);
+  EXPECT_EQ(mask_width(-1, 1), 1);
+
+  // Width 63: everything but the sign bit. -1 is all ones, so masking off
+  // bit 63 leaves the largest positive int64.
+  EXPECT_EQ(mask_width(-1, 63), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(mask_width(std::int64_t{1} << 62, 63), std::int64_t{1} << 62);
+  EXPECT_EQ(mask_width(std::int64_t{1} << 63, 63), 0);
+
+  // Width 64 is a passthrough: the value — sign and all — is untouched.
+  // (Shifting a u64 by 64 would be UB; the passthrough is the contract.)
+  EXPECT_EQ(mask_width(-1, 64), -1);
+  EXPECT_EQ(mask_width(std::numeric_limits<std::int64_t>::min(), 64),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(mask_width(12345, 64), 12345);
+
+  // Non-positive widths are also passthrough, negative values included.
+  EXPECT_EQ(mask_width(-7, 0), -7);
+  EXPECT_EQ(mask_width(-7, -4), -7);
+  EXPECT_EQ(mask_width(std::numeric_limits<std::int64_t>::min(), -1),
+            std::numeric_limits<std::int64_t>::min());
+
+  // Widths above 64 behave like 64.
+  EXPECT_EQ(mask_width(-42, 65), -42);
+
+  // A negative value through a clipping width keeps only its low bits.
+  EXPECT_EQ(mask_width(-1, 8), 255);
+  EXPECT_EQ(mask_width(-256, 8), 0);
+}
+
+// The same edges observed end to end: a width-1 array behaves as one bit,
+// and negative memop results store their truncation.
+TEST(Interp, MaskWidthEdgesThroughArrays) {
+  Testbed tb(
+      "global bit = new Array<<1>>(2);\n"
+      "global bytes = new Array<<8>>(1);\n"
+      "memop plus(int cur, int x) { return cur + x; }\n"
+      "event e(int v);\n"
+      "handle e(int v) {\n"
+      "  Array.set(bit, 0, plus, v);\n"
+      "  Array.set(bytes, 0, plus, v);\n"
+      "}\n");
+  ASSERT_TRUE(tb.ok()) << tb.diagnostics();
+  tb.inject_and_run(1, "e", {3});
+  EXPECT_EQ(tb.node(1).array("bit")->get(0), 1);    // 3 & 1
+  EXPECT_EQ(tb.node(1).array("bytes")->get(0), 3);
+  tb.inject_and_run(1, "e", {-4});
+  // Injected args mask to the 32-bit param width first: -4 -> 0xFFFFFFFC.
+  // bit: 1 + 0xFFFFFFFC stored mod 2 = 1; bytes: 3 + 0xFC = 0xFF mod 256.
+  EXPECT_EQ(tb.node(1).array("bit")->get(0), 1);
+  EXPECT_EQ(tb.node(1).array("bytes")->get(0), 0xFF);
 }
 
 }  // namespace
