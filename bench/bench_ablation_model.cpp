@@ -29,46 +29,67 @@ int main() {
   bench::print_header("Ablation",
                       "Layout sensitivity to per-stage resource budgets");
 
+  bench::JsonWriter j;
+  j.obj_open().field("bench", "ablation_model");
+  j.arr_open("salu_sweep");
   std::printf("stage count vs stateful ALUs per stage (tables/stage = 8):\n");
   std::printf("%-10s | %7s | %7s | %7s | %7s\n", "App", "salu=1", "salu=2",
               "salu=4", "salu=8");
   bench::print_rule(52);
   for (const auto& spec : apps::all_apps()) {
     std::printf("%-10s |", spec.key.c_str());
+    j.obj_open().field("app", spec.key).arr_open("stages");
     for (const int salus : {1, 2, 4, 8}) {
       opt::ResourceModel m;
       m.salus_per_stage = salus;
-      std::printf(" %7d |", stages_with(spec, m));
+      const int stages = stages_with(spec, m);
+      std::printf(" %7d |", stages);
+      j.item(stages);
     }
+    j.arr_close().obj_close();
     std::printf("\n");
   }
+  j.arr_close();
 
+  j.arr_open("table_sweep");
   std::printf("\nstage count vs logical tables per stage (salus = 4):\n");
   std::printf("%-10s | %7s | %7s | %7s | %7s\n", "App", "tbl=2", "tbl=4",
               "tbl=8", "tbl=16");
   bench::print_rule(52);
   for (const auto& spec : apps::all_apps()) {
     std::printf("%-10s |", spec.key.c_str());
+    j.obj_open().field("app", spec.key).arr_open("stages");
     for (const int tables : {2, 4, 8, 16}) {
       opt::ResourceModel m;
       m.tables_per_stage = tables;
-      std::printf(" %7d |", stages_with(spec, m));
+      const int stages = stages_with(spec, m);
+      std::printf(" %7d |", stages);
+      j.item(stages);
     }
+    j.arr_close().obj_close();
     std::printf("\n");
   }
+  j.arr_close();
 
+  j.arr_open("member_sweep");
   std::printf("\nstage count vs merged-table member budget (default 12):\n");
   std::printf("%-10s | %7s | %7s | %7s\n", "App", "mem=2", "mem=6",
               "mem=12");
   bench::print_rule(42);
   for (const auto& spec : apps::all_apps()) {
     std::printf("%-10s |", spec.key.c_str());
+    j.obj_open().field("app", spec.key).arr_open("stages");
     for (const int members : {2, 6, 12}) {
       opt::ResourceModel m;
       m.members_per_table = members;
-      std::printf(" %7d |", stages_with(spec, m));
+      const int stages = stages_with(spec, m);
+      std::printf(" %7d |", stages);
+      j.item(stages);
     }
+    j.arr_close().obj_close();
     std::printf("\n");
   }
+  j.arr_close().obj_close();
+  j.save("BENCH_ablation_model.json");
   return 0;
 }

@@ -10,6 +10,7 @@
 
 #include "apps/apps.hpp"
 #include "core/driver.hpp"
+#include "support/json.hpp"
 #include "support/strings.hpp"
 
 namespace lucid::bench {
@@ -44,98 +45,12 @@ inline void print_header(const std::string& figure,
 
 // ---------------------------------------------------------------------------
 // Machine-readable results: every bench writes a BENCH_<name>.json next to
-// the binary (CI merges them into the bench-trajectory artifact).
+// the binary (CI merges them into the bench-trajectory artifact). The writer
+// lives in support/json.hpp — the tree's single JSON emission path, shared
+// with --time-passes=json and the observability snapshots.
 // ---------------------------------------------------------------------------
 
-inline std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
-
-/// Minimal streaming JSON writer — just enough structure for the flat
-/// objects/arrays the bench result files use. Commas between siblings are
-/// managed automatically; keys are only valid inside an object.
-class JsonWriter {
- public:
-  JsonWriter() { os_.precision(12); }
-
-  JsonWriter& obj_open(const std::string& key = {}) {
-    sep(key);
-    os_ << '{';
-    return *this;
-  }
-  JsonWriter& obj_close() {
-    os_ << '}';
-    comma_ = true;
-    return *this;
-  }
-  JsonWriter& arr_open(const std::string& key = {}) {
-    sep(key);
-    os_ << '[';
-    return *this;
-  }
-  JsonWriter& arr_close() {
-    os_ << ']';
-    comma_ = true;
-    return *this;
-  }
-
-  JsonWriter& field(const std::string& key, const std::string& v) {
-    sep(key);
-    os_ << '"' << json_escape(v) << '"';
-    comma_ = true;
-    return *this;
-  }
-  JsonWriter& field(const std::string& key, const char* v) {
-    return field(key, std::string(v));
-  }
-  JsonWriter& field(const std::string& key, bool v) {
-    sep(key);
-    os_ << (v ? "true" : "false");
-    comma_ = true;
-    return *this;
-  }
-  template <typename T,
-            std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
-  JsonWriter& field(const std::string& key, T v) {
-    sep(key);
-    os_ << +v;
-    comma_ = true;
-    return *this;
-  }
-  /// Bare array element (no key).
-  template <typename T,
-            std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
-  JsonWriter& item(T v) {
-    sep({});
-    os_ << +v;
-    comma_ = true;
-    return *this;
-  }
-
-  [[nodiscard]] std::string str() const { return os_.str(); }
-
-  /// Writes the document (plus a trailing newline) and reports the path on
-  /// stdout like the older benches do.
-  void save(const std::string& path) const {
-    std::ofstream out(path);
-    out << os_.str() << "\n";
-    std::printf("\nwrote %s\n", path.c_str());
-  }
-
- private:
-  void sep(const std::string& key) {
-    if (comma_) os_ << ", ";
-    comma_ = false;
-    if (!key.empty()) os_ << '"' << json_escape(key) << "\": ";
-  }
-
-  std::ostringstream os_;
-  bool comma_ = false;
-};
+using support::json_escape;
+using JsonWriter = support::JsonWriter;
 
 }  // namespace lucid::bench

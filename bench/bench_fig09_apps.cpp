@@ -19,6 +19,9 @@ int main() {
               "paper stg");
   bench::print_rule();
 
+  bench::JsonWriter j;
+  j.obj_open().field("bench", "fig09_apps");
+  j.arr_open("apps");
   double loc_ratio_sum = 0;
   int n = 0;
   for (const auto& spec : apps::all_apps()) {
@@ -30,14 +33,23 @@ int main() {
                 spec.key.c_str(), lucid_loc, spec.paper_lucid_loc, p4_loc,
                 spec.paper_p4_loc, r->layout_stats().optimized_stages,
                 spec.paper_stages);
+    j.obj_open()
+        .field("app", spec.key)
+        .field("lucid_loc", lucid_loc)
+        .field("p4_loc", p4_loc)
+        .field("stages", r->layout_stats().optimized_stages)
+        .obj_close();
     loc_ratio_sum += static_cast<double>(p4_loc) /
                      static_cast<double>(lucid_loc);
     ++n;
   }
   bench::print_rule();
+  const double mean_ratio = loc_ratio_sum / n;
   std::printf("mean P4/Lucid LoC ratio: %.1fx  (paper: ~10x, range 5-10x+)\n",
-              loc_ratio_sum / n);
+              mean_ratio);
   std::printf("all apps compile to <= 12 Tofino-like stages: see 'stages' "
               "column\n");
+  j.arr_close().field("mean_p4_lucid_loc_ratio", mean_ratio).obj_close();
+  j.save("BENCH_fig09_apps.json");
   return 0;
 }

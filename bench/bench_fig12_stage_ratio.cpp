@@ -14,6 +14,9 @@ int main() {
   std::printf("%-10s | %11s | %9s | %6s | %13s\n", "App", "unoptimized",
               "optimized", "ratio", "fits unopt?");
   bench::print_rule();
+  bench::JsonWriter j;
+  j.obj_open().field("bench", "fig12_stage_ratio");
+  j.arr_open("apps");
   double min_ratio = 1e9;
   double max_ratio = 0;
   for (const auto& spec : apps::all_apps()) {
@@ -22,6 +25,12 @@ int main() {
     std::printf("%-10s | %11d | %9d | %5.1fx | %13s\n", spec.key.c_str(),
                 r->layout_stats().unoptimized_stages, r->layout_stats().optimized_stages, ratio,
                 r->layout_stats().unoptimized_stages > 12 ? "no (>12)" : "yes");
+    j.obj_open()
+        .field("app", spec.key)
+        .field("unoptimized_stages", r->layout_stats().unoptimized_stages)
+        .field("optimized_stages", r->layout_stats().optimized_stages)
+        .field("ratio", ratio)
+        .obj_close();
     min_ratio = std::min(min_ratio, ratio);
     max_ratio = std::max(max_ratio, ratio);
   }
@@ -29,5 +38,10 @@ int main() {
   std::printf("ratio range: %.1fx - %.1fx  (paper: 1.5x - 4x, biggest gains "
               "on complex apps)\n",
               min_ratio, max_ratio);
+  j.arr_close()
+      .field("min_ratio", min_ratio)
+      .field("max_ratio", max_ratio)
+      .obj_close();
+  j.save("BENCH_fig12_stage_ratio.json");
   return 0;
 }

@@ -12,6 +12,9 @@ int main() {
   std::printf("%-10s | %6s | %6s | %6s | %s\n", "App", "min", "avg", "max",
               "per-stage profile");
   bench::print_rule();
+  bench::JsonWriter j;
+  j.obj_open().field("bench", "fig13_parallelism");
+  j.arr_open("apps");
   int global_max = 0;
   for (const auto& spec : apps::all_apps()) {
     const CompilationPtr r = bench::compile_app(spec);
@@ -33,10 +36,16 @@ int main() {
                             : static_cast<double>(total) /
                                   static_cast<double>(ops.size()),
                 mx, profile.c_str());
+    j.obj_open().field("app", spec.key).field("max_ops_per_stage", mx);
+    j.arr_open("ops_per_stage");
+    for (const int o : ops) j.item(o);
+    j.arr_close().obj_close();
   }
   bench::print_rule();
   std::printf("max operations packed into one stage across apps: %d "
               "(paper: up to 13)\n",
               global_max);
+  j.arr_close().field("global_max_ops_per_stage", global_max).obj_close();
+  j.save("BENCH_fig13_parallelism.json");
   return 0;
 }

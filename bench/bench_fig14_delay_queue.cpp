@@ -8,6 +8,7 @@
 // queue's delay error grows to ~0.05 relative (release period 100 us).
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "sched/scheduler.hpp"
 
 namespace {
@@ -97,6 +98,9 @@ int main() {
   const sim::Time horizon = 2 * sim::kMs;
   double base90 = 0;
   double queue90 = 0;
+  lucid::bench::JsonWriter j;
+  j.obj_open().field("bench", "fig14_delay_queue");
+  j.arr_open("points");
   for (const int n : {1, 10, 20, 30, 40, 50, 60, 70, 80, 90}) {
     const RunResult base =
         run(sched::DelayMode::BaselineRecirculation, n, delay, horizon);
@@ -104,6 +108,13 @@ int main() {
         run(sched::DelayMode::PausableQueue, n, delay, horizon);
     std::printf("%6d | %14.1f | %14.2f | %10.4f | %10.4f\n", n, base.gbps,
                 queue.gbps, queue.max_rel_err, base.max_rel_err);
+    j.obj_open()
+        .field("events", n)
+        .field("baseline_gbps", base.gbps)
+        .field("queue_gbps", queue.gbps)
+        .field("queue_max_rel_err", queue.max_rel_err)
+        .field("baseline_max_rel_err", base.max_rel_err)
+        .obj_close();
     if (n == 90) {
       base90 = base.gbps;
       queue90 = queue.gbps;
@@ -115,5 +126,11 @@ int main() {
               "Gb/s — %.0fx reduction\n(paper: >95 Gb/s saturated vs 5.5 "
               "Gb/s, ~20x; queue error <= ~0.05 at 100 us period)\n",
               base90, queue90, base90 / queue90);
+  j.arr_close()
+      .field("baseline_gbps_at_90", base90)
+      .field("queue_gbps_at_90", queue90)
+      .field("bandwidth_reduction_x", base90 / queue90)
+      .obj_close();
+  j.save("BENCH_fig14_delay_queue.json");
   return 0;
 }

@@ -92,11 +92,21 @@ int main() {
               "apps spend their budget):\n");
   std::printf("%-10s | %14s | %10s\n", "App", "recirculations", "forwarded");
   bench::print_rule(44);
+  bench::JsonWriter j;
+  j.obj_open().field("bench", "fig15_recirc_uses");
+  j.arr_open("apps");
   for (const auto& spec : apps::all_apps()) {
     const Measured m = measure(spec);
     std::printf("%-10s | %14llu | %10llu\n", spec.key.c_str(),
                 static_cast<unsigned long long>(m.recirculations),
                 static_cast<unsigned long long>(m.forwarded));
+    j.obj_open()
+        .field("app", spec.key)
+        .field("recirculations", m.recirculations)
+        .field("forwarded", m.forwarded)
+        .obj_close();
   }
+  j.arr_close().obj_close();
+  j.save("BENCH_fig15_recirc_uses.json");
   return 0;
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "model/recirc_model.hpp"
+#include "support/json.hpp"
 
 int main() {
   using namespace lucid::model;
@@ -20,6 +21,9 @@ int main() {
               "pipeline util", "min pkt size");
   std::printf(
       "-----------------------------------------------------------------\n");
+  lucid::support::JsonWriter j;
+  j.obj_open().field("bench", "fig16_sfw_model");
+  j.arr_open("rows");
   const double rates[] = {10e3, 100e3, 1e6};
   const char* labels[] = {"10K flows/s", "100K flows/s", "1M flows/s"};
   for (int i = 0; i < 3; ++i) {
@@ -29,7 +33,15 @@ int main() {
     std::printf("%-14s | %11.0f /s | %11.2f%% | %12.2f B\n", labels[i],
                 r.recirc_pps, r.pipeline_utilization * 100,
                 r.min_pkt_bytes);
+    j.obj_open()
+        .field("flow_rate", rates[i])
+        .field("recirc_pps", r.recirc_pps)
+        .field("pipeline_utilization", r.pipeline_utilization)
+        .field("min_pkt_bytes", r.min_pkt_bytes)
+        .obj_close();
   }
+  j.arr_close().obj_close();
+  j.save("BENCH_fig16_sfw_model.json");
   std::printf(
       "-----------------------------------------------------------------\n"
       "paper:  815K/2M/16M pkts/s; 0.08%%/0.22%%/1.66%%; "

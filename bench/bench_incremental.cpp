@@ -60,14 +60,9 @@ struct AppRow {
   }
 };
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
+// Escaping comes from the tree-wide JSON path (support/json.hpp via
+// bench_common.hpp); only the pretty-printed layout is bespoke here.
+using lucid::bench::json_escape;
 
 void write_json(const std::vector<AppRow>& rows, const AppRow& totals,
                 const char* path) {

@@ -8,8 +8,10 @@
 #include "core/cache.hpp"
 #include "frontend/parser.hpp"
 #include "ir/ir.hpp"
+#include "obs/trace.hpp"
 #include "sema/depgraph.hpp"
 #include "support/chrono.hpp"
+#include "support/json.hpp"
 
 namespace lucid {
 
@@ -178,31 +180,24 @@ std::string Compilation::timing_report() const {
 }
 
 std::string Compilation::timing_report_json() const {
-  std::ostringstream os;
-  os.setf(std::ios::fixed);
-  os.precision(3);
-  // program_name never contains characters needing escapes beyond \ and "
-  // in practice (it is a file path), but escape them anyway.
-  std::string name;
-  for (const char ch : options_.program_name) {
-    if (ch == '"' || ch == '\\') name += '\\';
-    name += ch;
-  }
-  os << "{\"program\": \"" << name << "\", \"stages\": [";
-  bool first = true;
+  // Shares the tree-wide JSON emission path (support/json.hpp) with
+  // `--metrics-out`, the trace export, and the bench result files.
+  support::JsonWriter j;
+  j.obj_open().field("program", options_.program_name);
+  j.arr_open("stages");
   for (const auto& r : records_) {
     if (!r.ran) continue;
-    if (!first) os << ", ";
-    first = false;
-    os << "{\"stage\": \"" << stage_name(r.stage)
-       << "\", \"wall_ms\": " << r.wall_ms
-       << ", \"ok\": " << (r.ok ? "true" : "false")
-       << ", \"shared\": " << (r.shared ? "true" : "false")
-       << ", \"analysis_shared\": " << (r.analysis_shared ? "true" : "false")
-       << ", \"decls_reused\": " << r.decls_reused << "}";
+    j.obj_open()
+        .field("stage", stage_name(r.stage))
+        .field("wall_ms", r.wall_ms)
+        .field("ok", r.ok)
+        .field("shared", r.shared)
+        .field("analysis_shared", r.analysis_shared)
+        .field("decls_reused", r.decls_reused)
+        .obj_close();
   }
-  os << "], \"total_wall_ms\": " << total_wall_ms() << "}\n";
-  return os.str();
+  j.arr_close().field("total_wall_ms", total_wall_ms()).obj_close();
+  return j.str() + "\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -257,6 +252,8 @@ bool CompilerDriver::run_stage(Compilation& c, Stage s) const {
   // unrelated sources (e.g. an earlier unknown-backend emit attempt) cannot
   // retroactively fail a clean stage.
   const std::size_t errors_before = c.diags_.error_count();
+  obs::ScopedSpan span("compiler", stage_name(s));
+  span.arg("program", c.options_.program_name);
   const auto t0 = Clock::now();
   bool ok = false;
   switch (s) {
@@ -473,6 +470,8 @@ BackendArtifact CompilerDriver::emit(const CompilationPtr& comp,
   StageRecord& rec = comp->mutable_record(Stage::Emit);
   const std::size_t diag_begin = comp->diags().all().size();
   if (!rec.ran) rec.diag_begin = diag_begin;
+  obs::ScopedSpan span("compiler", "emit");
+  span.arg("backend", backend_name);
   const auto t0 = Clock::now();
   artifact = backend->emit(*comp);
   artifact.backend = std::string(backend_name);

@@ -59,7 +59,7 @@
 namespace lucid {
 
 /// Compiler/driver version, reported by `lucidc --version`.
-inline constexpr std::string_view kLucidVersion = "0.7.0";
+inline constexpr std::string_view kLucidVersion = "0.8.0";
 
 // ---------------------------------------------------------------------------
 // Stages

@@ -32,6 +32,14 @@
 //                                     batched register installs applied at
 //                                     scheduler boundaries, then the
 //                                     install/apply statistics snapshot
+//                                     plus a metrics dump
+//   lucidc --trace-out=FILE ...       record structured spans across the
+//                                     compiler/runtimes and write Chrome
+//                                     trace-event JSON (open in Perfetto)
+//   lucidc --trace-sample=N ...       record every N-th span (default 1)
+//   lucidc --metrics-out=FILE ...     write the process metrics snapshot on
+//                                     exit: Prometheus text exposition when
+//                                     FILE ends in .prom/.txt, JSON otherwise
 //   lucidc --list-backends            list registered backends
 //   lucidc --version                  print the compiler version
 //
@@ -53,6 +61,8 @@
 #include "core/sweep.hpp"
 #include "ctrl/interp_bridge.hpp"
 #include "interp/testbed.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/strings.hpp"
 
 namespace {
@@ -86,6 +96,14 @@ void usage(std::ostream& os) {
         "  --ctrl-demo        deploy on one simulated switch, drive batched\n"
         "                     control-plane installs, print the stats "
         "snapshot\n"
+        "                     and a metrics dump\n"
+        "  --trace-out=FILE   record spans (compiler stages, sweep jobs,\n"
+        "                     interp handlers) and write Chrome trace-event\n"
+        "                     JSON on exit — load FILE in ui.perfetto.dev\n"
+        "  --trace-sample=N   record every N-th span (default 1 = all)\n"
+        "  --metrics-out=FILE write the metrics snapshot on exit\n"
+        "                     (.prom/.txt: Prometheus text format; else "
+        "JSON)\n"
         "  --ir               dump the atomic table graphs\n"
         "  --layout           dump the merged pipeline\n"
         "  --p4               alias for --emit=p4\n"
@@ -108,6 +126,37 @@ std::string slurp(const std::string& path, bool& ok) {
   return ss.str();
 }
 
+/// Writes the observability outputs on scope exit, so every return path —
+/// success, compile error, even --ctrl-demo — flushes what was recorded.
+/// (Usage errors return before this guard is armed: nothing ran.)
+struct ObsOutputs {
+  std::string trace_path;
+  std::string metrics_path;
+
+  ~ObsOutputs() {
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      if (out) {
+        out << lucid::obs::Tracer::global().chrome_json();
+      } else {
+        std::cerr << "lucidc: cannot write trace to '" << trace_path << "'\n";
+      }
+    }
+    if (!metrics_path.empty()) {
+      std::ofstream out(metrics_path);
+      if (out) {
+        const bool prom = lucid::ends_with(metrics_path, ".prom") ||
+                          lucid::ends_with(metrics_path, ".txt");
+        out << (prom ? lucid::obs::Registry::global().prometheus()
+                     : lucid::obs::Registry::global().json());
+      } else {
+        std::cerr << "lucidc: cannot write metrics to '" << metrics_path
+                  << "'\n";
+      }
+    }
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -129,6 +178,9 @@ int main(int argc, char** argv) {
   std::string cache_dir;                          // --cache-dir=...
   int jobs = 0;                                   // --jobs=...
   bool ctrl_demo = false;                         // --ctrl-demo
+  std::string trace_out;                          // --trace-out=...
+  int trace_sample = 1;                           // --trace-sample=...
+  std::string metrics_out;                        // --metrics-out=...
   std::string path;
 
   for (int i = 1; i < argc; ++i) {
@@ -222,6 +274,25 @@ int main(int argc, char** argv) {
       jobs = *parsed;
     } else if (arg == "--ctrl-demo") {
       ctrl_demo = true;
+    } else if (lucid::starts_with(arg, "--trace-out=")) {
+      trace_out = arg.substr(12);
+      if (trace_out.empty()) {
+        std::cerr << "lucidc: --trace-out requires a file path\n";
+        return kExitUsage;
+      }
+    } else if (lucid::starts_with(arg, "--trace-sample=")) {
+      const auto parsed = lucid::parse_positive_int(arg.substr(15));
+      if (!parsed) {
+        std::cerr << "lucidc: --trace-sample requires a positive integer\n";
+        return kExitUsage;
+      }
+      trace_sample = *parsed;
+    } else if (lucid::starts_with(arg, "--metrics-out=")) {
+      metrics_out = arg.substr(14);
+      if (metrics_out.empty()) {
+        std::cerr << "lucidc: --metrics-out requires a file path\n";
+        return kExitUsage;
+      }
     } else if (arg == "--p4") {
       backend = "p4";
     } else if (arg == "--check") {
@@ -363,11 +434,28 @@ int main(int argc, char** argv) {
     return kExitUsage;
   }
 
+  if (trace_sample != 1 && trace_out.empty()) {
+    std::cerr << "lucidc: --trace-sample only applies with --trace-out\n";
+    return kExitUsage;
+  }
+
   bool read_ok = false;
   const std::string source = slurp(path, read_ok);
   if (!read_ok) {
     std::cerr << "lucidc: cannot read '" << path << "'\n";
     return kExitError;
+  }
+
+  // Observability: arm recording before any compilation work; the guard's
+  // destructor writes the outputs on every return path below. --trace-out
+  // and --metrics-out compose with every mode (including --ctrl-demo).
+  ObsOutputs obs_outputs;
+  obs_outputs.trace_path = trace_out;
+  obs_outputs.metrics_path = metrics_out;
+  if (!trace_out.empty()) {
+    lucid::obs::TracerConfig tcfg;
+    tcfg.sample_every = static_cast<std::uint32_t>(trace_sample);
+    lucid::obs::Tracer::global().enable(tcfg);
   }
 
   // Control-plane demo: deploy on one simulated switch, install a batch of
@@ -415,6 +503,12 @@ int main(int argc, char** argv) {
               << "  update path busy  : " << s.update_path_busy_ns << " ns ("
               << static_cast<long long>(s.modeled_installs_per_sec)
               << " installs/s modeled)\n";
+    // The same run seen through the shared observability layer (the exact
+    // stats above come from the plane's own samples; these aggregates are
+    // what --metrics-out would export).
+    std::cout << "  metrics snapshot (Prometheus text format):\n"
+              << lucid::indent(lucid::obs::Registry::global().prometheus(),
+                               4);
     return s.batches_applied == arrays.size() && s.queue_depth == 0
                ? kExitOk
                : kExitError;

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "support/chrono.hpp"
 #include "support/strings.hpp"
 
@@ -353,6 +354,8 @@ SweepReport SweepEngine::run(std::string_view source,
   report.variants.resize(variants.size());
   std::vector<CompilationPtr> compiled(variants.size());
   parallel_for(variants.size(), workers, [&](std::size_t i) {
+    obs::ScopedSpan span("sweep", "variant_layout");
+    span.arg("variant", variants[i].label);
     const auto t0 = Clock::now();
     SweepVariantReport& vr = report.variants[i];
     vr.variant = variants[i];
@@ -393,6 +396,8 @@ SweepReport SweepEngine::run(std::string_view source,
     }
   }
   parallel_for(tasks.size(), workers, [&](std::size_t t) {
+    obs::ScopedSpan span("sweep", "emit");
+    span.arg("backend", tasks[t].backend);
     const auto t0 = Clock::now();
     const EmitTask& task = tasks[t];
     SweepVariantReport& vr = report.variants[task.variant];

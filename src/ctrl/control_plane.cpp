@@ -13,6 +13,18 @@ ControlPlane::ControlPlane(DataPlane& dp, sched::EventScheduler& sched,
       alive_(std::make_shared<bool>(true)),
       wall_start_(SteadyClock::now()) {
   boundary_now_ = sim().now();
+  auto& reg = obs::Registry::global();
+  m_apply_latency_ = &reg.histogram(
+      "lucid_ctrl_apply_latency_ns",
+      "Submit-to-apply latency of accepted control-plane batches (sim ns)");
+  m_batch_ops_ = &reg.histogram("lucid_ctrl_batch_ops",
+                                "Operations per applied control-plane batch");
+  m_applied_ = &reg.counter("lucid_ctrl_batches_applied_total",
+                            "Control-plane batches applied");
+  m_rejected_ = &reg.counter("lucid_ctrl_batches_rejected_total",
+                             "Control-plane batches rejected by validation");
+  m_writes_ = &reg.counter("lucid_ctrl_register_writes_total",
+                           "Register writes applied by the control plane");
   sched_.set_apply_point([this] { on_apply_point(); });
   arm_tick();
 }
@@ -127,6 +139,7 @@ void ControlPlane::apply_one(Pending item, sim::Time* commit_cost) {
   if (!err.empty()) {
     res.applied = false;
     res.error = std::move(err);
+    m_rejected_->add();
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.batches_rejected;
   } else {
@@ -144,6 +157,10 @@ void ControlPlane::apply_one(Pending item, sim::Time* commit_cost) {
         cfg_.per_op_ns * static_cast<sim::Time>(b.ops());
     const sim::Time latency =
         std::max<sim::Time>(0, res.applied_ns - res.submitted_ns);
+    m_apply_latency_->observe(static_cast<std::uint64_t>(latency));
+    m_batch_ops_->observe(static_cast<std::uint64_t>(b.ops()));
+    m_applied_->add();
+    m_writes_->add(b.writes.size());
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.batches_applied;
     stats_.writes_applied += b.writes.size();

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sched/scheduler.hpp"
 #include "support/chrono.hpp"
 
@@ -217,6 +218,14 @@ class ControlPlane {
   SteadyClock::time_point wall_start_;
   ControlPlaneStats stats_;
   std::vector<sim::Time> latency_samples_;
+  // Process-wide instruments (obs registry). The exact samples above stay
+  // authoritative for ControlPlaneStats (exact p99/max); the shared
+  // histograms give the cross-component view at log2 resolution.
+  obs::Histogram* m_apply_latency_ = nullptr;
+  obs::Histogram* m_batch_ops_ = nullptr;
+  obs::Counter* m_applied_ = nullptr;
+  obs::Counter* m_rejected_ = nullptr;
+  obs::Counter* m_writes_ = nullptr;
 };
 
 }  // namespace lucid::ctrl

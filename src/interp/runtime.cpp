@@ -1,5 +1,6 @@
 #include "interp/runtime.hpp"
 
+#include "obs/trace.hpp"
 #include "support/bits.hpp"
 #include "support/hash.hpp"
 
@@ -189,6 +190,10 @@ void Runtime::execute(const pisa::Packet& p) {
   ++total_executions_;
   ++exec_count_by_id_[static_cast<std::size_t>(p.event_id)];
   if (trace_) trace_(h.name, p);
+  // Sampled span around handler execution (one relaxed load when tracing is
+  // off). The span only reads the wall clock and writes the tracer's own
+  // rings — no effect on register state or event order (tests/test_obs.cpp).
+  obs::ScopedSpan span("interp", h.name);
 
   Frame frame;
   for (std::size_t i = 0; i < h.params.size(); ++i) {

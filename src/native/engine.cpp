@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
 #include "support/bits.hpp"
 
 namespace lucid::native {
@@ -463,6 +464,14 @@ void Replica::run_until(sim::Time t) {
     }
   }
   now_ = std::max(now_, t);
+  // Batch-boundary metrics publish: the event loop above runs branch-free
+  // with respect to observability; executions accumulate in plain counters
+  // and the delta lands in the process-wide registry once per run_until.
+  static obs::Counter& executed = obs::Registry::global().counter(
+      "lucid_native_replica_executions_total",
+      "Handler executions across native replica runs");
+  executed.add(total_executions_ - published_executions_);
+  published_executions_ = total_executions_;
 }
 
 const RunStats& Replica::run_stats() const {

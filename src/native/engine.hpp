@@ -276,6 +276,9 @@ class Replica {
   std::vector<std::uint64_t> exec_count_by_id_;
   std::vector<std::uint64_t> gen_count_by_id_;
   std::uint64_t total_executions_ = 0;
+  /// Executions already flushed to the obs registry (run_until publishes
+  /// the delta once per call, keeping the event loop free of atomics).
+  std::uint64_t published_executions_ = 0;
   mutable RunStats run_stats_;
 };
 

@@ -32,11 +32,16 @@ class Module {
                                      const PacketIn& in, GenOut* out) const {
     return run_one_(arrays, &in, out);
   }
+  /// Runs a batch and publishes the obs batch metrics (one histogram
+  /// observation + one counter add per *batch*, so the per-packet path
+  /// inside the generated code stays untouched). Out-of-line in jit.cpp.
   void run_batch(std::int64_t* const* arrays, const PacketIn* in,
                  std::int32_t n, GenOut* out,
-                 std::int32_t* gen_counts) const {
-    run_batch_(arrays, in, n, out, gen_counts);
-  }
+                 std::int32_t* gen_counts) const;
+
+  /// The raw generated entry point, with no instrumentation at all —
+  /// bench_obs measures its pps as the baseline for the overhead gate.
+  [[nodiscard]] RunBatchFn raw_run_batch() const { return run_batch_; }
 
   /// Milliseconds spent in the external compiler (0 on cache hit).
   [[nodiscard]] double compile_ms() const { return compile_ms_; }

@@ -1,0 +1,187 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace lucid::obs {
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the target observation (0-based), then walk the buckets.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (int k = 0; k < kBuckets; ++k) {
+    const std::uint64_t c = bucket_count(k);
+    if (c == 0) continue;
+    if (seen + c > rank) {
+      // Linear interpolation inside [lo, hi] by the rank's position within
+      // this bucket's observations.
+      const double lo = k == 0 ? 0.0
+                               : static_cast<double>(bucket_upper(k - 1)) + 1;
+      const double hi = static_cast<double>(bucket_upper(k));
+      const double frac = c == 1 ? 0.0
+                                 : static_cast<double>(rank - seen) /
+                                       static_cast<double>(c - 1);
+      double est = lo + (hi - lo) * frac;
+      // The exact extrema bound the estimate.
+      est = std::min(est, static_cast<double>(max()));
+      est = std::max(est, static_cast<double>(min()));
+      return est;
+    }
+    seen += c;
+  }
+  return static_cast<double>(max());
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(~std::uint64_t{0}, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // leaked: outlives static teardown
+  return *r;
+}
+
+std::string Registry::sanitize(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9' && !out.empty()) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  const std::string key = sanitize(name);
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[key];
+  if (e.help.empty()) e.help = std::string(help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  const std::string key = sanitize(name);
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[key];
+  if (e.help.empty()) e.help = std::string(help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help) {
+  const std::string key = sanitize(name);
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entries_[key];
+  if (e.help.empty()) e.help = std::string(help);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+std::string Registry::json() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  support::JsonWriter j;
+  j.obj_open();
+  j.obj_open("counters");
+  for (const auto& [name, e] : entries_) {
+    if (e.counter) j.field(name, e.counter->value());
+  }
+  j.obj_close();
+  j.obj_open("gauges");
+  for (const auto& [name, e] : entries_) {
+    if (e.gauge) j.field(name, e.gauge->value());
+  }
+  j.obj_close();
+  j.obj_open("histograms");
+  for (const auto& [name, e] : entries_) {
+    if (!e.histogram) continue;
+    const Histogram& h = *e.histogram;
+    j.obj_open(name)
+        .field("count", h.count())
+        .field("sum", h.sum())
+        .field("mean", h.mean());
+    if (h.count() > 0) {
+      j.field("min", h.min())
+          .field("max", h.max())
+          .field("p50", h.quantile(0.50))
+          .field("p99", h.quantile(0.99));
+    }
+    // Sparse buckets: [le_inclusive, count] pairs for non-empty buckets.
+    j.arr_open("buckets");
+    for (int k = 0; k < Histogram::kBuckets; ++k) {
+      const std::uint64_t c = h.bucket_count(k);
+      if (c == 0) continue;
+      j.arr_open().item(Histogram::bucket_upper(k)).item(c).arr_close();
+    }
+    j.arr_close().obj_close();
+  }
+  j.obj_close();
+  j.obj_close();
+  return j.str() + "\n";
+}
+
+std::string Registry::prometheus() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::ostringstream os;
+  os.precision(17);
+  for (const auto& [name, e] : entries_) {
+    if (!e.help.empty()) os << "# HELP " << name << " " << e.help << "\n";
+    if (e.counter) {
+      os << "# TYPE " << name << " counter\n"
+         << name << " " << e.counter->value() << "\n";
+    }
+    if (e.gauge) {
+      os << "# TYPE " << name << " gauge\n"
+         << name << " " << e.gauge->value() << "\n";
+    }
+    if (e.histogram) {
+      const Histogram& h = *e.histogram;
+      os << "# TYPE " << name << " histogram\n";
+      std::uint64_t cum = 0;
+      for (int k = 0; k < Histogram::kBuckets; ++k) {
+        cum += h.bucket_count(k);
+        // Only emit the populated prefix plus a closing bucket per power of
+        // two actually reached — all 65 rows for every histogram would
+        // dominate the exposition. Always emit le="0" and the last bucket
+        // before +Inf so the cumulative series is well formed.
+        if (h.bucket_count(k) != 0 || k == 0) {
+          os << name << "_bucket{le=\"" << Histogram::bucket_upper(k)
+             << "\"} " << cum << "\n";
+        }
+      }
+      os << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n"
+         << name << "_sum " << h.sum() << "\n"
+         << name << "_count " << h.count() << "\n";
+    }
+  }
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (auto& [name, e] : entries_) {
+    if (e.counter) e.counter->reset();
+    if (e.gauge) e.gauge->reset();
+    if (e.histogram) e.histogram->reset();
+  }
+}
+
+}  // namespace lucid::obs

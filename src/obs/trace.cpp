@@ -1,0 +1,205 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/json.hpp"
+
+namespace lucid::obs {
+
+namespace {
+
+std::uint64_t steady_now_raw() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t trace_epoch() {
+  static const std::uint64_t epoch = steady_now_raw();
+  return epoch;
+}
+
+}  // namespace
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // leaked: outlives static teardown
+  return *t;
+}
+
+std::uint64_t Tracer::now_ns() { return steady_now_raw() - trace_epoch(); }
+
+void Tracer::enable(TracerConfig cfg) {
+  if (cfg.ring_capacity == 0) cfg.ring_capacity = 1;
+  if (cfg.sample_every == 0) cfg.sample_every = 1;
+  (void)trace_epoch();  // pin the epoch no later than the first enable
+  ring_capacity_.store(cfg.ring_capacity, std::memory_order_relaxed);
+  sample_every_.store(cfg.sample_every, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+bool Tracer::sample() {
+  const std::uint32_t n = sample_every_.load(std::memory_order_relaxed);
+  if (n <= 1) return true;
+  thread_local std::uint32_t tick = 0;
+  return tick++ % n == 0;
+}
+
+Tracer::Ring& Tracer::ring() {
+  // One ring per (tracer, thread). The shared_ptr in rings_ keeps exported
+  // data alive after the owning thread exits.
+  thread_local std::shared_ptr<Ring> mine;
+  if (!mine) {
+    mine = std::make_shared<Ring>();
+    mine->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    mine->capacity = ring_capacity_.load(std::memory_order_relaxed);
+    mine->buf.reserve(std::min<std::size_t>(mine->capacity, 1024));
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    rings_.push_back(mine);
+  }
+  return *mine;
+}
+
+void Tracer::record(TraceEvent ev) {
+  Ring& r = ring();
+  std::lock_guard<std::mutex> lk(r.mu);
+  ev.tid = r.tid;
+  ++r.recorded;
+  if (r.buf.size() < r.capacity) {
+    r.buf.push_back(std::move(ev));
+  } else {
+    r.buf[r.next] = std::move(ev);
+    r.next = (r.next + 1) % r.capacity;
+    ++r.dropped;
+  }
+}
+
+void Tracer::complete(std::string_view cat, std::string_view name,
+                      std::uint64_t start_ns, std::uint64_t dur_ns,
+                      std::string_view arg_name, std::int64_t arg_value,
+                      std::string_view sarg_name, std::string_view sarg_value) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.ph = 'X';
+  ev.ts_ns = start_ns;
+  ev.dur_ns = dur_ns;
+  ev.arg_name = std::string(arg_name);
+  ev.arg_value = arg_value;
+  ev.sarg_name = std::string(sarg_name);
+  ev.sarg_value = std::string(sarg_value);
+  record(std::move(ev));
+}
+
+void Tracer::instant(std::string_view cat, std::string_view name,
+                     std::string_view arg_name, std::int64_t arg_value) {
+  if (!enabled()) return;
+  TraceEvent ev;
+  ev.name = std::string(name);
+  ev.cat = std::string(cat);
+  ev.ph = 'i';
+  ev.ts_ns = now_ns();
+  ev.arg_name = std::string(arg_name);
+  ev.arg_value = arg_value;
+  record(std::move(ev));
+}
+
+std::string Tracer::chrome_json() const {
+  // Snapshot every ring under its lock, then sort and render unlocked.
+  std::vector<TraceEvent> events;
+  std::uint64_t total_dropped = 0;
+  {
+    std::lock_guard<std::mutex> lk(rings_mu_);
+    for (const auto& rp : rings_) {
+      std::lock_guard<std::mutex> rlk(rp->mu);
+      events.insert(events.end(), rp->buf.begin(), rp->buf.end());
+      total_dropped += rp->dropped;
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+
+  support::JsonWriter j;
+  j.obj_open();
+  j.arr_open("traceEvents");
+  for (const TraceEvent& ev : events) {
+    j.obj_open()
+        .field("name", ev.name)
+        .field("cat", ev.cat)
+        .field("ph", std::string(1, ev.ph))
+        // Chrome trace-event timestamps are microseconds (double).
+        .field("ts", static_cast<double>(ev.ts_ns) / 1000.0);
+    if (ev.ph == 'X') {
+      j.field("dur", static_cast<double>(ev.dur_ns) / 1000.0);
+    } else {
+      j.field("s", "t");  // instant scope: thread
+    }
+    j.field("pid", 1).field("tid", ev.tid);
+    if (!ev.arg_name.empty() || !ev.sarg_name.empty()) {
+      j.obj_open("args");
+      if (!ev.arg_name.empty()) j.field(ev.arg_name, ev.arg_value);
+      if (!ev.sarg_name.empty()) j.field(ev.sarg_name, ev.sarg_value);
+      j.obj_close();
+    }
+    j.obj_close();
+  }
+  j.arr_close();
+  j.field("displayTimeUnit", "ms");
+  j.obj_open("otherData")
+      .field("producer", "lucidc")
+      .field("dropped_events", total_dropped)
+      .obj_close();
+  j.obj_close();
+  return j.str() + "\n";
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  for (const auto& rp : rings_) {
+    std::lock_guard<std::mutex> rlk(rp->mu);
+    rp->buf.clear();
+    rp->next = 0;
+    rp->recorded = 0;
+    rp->dropped = 0;
+    // Pick up a capacity change from a later enable() on reuse.
+    rp->capacity = ring_capacity_.load(std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Tracer::retained() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  std::uint64_t n = 0;
+  for (const auto& rp : rings_) {
+    std::lock_guard<std::mutex> rlk(rp->mu);
+    n += rp->buf.size();
+  }
+  return n;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  std::uint64_t n = 0;
+  for (const auto& rp : rings_) {
+    std::lock_guard<std::mutex> rlk(rp->mu);
+    n += rp->recorded;
+  }
+  return n;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lk(rings_mu_);
+  std::uint64_t n = 0;
+  for (const auto& rp : rings_) {
+    std::lock_guard<std::mutex> rlk(rp->mu);
+    n += rp->dropped;
+  }
+  return n;
+}
+
+}  // namespace lucid::obs

@@ -1,0 +1,178 @@
+// Observability, layer 2: a structured tracer.
+//
+// Per-thread ring buffers of span ('X', complete) and instant ('i') events,
+// exported as Chrome trace-event JSON — the format Perfetto (and
+// chrome://tracing) loads directly. Design goals, in order:
+//
+//   1. Near-zero cost when disabled: every entry point starts with one
+//      relaxed atomic load. ScopedSpan does not even read the clock unless
+//      tracing is on AND this call was sampled.
+//   2. No observable effect on the system under trace: recording touches
+//      only the tracer's own state (tests/test_obs.cpp proves register
+//      state and event counters are byte-identical with tracing on vs off).
+//   3. Bounded memory: each thread owns a fixed-capacity ring; once full,
+//      the oldest events are overwritten and counted as dropped.
+//
+// Sampling is per-thread and deterministic: `sample_every = N` records every
+// N-th sampled-category event (1 = everything). Spans decide at *entry*, so
+// a sampled span always carries a real duration.
+//
+// Ring writes take a per-thread mutex (uncontended except during export),
+// which keeps concurrent enable/disable/export TSan-clean — the lock-free
+// budget is spent on the metrics registry, where the per-packet updates
+// live; trace record rates are bounded by sampling.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lucid::obs {
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  char ph = 'X';            // 'X' complete span, 'i' instant
+  std::uint64_t ts_ns = 0;  // steady-clock ns since process trace epoch
+  std::uint64_t dur_ns = 0; // 'X' only
+  std::uint32_t tid = 0;
+  /// Optional single argument (rendered under "args" in the export).
+  std::string arg_name;     // empty = none
+  std::int64_t arg_value = 0;
+  std::string sarg_name;    // optional string argument
+  std::string sarg_value;
+};
+
+struct TracerConfig {
+  /// Events retained per thread before the oldest are overwritten.
+  std::size_t ring_capacity = 1 << 16;
+  /// Record every N-th event per thread (1 = record everything).
+  std::uint32_t sample_every = 1;
+};
+
+class Tracer {
+ public:
+  [[nodiscard]] static Tracer& global();
+
+  /// Steady-clock nanoseconds since the process trace epoch.
+  [[nodiscard]] static std::uint64_t now_ns();
+
+  /// (Re-)enables recording. Existing ring contents are kept (clear() to
+  /// drop them); capacity applies to rings created after the call.
+  void enable(TracerConfig cfg = {});
+  void disable();
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-thread sampling decision: true when this call is selected under the
+  /// current sample_every. Callers that already sampled (ScopedSpan) record
+  /// through the unsampled sinks below.
+  [[nodiscard]] bool sample();
+
+  /// Record sinks. No-ops when disabled; NOT re-sampled (pair with
+  /// sample()). The string views are copied into the ring.
+  void complete(std::string_view cat, std::string_view name,
+                std::uint64_t start_ns, std::uint64_t dur_ns,
+                std::string_view arg_name = {}, std::int64_t arg_value = 0,
+                std::string_view sarg_name = {},
+                std::string_view sarg_value = {});
+  void instant(std::string_view cat, std::string_view name,
+               std::string_view arg_name = {}, std::int64_t arg_value = 0);
+
+  /// Sampled instant convenience (enabled + sample + record).
+  void mark(std::string_view cat, std::string_view name,
+            std::string_view arg_name = {}, std::int64_t arg_value = 0) {
+    if (!enabled() || !sample()) return;
+    instant(cat, name, arg_name, arg_value);
+  }
+
+  /// Chrome trace-event JSON ({"traceEvents": [...], ...}): every ring's
+  /// retained events merged and sorted by timestamp. Safe to call while
+  /// other threads keep recording (their rings are briefly locked).
+  [[nodiscard]] std::string chrome_json() const;
+
+  /// Drops all retained events (rings stay registered).
+  void clear();
+
+  /// Events currently retained / recorded since clear / dropped by ring
+  /// overwrite, summed across threads.
+  [[nodiscard]] std::uint64_t retained() const;
+  [[nodiscard]] std::uint64_t recorded() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+
+ private:
+  struct Ring {
+    std::mutex mu;
+    std::uint32_t tid = 0;
+    std::size_t capacity = 0;
+    std::vector<TraceEvent> buf;  // grows to capacity, then wraps
+    std::size_t next = 0;         // overwrite cursor once full
+    std::uint64_t recorded = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  Ring& ring();
+  void record(TraceEvent ev);
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint32_t> sample_every_{1};
+  std::atomic<std::size_t> ring_capacity_{1 << 16};
+  std::atomic<std::uint32_t> next_tid_{1};
+
+  mutable std::mutex rings_mu_;
+  std::vector<std::shared_ptr<Ring>> rings_;
+};
+
+/// RAII span: samples at construction; if selected, records a complete event
+/// covering the scope at destruction. Safe to construct when tracing is
+/// disabled (cost: one relaxed load).
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view cat, std::string_view name) {
+    Tracer& t = Tracer::global();
+    if (!t.enabled() || !t.sample()) return;
+    live_ = true;
+    cat_ = cat;
+    name_ = name;
+    start_ = Tracer::now_ns();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    if (!live_) return;
+    Tracer::global().complete(cat_, name_, start_,
+                              Tracer::now_ns() - start_, arg_name_,
+                              arg_value_, sarg_name_, sarg_value_);
+  }
+
+  /// Attach one integer and/or one string argument (last call wins).
+  void arg(std::string_view name, std::int64_t value) {
+    if (!live_) return;
+    arg_name_ = name;
+    arg_value_ = value;
+  }
+  void arg(std::string_view name, std::string_view value) {
+    if (!live_) return;
+    sarg_name_ = name;
+    sarg_value_ = std::string(value);
+  }
+
+  [[nodiscard]] bool live() const { return live_; }
+
+ private:
+  bool live_ = false;
+  std::string_view cat_;
+  std::string_view name_;
+  std::uint64_t start_ = 0;
+  std::string_view arg_name_;
+  std::int64_t arg_value_ = 0;
+  std::string_view sarg_name_;
+  std::string sarg_value_;
+};
+
+}  // namespace lucid::obs

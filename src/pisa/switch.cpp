@@ -6,7 +6,26 @@ Switch::Switch(sim::Simulator& sim, SwitchConfig config)
     : sim_(sim),
       config_(config),
       recirc_port_(sim, config.recirc_rate_gbps, config.recirc_latency_ns),
-      front_port_(sim, config.front_rate_gbps, 0) {}
+      front_port_(sim, config.front_rate_gbps, 0) {
+  // Process-wide aggregates across every live switch (per-switch exact
+  // numbers stay on the accessors above).
+  auto& reg = obs::Registry::global();
+  m_queue_depth_ = &reg.gauge("lucid_pisa_delay_queue_depth",
+                              "Event packets parked in pausable delay "
+                              "queues, summed across live switches");
+  m_stall_ns_ = &reg.counter(
+      "lucid_pisa_pipeline_stall_ns_total",
+      "Nanoseconds the MAU pipeline was held by control-plane commits");
+  m_stalled_deliveries_ = &reg.counter(
+      "lucid_pisa_stalled_deliveries_total",
+      "Packets whose pipeline pass waited out a control-plane commit");
+}
+
+Switch::~Switch() {
+  // Packets still parked in this switch's delay queue leave the process-wide
+  // depth gauge with the switch.
+  m_queue_depth_->sub(static_cast<std::int64_t>(delay_queue_.size()));
+}
 
 RegisterArray& Switch::add_array(const std::string& name, int width,
                                  std::int64_t size) {
@@ -41,7 +60,10 @@ void Switch::finish_pipeline_pass(Packet p, bool counted) {
     // one stalled delivery no matter how many consecutive commits it waits
     // through — `counted` marks the rescheduled closure so re-entry (a
     // second commit landed while we waited) does not count it again.
-    if (!counted) ++stalled_deliveries_;
+    if (!counted) {
+      ++stalled_deliveries_;
+      m_stalled_deliveries_->add();
+    }
     sim_.at(busy_until_, [this, p = std::move(p)]() mutable {
       finish_pipeline_pass(std::move(p), /*counted=*/true);
     });
@@ -55,6 +77,7 @@ void Switch::stall_pipeline(sim::Time duration) {
   const sim::Time start = std::max(busy_until_, sim_.now());
   busy_until_ = start + duration;
   stall_ns_total_ += duration;
+  m_stall_ns_->add(static_cast<std::uint64_t>(duration));
 }
 
 void Switch::inject(Packet p) {
@@ -94,6 +117,7 @@ void Switch::set_delay_queue_open(bool open) {
   while (!delay_queue_.empty()) {
     Packet p = std::move(delay_queue_.front());
     delay_queue_.pop_front();
+    m_queue_depth_->sub(1);
     recirculate(std::move(p));
   }
 }

@@ -17,6 +17,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "pisa/packet.hpp"
 #include "pisa/port.hpp"
 #include "pisa/register_array.hpp"
@@ -53,6 +54,7 @@ struct ManagementCpu {
 class Switch {
  public:
   Switch(sim::Simulator& sim, SwitchConfig config);
+  ~Switch();
 
   [[nodiscard]] int id() const { return config_.id; }
   [[nodiscard]] sim::Simulator& sim() { return sim_; }
@@ -84,7 +86,10 @@ class Switch {
                  const std::function<void(std::int64_t, Packet)>& each);
 
   // ---- pausable delay queue (traffic manager + PFC) -------------------------
-  void delay_enqueue(Packet p) { delay_queue_.push_back(std::move(p)); }
+  void delay_enqueue(Packet p) {
+    delay_queue_.push_back(std::move(p));
+    m_queue_depth_->add(1);
+  }
   [[nodiscard]] bool delay_queue_open() const { return delay_open_; }
   [[nodiscard]] std::size_t delay_queue_depth() const {
     return delay_queue_.size();
@@ -146,6 +151,11 @@ class Switch {
   sim::Time busy_until_ = 0;
   sim::Time stall_ns_total_ = 0;
   std::uint64_t stalled_deliveries_ = 0;
+  // Process-wide instruments (obs registry), resolved in the constructor;
+  // the destructor returns this switch's queued packets to the depth gauge.
+  obs::Gauge* m_queue_depth_ = nullptr;
+  obs::Counter* m_stall_ns_ = nullptr;
+  obs::Counter* m_stalled_deliveries_ = nullptr;
 };
 
 }  // namespace lucid::pisa

@@ -1,9 +1,24 @@
 #include "sched/scheduler.hpp"
 
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
 namespace lucid::sched {
 
 EventScheduler::EventScheduler(pisa::Switch& sw, SchedulerConfig config)
     : switch_(sw), config_(config) {
+  // Resolved once per scheduler; updates on the dispatch path below are
+  // single relaxed atomics. These aggregate across every scheduler in the
+  // process (per-switch exact counts stay in stats_).
+  auto& reg = obs::Registry::global();
+  m_executed_ = &reg.counter("lucid_sched_events_executed_total",
+                             "Events dispatched to a local handler");
+  m_forwarded_ = &reg.counter("lucid_sched_events_forwarded_total",
+                              "Event packets routed into the fabric");
+  m_latency_ = &reg.histogram(
+      "lucid_sched_packet_latency_ns",
+      "Ingress-to-execution latency of processable event packets (ns)");
   switch_.set_ingress([this](pisa::Packet p) { on_ingress(std::move(p)); });
   if (config_.mode == DelayMode::PausableQueue) {
     switch_.start_pfc_stream(config_.release_interval_ns,
@@ -60,6 +75,7 @@ void EventScheduler::generate(GenEvent ev) {
 
 void EventScheduler::route_out(pisa::Packet p) {
   ++stats_.forwarded;
+  m_forwarded_->add();
   switch_.send_external(std::move(p), [this](pisa::Packet q) {
     if (net_send_) net_send_(std::move(q));
   });
@@ -93,6 +109,9 @@ void EventScheduler::on_ingress(pisa::Packet p) {
 
   // Processable.
   ++stats_.executed;
+  m_executed_->add();
+  m_latency_->observe(
+      static_cast<std::uint64_t>(std::max<sim::Time>(0, now - p.created_ns)));
   if (p.due_ns > p.created_ns) {
     stats_.delay_samples.emplace_back(p.due_ns - p.created_ns,
                                       now - p.due_ns);

@@ -18,6 +18,7 @@
 #include <functional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pisa/switch.hpp"
 
 namespace lucid::sched {
@@ -107,6 +108,10 @@ class EventScheduler {
   std::function<void(pisa::Packet)> net_send_;
   std::function<void()> apply_point_;
   Stats stats_;
+  // Process-wide instruments (obs registry), resolved in the constructor.
+  obs::Counter* m_executed_ = nullptr;
+  obs::Counter* m_forwarded_ = nullptr;
+  obs::Histogram* m_latency_ = nullptr;
 };
 
 }  // namespace lucid::sched

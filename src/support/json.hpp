@@ -1,0 +1,146 @@
+// The one JSON emission path in the tree: a minimal streaming writer (plus
+// the escaping rules) shared by the bench result files (bench_common.hpp),
+// `--time-passes=json` (core/driver.cpp), and the observability snapshots
+// (`--metrics-out`, obs/metrics.cpp and obs/trace.cpp). Keeping a single
+// escaper here is a contract: any consumer that hand-rolls strings into JSON
+// instead of going through this header is a bug.
+#pragma once
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace lucid::support {
+
+/// Escapes a string for inclusion inside JSON double quotes: backslash,
+/// quote, and the control characters JSON forbids raw (U+0000..U+001F).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal streaming JSON writer — just enough structure for the flat
+/// objects/arrays the bench result files and observability snapshots use.
+/// Commas between siblings are managed automatically; keys are only valid
+/// inside an object.
+class JsonWriter {
+ public:
+  JsonWriter() { os_.precision(12); }
+
+  JsonWriter& obj_open(const std::string& key = {}) {
+    sep(key);
+    os_ << '{';
+    return *this;
+  }
+  JsonWriter& obj_close() {
+    os_ << '}';
+    comma_ = true;
+    return *this;
+  }
+  JsonWriter& arr_open(const std::string& key = {}) {
+    sep(key);
+    os_ << '[';
+    return *this;
+  }
+  JsonWriter& arr_close() {
+    os_ << ']';
+    comma_ = true;
+    return *this;
+  }
+
+  JsonWriter& field(const std::string& key, const std::string& v) {
+    sep(key);
+    os_ << '"' << json_escape(v) << '"';
+    comma_ = true;
+    return *this;
+  }
+  JsonWriter& field(const std::string& key, std::string_view v) {
+    return field(key, std::string(v));
+  }
+  JsonWriter& field(const std::string& key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonWriter& field(const std::string& key, bool v) {
+    sep(key);
+    os_ << (v ? "true" : "false");
+    comma_ = true;
+    return *this;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  JsonWriter& field(const std::string& key, T v) {
+    sep(key);
+    os_ << +v;
+    comma_ = true;
+    return *this;
+  }
+  /// Bare array element (no key).
+  template <typename T,
+            std::enable_if_t<std::is_arithmetic_v<T>, int> = 0>
+  JsonWriter& item(T v) {
+    sep({});
+    os_ << +v;
+    comma_ = true;
+    return *this;
+  }
+  JsonWriter& item(const std::string& v) {
+    sep({});
+    os_ << '"' << json_escape(v) << '"';
+    comma_ = true;
+    return *this;
+  }
+
+  [[nodiscard]] std::string str() const { return os_.str(); }
+
+  /// Writes the document (plus a trailing newline) and reports the path on
+  /// stdout like the older benches do.
+  void save(const std::string& path) const {
+    std::ofstream out(path);
+    out << os_.str() << "\n";
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+
+ private:
+  void sep(const std::string& key) {
+    if (comma_) os_ << ", ";
+    comma_ = false;
+    if (!key.empty()) os_ << '"' << json_escape(key) << "\": ";
+  }
+
+  std::ostringstream os_;
+  bool comma_ = false;
+};
+
+}  // namespace lucid::support

@@ -50,6 +50,11 @@ bool starts_with(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
 std::size_t count_loc(std::string_view text) {
   std::size_t count = 0;
   for (const auto& raw : split(text, '\n')) {

@@ -25,6 +25,7 @@ namespace lucid {
 
 /// True if `s` begins with `prefix`.
 [[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
 
 /// Parses the whole of `s` as a positive (> 0) base-10 integer. nullopt on
 /// trailing garbage, a non-positive value, or overflow — the strict flavour
