@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/cache.hpp"
+#include "frontend/incremental_parse.hpp"
 #include "frontend/parser.hpp"
 #include "ir/ir.hpp"
 #include "obs/trace.hpp"
@@ -75,13 +76,33 @@ const std::vector<frontend::DeclFingerprint>& Compilation::decl_fingerprints()
   return fingerprints_;
 }
 
+const std::vector<frontend::DeclSpan>* Compilation::decl_spans() const {
+  if (inherits(Stage::Parse)) return donor_->decl_spans();
+  std::call_once(spans_once_,
+                 [this] { spans_ = frontend::scan_decl_spans(source_); });
+  return spans_.has_value() ? &*spans_ : nullptr;
+}
+
 std::shared_ptr<const opt::LayoutAnalysis> Compilation::layout_analysis_ptr()
     const {
   // Clones resolve through the donor chain so the whole clone family shares
   // one analysis object (and one computation).
   if (inherits(Stage::Lower)) return donor_->layout_analysis_ptr();
   std::call_once(analysis_once_, [this] {
-    analysis_ = opt::analyze_layout(ir());
+    // Incremental recompiles patch the previous compilation's analysis,
+    // re-running branch inlining / dependency analysis / the same-handler
+    // disjointness block only for the dirty handlers. Only when prev has
+    // already paid for its analysis — patching an uncomputed one would cost
+    // more than a cold run. nullptr (unsound patch) falls through cold.
+    if (analysis_reuse_prev_ != nullptr && analysis_reuse_prev_->analysis_ready()) {
+      analysis_ = opt::update_layout_analysis(
+          *analysis_reuse_prev_->layout_analysis_ptr(), ir(),
+          analysis_dirty_handlers_, 64, &analysis_handlers_reused_);
+    }
+    if (analysis_ == nullptr) {
+      analysis_handlers_reused_ = 0;
+      analysis_ = opt::analyze_layout(ir());
+    }
     analysis_ready_.store(true, std::memory_order_release);
   });
   return analysis_;
@@ -258,12 +279,39 @@ bool CompilerDriver::run_stage(Compilation& c, Stage s) const {
   bool ok = false;
   switch (s) {
     case Stage::Parse: {
-      c.artifacts_.program = frontend::Parser::parse(c.source_, c.diags_);
+      // Recompiles (parse_reuse_prev_ set) re-lex/re-parse only the decl
+      // spans the byte diff touched, splicing unchanged decl nodes from the
+      // previous AST; any scan/splice failure falls back to a cold parse.
+      bool parsed = false;
+      if (c.parse_reuse_prev_ != nullptr &&
+          c.parse_reuse_prev_->succeeded(Stage::Parse)) {
+        // prev's span table is cached on prev (one scan amortized over all
+        // edits against it); only this compilation's buffer is scanned here.
+        const auto* prev_spans = c.parse_reuse_prev_->decl_spans();
+        if (prev_spans != nullptr) {
+          if (auto inc = frontend::incremental_parse(
+                  c.source_, c.parse_reuse_prev_->source(), *prev_spans,
+                  c.parse_reuse_prev_->ast(), c.diags_)) {
+            c.artifacts_.program = std::move(inc->program);
+            c.parse_spliced_from_ = std::move(inc->spliced_from);
+            // Seed this compilation's span cache with the table the splice
+            // already scanned — if it becomes the next edit's prev, its scan
+            // is already paid for.
+            std::call_once(c.spans_once_,
+                           [&] { c.spans_ = std::move(inc->spans); });
+            rec.decls_reused = inc->reused;
+            parsed = true;
+          }
+        }
+      }
+      if (!parsed) {
+        c.artifacts_.program = frontend::Parser::parse(c.source_, c.diags_);
+      }
       ok = c.diags_.error_count() == errors_before;
       break;
     }
     case Stage::Sema: {
-      sema::TypeChecker tc(c.diags_);
+      sema::TypeChecker tc(c.diags_, c.options_.sema_workers);
       ok = tc.check(c.artifacts_.program) &&
            c.diags_.error_count() == errors_before;
       c.artifacts_.info = tc.info();
@@ -284,6 +332,12 @@ bool CompilerDriver::run_stage(Compilation& c, Stage s) const {
       rec.analysis_shared = c.analysis_home() != &c && c.analysis_ready();
       c.artifacts_.pipeline =
           opt::layout(c.layout_analysis_ptr(), c.options_.model, c.diags_);
+      // When this compilation owns the analysis and it was patched from a
+      // previous compilation's (incremental recompile), surface how many
+      // handlers were carried over.
+      if (c.analysis_home() == &c) {
+        rec.decls_reused = c.analysis_handlers_reused_;
+      }
       c.artifacts_.stats.unoptimized_stages = c.ir().total_longest_path();
       c.artifacts_.stats.optimized_stages =
           c.artifacts_.pipeline.stage_count();
@@ -337,11 +391,34 @@ CompilationPtr CompilerDriver::recompile(const ConstCompilationPtr& prev,
   const int last = std::min(static_cast<int>(until),
                             static_cast<int>(Stage::Lower));
   CompilationPtr comp = start(source);
+  if (prev != nullptr && prev->succeeded(Stage::Parse)) {
+    comp->parse_reuse_prev_ = prev;  // arms the incremental parse
+  }
   if (!run_stage(*comp, Stage::Parse)) return comp;
   if (last <= static_cast<int>(Stage::Parse)) return comp;  // no diff needed
   if (prev == nullptr || !prev->succeeded(Stage::Lower)) {
     run_until(comp, static_cast<Stage>(last));  // nothing reusable: cold
     return comp;
+  }
+
+  // After an incremental parse, spliced decls are byte-identical to their
+  // prev counterparts, so their fingerprints are prev's — seed the cache so
+  // the diff below canonically prints only the re-parsed decls (O(edit),
+  // not O(program)).
+  if (!comp->parse_spliced_from_.empty()) {
+    std::call_once(comp->fingerprints_once_, [&] {
+      const auto& prev_fps = prev->decl_fingerprints();
+      const auto& decls = comp->artifacts_.program.decls;
+      comp->fingerprints_.reserve(decls.size());
+      for (std::size_t i = 0; i < decls.size(); ++i) {
+        const int from = comp->parse_spliced_from_[i];
+        if (from >= 0 && static_cast<std::size_t>(from) < prev_fps.size()) {
+          comp->fingerprints_.push_back(prev_fps[static_cast<std::size_t>(from)]);
+        } else {
+          comp->fingerprints_.push_back(frontend::fingerprint_decl(*decls[i]));
+        }
+      }
+    });
   }
 
   // Both fingerprint vectors are cached on their compilations: prev pays
@@ -383,13 +460,28 @@ CompilationPtr CompilerDriver::recompile(const ConstCompilationPtr& prev,
     // the partial path below recomputes whatever it cannot reuse.
   }
 
+  // Spliced decl nodes are shared with prev's AST. Clean decls are only
+  // ever written with values they already hold (Sema's header annotations
+  // are conditional), but a dirty decl's body check mutates expression
+  // types in place — un-share those by deep-cloning before Sema runs, so
+  // prev stays immutable (it may be serving other recompiles/sweeps).
+  if (!plan.identical && !comp->parse_spliced_from_.empty()) {
+    auto& decls = comp->artifacts_.program.decls;
+    for (std::size_t i = 0;
+         i < decls.size() && i < plan.reuse_from.size(); ++i) {
+      if (comp->parse_spliced_from_[i] >= 0 && plan.reuse_from[i] < 0) {
+        decls[i] = frontend::clone_decl(*decls[i]);
+      }
+    }
+  }
+
   // ---- Sema: re-check only the dirty decl set --------------------------
   {
     StageRecord& rec = comp->mutable_record(Stage::Sema);
     rec.diag_begin = comp->diags_.all().size();
     const std::size_t errors_before = comp->diags_.error_count();
     const auto t0 = Clock::now();
-    sema::TypeChecker tc(comp->diags_);
+    sema::TypeChecker tc(comp->diags_, options_.sema_workers);
     sema::SemaReuse reuse;
     reuse.prev = &prev->ast();
     reuse.prev_info = &prev->analysis();
@@ -430,6 +522,18 @@ CompilationPtr CompilerDriver::recompile(const ConstCompilationPtr& prev,
     rec.ran = true;
     rec.ok = comp->diags_.error_count() == errors_before;
     rec.decls_reused = static_cast<int>(spliced);
+    if (rec.ok) {
+      // Arm the incremental Phase A: when Layout later runs, handlers whose
+      // graphs were spliced (unchanged) keep their analysis from prev; the
+      // rest (edited or new) are re-analyzed.
+      comp->analysis_reuse_prev_ = prev;
+      for (const auto& d : decls) {
+        if (d->kind == frontend::DeclKind::Handler &&
+            reuse.handlers.count(d->name) == 0) {
+          comp->analysis_dirty_handlers_.insert(d->name);
+        }
+      }
+    }
   }
   return comp;
 }

@@ -44,6 +44,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -51,6 +52,7 @@
 
 #include "frontend/ast.hpp"
 #include "frontend/fingerprint.hpp"
+#include "frontend/incremental_parse.hpp"
 #include "ir/ir.hpp"
 #include "opt/passes.hpp"
 #include "sema/type_check.hpp"
@@ -94,10 +96,12 @@ struct StageRecord {
   bool analysis_shared = false;
   /// Incremental recompiles only (CompilerDriver::recompile): how many
   /// top-level decls this stage served from the previous compilation
-  /// instead of recomputing. For Sema that is decls whose body check was
-  /// skipped (annotations mirror-copied) plus header-only decls the diff
-  /// proved unchanged; for Lower it is spliced handler graphs. 0 for cold
-  /// compiles and plain clones.
+  /// instead of recomputing. For Parse that is decl nodes spliced from the
+  /// previous AST by the span diff (frontend::incremental_parse); for Sema,
+  /// decls whose body check was skipped (annotations mirror-copied) plus
+  /// header-only decls the diff proved unchanged; for Lower, spliced handler
+  /// graphs; for Layout, handlers whose Phase A artifacts were carried over
+  /// by opt::update_layout_analysis. 0 for cold compiles and plain clones.
   int decls_reused = 0;
   double wall_ms = 0.0;
   /// Half-open index range into Compilation::diags().all() holding exactly
@@ -117,6 +121,11 @@ struct DriverOptions {
   opt::ResourceModel model = opt::ResourceModel::tofino();
   /// Name used by emitters (P4 program name, artifact labels).
   std::string program_name = "program";
+  /// Worker threads for Sema's per-decl body-check phase (<= 1: serial).
+  /// Any worker count produces byte-identical diagnostics and annotations,
+  /// so this field is excluded from options_fingerprint — it never affects
+  /// artifacts, only wall time.
+  int sema_workers = 1;
 };
 
 /// All middle-end artifacts, owned together. `release_artifacts()` moves
@@ -207,6 +216,15 @@ class Compilation : public std::enable_shared_from_this<Compilation> {
     return frontend::structural_hash(decl_fingerprints());
   }
 
+  /// The top-level decl span table of source() (frontend::scan_decl_spans),
+  /// or nullptr when the buffer defeats the scanner. Computed lazily exactly
+  /// once: an incremental parse stores the table it already scanned for its
+  /// own buffer, a cold compile scans on first use as a recompile donor —
+  /// either way, serving as `prev` for any number of edits costs one scan,
+  /// and each edit scans only its own buffer. Clones resolve through the
+  /// donor chain (same source, same spans). Thread-safe (std::call_once).
+  [[nodiscard]] const std::vector<frontend::DeclSpan>* decl_spans() const;
+
   /// Moves every artifact out (for the deprecated compile() shim). The
   /// Compilation must not be queried afterwards. Must not be called on a
   /// clone (its inherited artifacts live in the donor).
@@ -293,6 +311,29 @@ class Compilation : public std::enable_shared_from_this<Compilation> {
   /// Lazily computed decl fingerprints (see decl_fingerprints()).
   mutable std::once_flag fingerprints_once_;
   mutable std::vector<frontend::DeclFingerprint> fingerprints_;
+  /// Lazily computed (or incremental-parse-seeded) span table of source_
+  /// (see decl_spans()); nullopt after a failed scan.
+  mutable std::once_flag spans_once_;
+  mutable std::optional<std::vector<frontend::DeclSpan>> spans_;
+  /// Incremental-recompile support (CompilerDriver::recompile). When set
+  /// before Parse runs, run_stage tries frontend::incremental_parse against
+  /// this previous compilation, splicing unchanged decl nodes by pointer.
+  /// Held for the compilation's lifetime: spliced nodes are shared with
+  /// (and their allocations co-owned through) prev's AST.
+  std::shared_ptr<const Compilation> parse_reuse_prev_;
+  /// Parallel to ast().decls after an incremental parse: the prev decl
+  /// index each decl was spliced from, -1 for freshly parsed decls. Empty
+  /// when the parse was cold.
+  std::vector<int> parse_spliced_from_;
+  /// When set, layout_analysis_ptr() first patches this compilation's
+  /// (already computed) Phase A analysis via opt::update_layout_analysis,
+  /// re-analyzing only analysis_dirty_handlers_; falls back to a cold
+  /// analyze_layout when patching is unsound.
+  std::shared_ptr<const Compilation> analysis_reuse_prev_;
+  std::set<std::string> analysis_dirty_handlers_;
+  /// Handlers the last update_layout_analysis carried over (0 when the
+  /// analysis was computed cold); surfaced as Layout's decls_reused.
+  mutable int analysis_handlers_reused_ = 0;
 };
 
 using CompilationPtr = std::shared_ptr<Compilation>;

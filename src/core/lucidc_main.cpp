@@ -91,6 +91,9 @@ void usage(std::ostream& os) {
         "                     Sema/Lower\n"
         "  --cache-dir=DIR    reuse/store emitted artifacts under DIR\n"
         "  --jobs=N           sweep worker threads (default: all cores)\n"
+        "  --sema-workers=N   worker threads for Sema's per-decl body checks\n"
+        "                     (default 1 = serial; diagnostics identical at\n"
+        "                     any count)\n"
         "  --backends=LIST    backends a --sweep emits (default: p4,ebpf,"
         "interp)\n"
         "  --ctrl-demo        deploy on one simulated switch, drive batched\n"
@@ -177,6 +180,7 @@ int main(int argc, char** argv) {
   bool backends_requested = false;
   std::string cache_dir;                          // --cache-dir=...
   int jobs = 0;                                   // --jobs=...
+  int sema_workers = 1;                           // --sema-workers=...
   bool ctrl_demo = false;                         // --ctrl-demo
   std::string trace_out;                          // --trace-out=...
   int trace_sample = 1;                           // --trace-sample=...
@@ -272,6 +276,13 @@ int main(int argc, char** argv) {
         return kExitUsage;
       }
       jobs = *parsed;
+    } else if (lucid::starts_with(arg, "--sema-workers=")) {
+      const auto parsed = lucid::parse_positive_int(arg.substr(15));
+      if (!parsed) {
+        std::cerr << "lucidc: --sema-workers requires a positive integer\n";
+        return kExitUsage;
+      }
+      sema_workers = *parsed;
     } else if (arg == "--ctrl-demo") {
       ctrl_demo = true;
     } else if (lucid::starts_with(arg, "--trace-out=")) {
@@ -516,6 +527,7 @@ int main(int argc, char** argv) {
 
   lucid::DriverOptions opts;
   opts.program_name = path;
+  opts.sema_workers = sema_workers;
   const lucid::CompilerDriver driver(opts);
 
   // Resource-model sweep: one front end, N variants, parallel emission.
@@ -662,6 +674,8 @@ int main(int argc, char** argv) {
             << "  fits Tofino model : " << (stats.fits ? "yes" : "NO") << "\n";
   if (!incremental_from.empty()) {
     std::cout << "  decls reused      : "
+              << comp->record(lucid::Stage::Parse).decls_reused
+              << " (parse), "
               << comp->record(lucid::Stage::Sema).decls_reused << " (sema), "
               << comp->record(lucid::Stage::Lower).decls_reused
               << " handler graphs (lower)\n";

@@ -177,28 +177,6 @@ std::optional<FitSpec> parse_fit_spec(std::string_view spec,
   return out;
 }
 
-void parallel_for(std::size_t n, int workers,
-                  const std::function<void(std::size_t)>& fn) {
-  if (n == 0) return;
-  const std::size_t pool = std::min<std::size_t>(
-      n, workers > 1 ? static_cast<std::size_t>(workers) : 1);
-  if (pool <= 1) {
-    for (std::size_t i = 0; i < n; ++i) fn(i);
-    return;
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> threads;
-  threads.reserve(pool);
-  for (std::size_t t = 0; t < pool; ++t) {
-    threads.emplace_back([&]() {
-      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
-      }
-    });
-  }
-  for (std::thread& t : threads) t.join();
-}
-
 // ---------------------------------------------------------------------------
 // Report rendering
 // ---------------------------------------------------------------------------

@@ -31,6 +31,7 @@
 #include "core/cache.hpp"
 #include "core/driver.hpp"
 #include "opt/passes.hpp"
+#include "support/parallel.hpp"
 
 namespace lucid {
 
@@ -46,10 +47,8 @@ struct SweepVariant {
 [[nodiscard]] std::optional<std::vector<SweepVariant>> parse_sweep_grid(
     std::string_view spec, std::string* error = nullptr);
 
-/// Runs `fn(0..n-1)` across up to `workers` threads (inline when n or
-/// workers is <= 1). Exposed for benches and tests.
-void parallel_for(std::size_t n, int workers,
-                  const std::function<void(std::size_t)>& fn);
+// parallel_for moved to support/parallel.hpp (shared with parallel Sema);
+// included here so existing callers keep finding lucid::parallel_for.
 
 // ---------------------------------------------------------------------------
 // Report

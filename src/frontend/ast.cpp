@@ -261,6 +261,77 @@ Block clone_block(const Block& b) {
   return out;
 }
 
+DeclPtr clone_decl(const Decl& d) {
+  DeclPtr out;
+  switch (d.kind) {
+    case DeclKind::Const: {
+      const auto* src = d.as<ConstDecl>();
+      auto c = std::make_shared<ConstDecl>();
+      c->declared_type = src->declared_type;
+      c->value = clone_expr(*src->value);
+      c->resolved_value = src->resolved_value;
+      out = std::move(c);
+      break;
+    }
+    case DeclKind::Global: {
+      const auto* src = d.as<GlobalDecl>();
+      auto g = std::make_shared<GlobalDecl>();
+      g->width = src->width;
+      g->size = clone_expr(*src->size);
+      g->resolved_size = src->resolved_size;
+      g->stage_index = src->stage_index;
+      out = std::move(g);
+      break;
+    }
+    case DeclKind::Memop: {
+      const auto* src = d.as<MemopDecl>();
+      auto m = std::make_shared<MemopDecl>();
+      m->params = src->params;
+      m->body = clone_block(src->body);
+      out = std::move(m);
+      break;
+    }
+    case DeclKind::Fun: {
+      const auto* src = d.as<FunDecl>();
+      auto f = std::make_shared<FunDecl>();
+      f->return_type = src->return_type;
+      f->params = src->params;
+      f->body = clone_block(src->body);
+      out = std::move(f);
+      break;
+    }
+    case DeclKind::Event: {
+      const auto* src = d.as<EventDecl>();
+      auto e = std::make_shared<EventDecl>();
+      e->params = src->params;
+      e->event_id = src->event_id;
+      out = std::move(e);
+      break;
+    }
+    case DeclKind::Handler: {
+      const auto* src = d.as<HandlerDecl>();
+      auto h = std::make_shared<HandlerDecl>();
+      h->params = src->params;
+      h->body = clone_block(src->body);
+      out = std::move(h);
+      break;
+    }
+    case DeclKind::Group: {
+      const auto* src = d.as<GroupDecl>();
+      auto g = std::make_shared<GroupDecl>();
+      for (const auto& m : src->members) g->members.push_back(clone_expr(*m));
+      g->resolved_members = src->resolved_members;
+      out = std::move(g);
+      break;
+    }
+  }
+  if (out) {
+    out->range = d.range;
+    out->name = d.name;
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // Annotation mirroring
 // ---------------------------------------------------------------------------

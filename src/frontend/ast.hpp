@@ -302,7 +302,12 @@ struct Decl {
   }
 };
 
-using DeclPtr = std::unique_ptr<Decl>;
+// Decls are shared so the incremental parser can splice unchanged nodes from
+// the previous compilation's Program by pointer — O(1) per clean decl. The
+// recompile pipeline deep-clones any spliced decl the dirty set will
+// re-annotate (see clone_decl), so shared nodes are never mutated while two
+// compilations can both reach them.
+using DeclPtr = std::shared_ptr<Decl>;
 
 struct ConstDecl final : Decl {
   static constexpr DeclKind class_kind = DeclKind::Const;
@@ -394,6 +399,9 @@ struct Program {
 [[nodiscard]] ExprPtr clone_expr(const Expr& e);
 [[nodiscard]] StmtPtr clone_stmt(const Stmt& s);
 [[nodiscard]] Block clone_block(const Block& b);
+// Deep-copies a whole declaration, annotations and ranges included. The
+// recompile path uses this to un-share a spliced decl before sema mutates it.
+[[nodiscard]] DeclPtr clone_decl(const Decl& d);
 
 // Annotation mirroring: copy every sema annotation (expression types,
 // resolved call kinds, VarRef resolution flags, const/size/id resolutions)

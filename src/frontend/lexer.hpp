@@ -17,6 +17,13 @@ class Lexer {
   Lexer(std::string_view source, DiagnosticEngine& diags)
       : src_(source), diags_(diags) {}
 
+  /// Lex a slice of a larger buffer: token positions (and any diagnostics)
+  /// are reported relative to `start`, the slice's location in the original
+  /// file. The incremental parser uses this to re-lex only edited decl spans
+  /// while keeping positions consistent with a whole-file lex.
+  Lexer(std::string_view source, DiagnosticEngine& diags, SrcLoc start)
+      : src_(source), diags_(diags), line_(start.line), col_(start.col) {}
+
   /// Lex the whole buffer. The last token is always Eof.
   [[nodiscard]] std::vector<Token> lex_all();
 

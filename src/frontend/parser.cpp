@@ -145,7 +145,7 @@ DeclPtr Parser::parse_const_or_group() {
     advance();
     return parse_group(start);
   }
-  auto decl = std::make_unique<ConstDecl>();
+  auto decl = std::make_shared<ConstDecl>();
   decl->declared_type = parse_type();
   const Token* name = expect(TokenKind::Ident, "after const type");
   if (!name) return nullptr;
@@ -159,7 +159,7 @@ DeclPtr Parser::parse_const_or_group() {
 }
 
 DeclPtr Parser::parse_group(SrcLoc start) {
-  auto decl = std::make_unique<GroupDecl>();
+  auto decl = std::make_shared<GroupDecl>();
   const Token* name = expect(TokenKind::Ident, "after 'group'");
   if (!name) return nullptr;
   decl->name = name->text;
@@ -181,7 +181,7 @@ DeclPtr Parser::parse_group(SrcLoc start) {
 DeclPtr Parser::parse_global() {
   const SrcLoc start = peek().range.begin;
   advance();  // global
-  auto decl = std::make_unique<GlobalDecl>();
+  auto decl = std::make_shared<GlobalDecl>();
   const Token* name = expect(TokenKind::Ident, "after 'global'");
   if (!name) return nullptr;
   decl->name = name->text;
@@ -230,7 +230,7 @@ std::vector<Param> Parser::parse_params() {
 DeclPtr Parser::parse_memop() {
   const SrcLoc start = peek().range.begin;
   advance();  // memop
-  auto decl = std::make_unique<MemopDecl>();
+  auto decl = std::make_shared<MemopDecl>();
   const Token* name = expect(TokenKind::Ident, "after 'memop'");
   if (!name) return nullptr;
   decl->name = name->text;
@@ -243,7 +243,7 @@ DeclPtr Parser::parse_memop() {
 DeclPtr Parser::parse_fun() {
   const SrcLoc start = peek().range.begin;
   advance();  // fun
-  auto decl = std::make_unique<FunDecl>();
+  auto decl = std::make_shared<FunDecl>();
   decl->return_type = parse_type();
   const Token* name = expect(TokenKind::Ident, "function name");
   if (!name) return nullptr;
@@ -257,7 +257,7 @@ DeclPtr Parser::parse_fun() {
 DeclPtr Parser::parse_event() {
   const SrcLoc start = peek().range.begin;
   advance();  // event
-  auto decl = std::make_unique<EventDecl>();
+  auto decl = std::make_shared<EventDecl>();
   const Token* name = expect(TokenKind::Ident, "event name");
   if (!name) return nullptr;
   decl->name = name->text;
@@ -270,7 +270,7 @@ DeclPtr Parser::parse_event() {
 DeclPtr Parser::parse_handler() {
   const SrcLoc start = peek().range.begin;
   advance();  // handle
-  auto decl = std::make_unique<HandlerDecl>();
+  auto decl = std::make_shared<HandlerDecl>();
   const Token* name = expect(TokenKind::Ident, "handler name");
   if (!name) return nullptr;
   decl->name = name->text;

@@ -1,0 +1,152 @@
+#include "frontend/progen.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace lucid::frontend {
+
+namespace {
+
+/// splitmix64: deterministic across platforms (std distributions are not).
+struct Rng {
+  std::uint64_t state;
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n).
+  int below(int n) { return static_cast<int>(next() % static_cast<std::uint64_t>(n)); }
+  bool coin(int percent) { return below(100) < percent; }
+};
+
+}  // namespace
+
+std::string generate_program(const ProgenConfig& cfg) {
+  Rng rng{cfg.seed};
+  std::ostringstream os;
+  os << "// synthetic program: " << cfg.decl_count() << " decls (seed "
+     << cfg.seed << ")\n";
+
+  const int consts = cfg.consts > 0 ? cfg.consts : 1;
+  for (int i = 0; i < consts; ++i) {
+    os << "const int C" << i << " = " << (1 + rng.below(250)) << ";\n";
+  }
+  for (int i = 0; i < cfg.arrays; ++i) {
+    os << "global a" << i << " = new Array<<32>>(64);\n";
+  }
+
+  const int memops = cfg.memops > 0 ? cfg.memops : 1;
+  for (int i = 0; i < memops; ++i) {
+    os << "memop m" << i << "(int cur, int x) ";
+    switch (rng.below(4)) {
+      case 0: os << "{ return cur + x; }\n"; break;
+      case 1: os << "{ return x; }\n"; break;
+      case 2: os << "{ if (cur == 0) { return x; } else { return cur; } }\n"; break;
+      default: os << "{ return cur + " << (1 + rng.below(7)) << "; }\n"; break;
+    }
+  }
+  for (int i = 0; i < cfg.funs; ++i) {
+    os << "fun int f" << i << "(int a, int b) { return (a + b) & C"
+       << rng.below(consts) << "; }\n";
+  }
+
+  for (int i = 0; i < cfg.handlers; ++i) {
+    os << "event ev" << i << "(int x, int y);\n";
+  }
+
+  for (int i = 0; i < cfg.handlers; ++i) {
+    os << "handle ev" << i << "(int x, int y) {\n";
+    // Index-safe locals (masked into the arrays' [0, 64) range) vs general
+    // ints; statements only ever read already-declared locals.
+    std::vector<std::string> idx = {"ix0"};
+    std::vector<std::string> vals = {"x", "y"};
+    os << "  int ix0 = hash(" << (1 + rng.below(40)) << ", x, y) & 63;\n";
+    int next_local = 0;
+    int array_cursor = 0;  // accesses stay in declaration order
+    for (int s = 0; s < cfg.stmts_per_handler; ++s) {
+      const std::string& iv = idx[rng.below(static_cast<int>(idx.size()))];
+      const std::string& va = vals[rng.below(static_cast<int>(vals.size()))];
+      const std::string& vb = vals[rng.below(static_cast<int>(vals.size()))];
+      switch (rng.below(6)) {
+        case 0: {  // fresh masked index
+          std::string name = "ix" + std::to_string(idx.size());
+          os << "  int " << name << " = (" << va << " + " << rng.below(64)
+             << ") & 63;\n";
+          idx.push_back(name);
+          break;
+        }
+        case 1: {  // pure arithmetic local
+          std::string name = "v" + std::to_string(next_local++);
+          if (cfg.funs > 0 && rng.coin(30)) {
+            os << "  int " << name << " = f" << rng.below(cfg.funs) << "("
+               << va << ", " << vb << ");\n";
+          } else {
+            os << "  int " << name << " = (" << va << " + C"
+               << rng.below(consts) << ") | " << (1 + rng.below(15)) << ";\n";
+          }
+          vals.push_back(name);
+          break;
+        }
+        case 2: {  // branch over pure locals (no array access inside)
+          os << "  if (" << va << " == C" << rng.below(consts)
+             << ") { int t" << next_local << "a = " << vb
+             << " + 1; } else { int t" << next_local << "b = " << iv
+             << " + 2; }\n";
+          ++next_local;
+          break;
+        }
+        case 3:
+        case 4: {  // array access, advancing the declaration-order cursor
+          if (array_cursor >= cfg.arrays) break;
+          const int arr = array_cursor + rng.below(cfg.arrays - array_cursor);
+          array_cursor = arr + 1;
+          if (rng.coin(40)) {
+            std::string name = "g" + std::to_string(next_local++);
+            os << "  int " << name << " = Array.get(a" << arr << ", " << iv
+               << ");\n";
+            vals.push_back(name);
+          } else if (rng.coin(50)) {
+            os << "  Array.set(a" << arr << ", " << iv << ", m"
+               << rng.below(memops) << ", " << (1 + rng.below(9)) << ");\n";
+          } else {
+            os << "  Array.set(a" << arr << ", " << iv << ", C"
+               << rng.below(consts) << ");\n";
+          }
+          break;
+        }
+        default: {  // occasional event generation (cross-decl dependency)
+          if (cfg.handlers > 1 && rng.coin(35)) {
+            os << "  generate ev" << rng.below(cfg.handlers) << "(" << va
+               << ", " << iv << ");\n";
+          }
+          break;
+        }
+      }
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+std::string edit_one_handler(const std::string& source, int which,
+                             std::string_view stmt) {
+  std::size_t pos = 0;
+  std::size_t found = std::string::npos;
+  int seen = 0;
+  while ((pos = source.find("handle ", pos)) != std::string::npos) {
+    found = pos;
+    if (seen == which) break;  // past-the-end `which` clamps to the last one
+    ++seen;
+    pos += 7;
+  }
+  if (found == std::string::npos) return source;
+  const std::size_t brace = source.find('{', found);
+  if (brace == std::string::npos) return source;
+  std::string out = source;
+  out.insert(brace + 1, stmt);
+  return out;
+}
+
+}  // namespace lucid::frontend

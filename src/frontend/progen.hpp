@@ -1,0 +1,48 @@
+// Deterministic synthetic Lucid program generator.
+//
+// Produces well-formed programs of a requested shape — N const / global /
+// memop / fun decls and M event+handler pairs — that parse, type-check, and
+// lower cleanly: every handler's array accesses are emitted in declaration
+// order (each array at most once), so the ordered type system accepts every
+// generated program by construction.
+//
+// The generator is a pure function of (config, seed): the same inputs yield
+// byte-identical source on every platform (it uses its own splitmix64, not
+// std distributions). The incremental-front-end benches and the differential
+// tests both lean on that — they regenerate the same program and apply
+// deterministic single-decl edits to it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lucid::frontend {
+
+struct ProgenConfig {
+  int consts = 10;    // const int C<i> = ...;
+  int arrays = 12;    // global a<i> = new Array<<32>>(64);
+  int memops = 6;     // memop m<i>(int cur, int x) { ... }
+  int funs = 4;       // fun int f<i>(int a, int b) { ... }
+  int handlers = 40;  // event ev<i>(...); handle ev<i>(...) { ... }
+  int stmts_per_handler = 10;  // body-size knob (locals + array ops)
+  std::uint64_t seed = 0x5eedULL;
+
+  /// Total top-level decls a generated program will contain.
+  [[nodiscard]] int decl_count() const {
+    return consts + arrays + memops + funs + 2 * handlers;
+  }
+};
+
+/// Generates the program source. Deterministic in (config, seed).
+[[nodiscard]] std::string generate_program(const ProgenConfig& config);
+
+/// Returns `source` with `stmt` inserted at the top of the `which`-th
+/// handler body (0-based, clamped): the canonical one-decl edit used by the
+/// incremental benches and tests. Returns `source` unchanged when it has no
+/// handler.
+[[nodiscard]] std::string edit_one_handler(
+    const std::string& source, int which,
+    std::string_view stmt = " int __edit = 1 + 2; ");
+
+}  // namespace lucid::frontend

@@ -384,18 +384,49 @@ long rules_of(const AtomicTable& t) {
 
 }  // namespace
 
-std::shared_ptr<const LayoutAnalysis> analyze_layout(const ir::ProgramIR& ir,
-                                                     int max_conjs) {
+namespace {
+
+/// Shared core of the cold (analyze_layout) and incremental
+/// (update_layout_analysis) Phase A builders. A null `prev` means every
+/// handler is dirty; otherwise handler h is dirty iff its name is in
+/// `*dirty`, and its pass 1 + 2 artifacts (guarded tables, per-handler
+/// diagnostics, same-handler disjointness block, dependency edges, ASAP
+/// levels) are recomputed, while clean handlers copy prev's — valid because
+/// every one of those artifacts is a pure function of the handler's own
+/// graph. Everything cross-handler (interning, the item space, item_deps,
+/// the global order, array lower bounds) is rebuilt fresh both ways: it is
+/// O(n log n) cheap and keeps array/handler id changes out of the
+/// correctness argument.
+std::shared_ptr<const LayoutAnalysis> build_analysis(
+    const ir::ProgramIR& ir, int max_conjs, const LayoutAnalysis* prev,
+    const std::set<std::string>* dirty) {
   auto an = std::make_shared<LayoutAnalysis>();
 
-  // Pass 1 per handler. Diagnostics land on the artifact so every consumer
-  // (cold or shared) replays the identical transcript.
-  DiagnosticEngine local_diags;
-  an->guarded.reserve(ir.handlers.size());
-  for (const auto& hg : ir.handlers) {
-    an->guarded.push_back(inline_branches(hg, local_diags, max_conjs));
+  const auto is_dirty = [&](std::size_t h) {
+    return prev == nullptr || dirty == nullptr ||
+           dirty->count(ir.handlers[h].handler) != 0;
+  };
+
+  // Pass 1 per handler, each with a private engine so diagnostics are
+  // per-handler artifacts (what lets an incremental update keep a clean
+  // handler's transcript without re-running it). The flattened handler-order
+  // stream is what Phase B replays — identical to the historical transcript.
+  const std::size_t handler_count = ir.handlers.size();
+  an->guarded.reserve(handler_count);
+  an->handler_diagnostics.reserve(handler_count);
+  for (std::size_t h = 0; h < handler_count; ++h) {
+    if (is_dirty(h)) {
+      DiagnosticEngine local;
+      an->guarded.push_back(inline_branches(ir.handlers[h], local, max_conjs));
+      an->handler_diagnostics.push_back(local.all());
+    } else {
+      an->guarded.push_back(prev->guarded[h]);
+      an->handler_diagnostics.push_back(prev->handler_diagnostics[h]);
+    }
+    for (const Diagnostic& d : an->handler_diagnostics.back()) {
+      an->diagnostics.push_back(d);
+    }
   }
-  an->diagnostics = local_diags.all();
 
   // Interned symbols. Handler id == guarded index; array id == declaration
   // order (ir.arrays), extended on demand for arrays hand-built IR may have
@@ -419,7 +450,6 @@ std::shared_ptr<const LayoutAnalysis> analyze_layout(const ir::ProgramIR& ir,
 
   // Global item space, handler-major. Built after every GuardedHandler is in
   // place: the Item::table pointers must never dangle on vector growth.
-  const std::size_t handler_count = an->guarded.size();
   std::vector<std::vector<int>> item_id(handler_count);
   for (std::size_t h = 0; h < handler_count; ++h) {
     const auto& tables = an->guarded[h].tables;
@@ -440,35 +470,48 @@ std::shared_ptr<const LayoutAnalysis> analyze_layout(const ir::ProgramIR& ir,
   }
   const std::size_t n = an->items.size();
 
-  // Memoized pairwise disjointness. Cross-handler pairs are disjoint by
-  // event id (the dispatcher selects one handler per packet); same-handler
-  // pairs are computed once and mirrored. The diagonal is "not disjoint"
-  // (a table always co-fires with itself), matching tables_disjoint.
-  an->disjoint_.assign(n * n, 1);
+  // Memoized pairwise disjointness, block-diagonal: cross-handler pairs are
+  // disjoint by event id (the dispatcher selects one handler per packet) and
+  // carry no stored state; same-handler pairs are computed once and
+  // mirrored — or, for a clean handler in an incremental update, the whole
+  // block is copied from prev (its tables are byte-identical, so the
+  // pairwise verdicts are too). Diagonals are 0, matching tables_disjoint.
+  an->disjoint_blocks_.resize(handler_count);
   for (std::size_t h = 0; h < handler_count; ++h) {
+    auto& block = an->disjoint_blocks_[h];
+    if (!is_dirty(h)) {
+      block = prev->disjoint_blocks_[h];
+      continue;
+    }
     const auto& tables = an->guarded[h].tables;
-    for (std::size_t i = 0; i < tables.size(); ++i) {
-      const std::size_t gi = static_cast<std::size_t>(item_id[h][i]);
-      an->disjoint_[gi * n + gi] = 0;
-      for (std::size_t j = i + 1; j < tables.size(); ++j) {
-        const std::size_t gj = static_cast<std::size_t>(item_id[h][j]);
+    const std::size_t t = tables.size();
+    block.assign(t * t, 0);
+    for (std::size_t i = 0; i < t; ++i) {
+      for (std::size_t j = i + 1; j < t; ++j) {
         const std::uint8_t d = tables_disjoint(tables[i], tables[j]) ? 1 : 0;
-        an->disjoint_[gi * n + gj] = d;
-        an->disjoint_[gj * n + gi] = d;
+        block[i * t + j] = d;
+        block[j * t + i] = d;
       }
     }
   }
 
   // Pass 2 per handler, consulting the memoized matrix, then ASAP levels.
+  // Clean handlers copy prev's edges and levels (both are functions of the
+  // handler's own tables and same-handler disjointness alone).
   an->deps.reserve(handler_count);
   an->levels.reserve(handler_count);
   for (std::size_t h = 0; h < handler_count; ++h) {
-    an->deps.push_back(dependency_edges_impl(
-        an->guarded[h], [&an, &item_id, h](int i, int j) {
-          return an->disjoint(item_id[h][static_cast<std::size_t>(i)],
-                              item_id[h][static_cast<std::size_t>(j)]);
-        }));
-    an->levels.push_back(asap_levels(an->guarded[h], an->deps.back()));
+    if (is_dirty(h)) {
+      an->deps.push_back(dependency_edges_impl(
+          an->guarded[h], [&an, &item_id, h](int i, int j) {
+            return an->disjoint(item_id[h][static_cast<std::size_t>(i)],
+                                item_id[h][static_cast<std::size_t>(j)]);
+          }));
+      an->levels.push_back(asap_levels(an->guarded[h], an->deps.back()));
+    } else {
+      an->deps.push_back(prev->deps[h]);
+      an->levels.push_back(prev->levels[h]);
+    }
     for (std::size_t i = 0; i < an->levels[h].size(); ++i) {
       an->items[static_cast<std::size_t>(item_id[h][i])].level =
           an->levels[h][i];
@@ -539,6 +582,40 @@ std::shared_ptr<const LayoutAnalysis> analyze_layout(const ir::ProgramIR& ir,
     if (!changed) break;
   }
 
+  return an;
+}
+
+}  // namespace
+
+std::shared_ptr<const LayoutAnalysis> analyze_layout(const ir::ProgramIR& ir,
+                                                     int max_conjs) {
+  return build_analysis(ir, max_conjs, nullptr, nullptr);
+}
+
+std::shared_ptr<const LayoutAnalysis> update_layout_analysis(
+    const LayoutAnalysis& prev, const ir::ProgramIR& ir,
+    const std::set<std::string>& dirty_handlers, int max_conjs,
+    int* handlers_reused) {
+  if (handlers_reused != nullptr) *handlers_reused = 0;
+  // Patching is only sound against the same handler list in the same order
+  // (dense handler ids must line up); anything else — a handler added,
+  // removed, renamed, or reordered — falls back to a full recompute. A clean
+  // handler whose event id shifted (an event decl moved) is also a fallback:
+  // its copied GuardedHandler would carry the stale id.
+  if (prev.guarded.size() != ir.handlers.size() ||
+      prev.handler_diagnostics.size() != prev.guarded.size()) {
+    return nullptr;
+  }
+  int reused = 0;
+  for (std::size_t h = 0; h < ir.handlers.size(); ++h) {
+    if (prev.guarded[h].handler != ir.handlers[h].handler) return nullptr;
+    if (dirty_handlers.count(ir.handlers[h].handler) == 0) {
+      if (prev.guarded[h].event_id != ir.handlers[h].event_id) return nullptr;
+      ++reused;
+    }
+  }
+  auto an = build_analysis(ir, max_conjs, &prev, &dirty_handlers);
+  if (an != nullptr && handlers_reused != nullptr) *handlers_reused = reused;
   return an;
 }
 

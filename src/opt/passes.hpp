@@ -54,6 +54,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -166,19 +167,37 @@ struct LayoutAnalysis {
 
   /// Diagnostics produced while analyzing (e.g. "opt-guard-blowup"),
   /// replayed verbatim into every compilation that consumes this analysis.
+  /// `diagnostics` is the flattened handler-order stream Phase B replays;
+  /// `handler_diagnostics` keeps the same diagnostics per handler so an
+  /// incremental update can carry a clean handler's transcript over without
+  /// re-running branch inlining.
   std::vector<Diagnostic> diagnostics;
+  std::vector<std::vector<Diagnostic>> handler_diagnostics;
 
-  /// Memoized tables_disjoint() over the global item space.
+  /// Memoized tables_disjoint() over the global item space. Cross-handler
+  /// pairs are always disjoint (the event dispatcher selects one handler
+  /// per packet), so only same-handler blocks are stored — O(sum t_h^2)
+  /// memory and fill time instead of the dense items^2 matrix, whose
+  /// allocation alone made Phase A quadratic in whole-program size. Block h
+  /// is row-major over guarded[h].tables local indices; the diagonal is 0
+  /// (a table always co-fires with itself), matching tables_disjoint.
   [[nodiscard]] bool disjoint(int a, int b) const {
-    return disjoint_[static_cast<std::size_t>(a) * items.size() +
-                     static_cast<std::size_t>(b)] != 0;
+    const Item& x = items[static_cast<std::size_t>(a)];
+    const Item& y = items[static_cast<std::size_t>(b)];
+    if (x.handler != y.handler) return true;
+    const auto& block = disjoint_blocks_[static_cast<std::size_t>(x.handler)];
+    const std::size_t t =
+        guarded[static_cast<std::size_t>(x.handler)].tables.size();
+    return block[static_cast<std::size_t>(x.index) * t +
+                 static_cast<std::size_t>(y.index)] != 0;
   }
 
   [[nodiscard]] int item_count() const {
     return static_cast<int>(items.size());
   }
 
-  std::vector<std::uint8_t> disjoint_;  // items.size()^2 matrix (row-major)
+  /// Same-handler disjointness blocks (see disjoint()).
+  std::vector<std::vector<std::uint8_t>> disjoint_blocks_;
 };
 
 /// Runs Phase A: branch inlining, dependency analysis, interning, the
@@ -187,6 +206,21 @@ struct LayoutAnalysis {
 /// (whose merged tables point into it) can keep it alive.
 [[nodiscard]] std::shared_ptr<const LayoutAnalysis> analyze_layout(
     const ir::ProgramIR& ir, int max_conjs = 64);
+
+/// Incremental Phase A: patch `prev` against a new IR in which only
+/// `dirty_handlers` changed. Clean handlers keep their guarded tables,
+/// per-handler diagnostics, dependency edges, ASAP levels, and same-handler
+/// disjointness block from `prev`; dirty handlers are re-analyzed; all
+/// cross-handler structures (item space, order, array bounds) are rebuilt.
+/// Produces an analysis identical to a cold analyze_layout of the new IR
+/// (differential-tested). Returns nullptr when patching is unsound — the
+/// handler list changed shape, or a clean handler's event id moved — and
+/// the caller must fall back to analyze_layout. `handlers_reused`, when
+/// non-null, receives the number of handlers carried over.
+[[nodiscard]] std::shared_ptr<const LayoutAnalysis> update_layout_analysis(
+    const LayoutAnalysis& prev, const ir::ProgramIR& ir,
+    const std::set<std::string>& dirty_handlers, int max_conjs = 64,
+    int* handlers_reused = nullptr);
 
 // ---------------------------------------------------------------------------
 // Phase B: greedy merging / pipeline layout

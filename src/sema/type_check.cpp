@@ -1,12 +1,15 @@
 #include "sema/type_check.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <optional>
 #include <set>
 #include <vector>
 
 #include "frontend/parser.hpp"
+#include "obs/trace.hpp"
 #include "sema/memop_check.hpp"
+#include "support/parallel.hpp"
 
 namespace lucid::sema {
 
@@ -98,8 +101,9 @@ struct FunInfo {
 class Checker {
  public:
   Checker(Program& program, DiagnosticEngine& diags, AnalysisInfo& info,
-          const SemaReuse* reuse)
-      : program_(program), diags_(diags), info_(info), reuse_(reuse) {}
+          const SemaReuse* reuse, int workers)
+      : program_(program), diags_(diags), info_(info), reuse_(reuse),
+        workers_(workers) {}
 
   bool run();
 
@@ -127,6 +131,12 @@ class Checker {
     Type return_type = Type::void_ty();
     bool in_handler = false;
     std::string owner;  // handler/fun name for diagnostics
+    // Diagnostics sink + error flag for this checking context. Serial phases
+    // point at the compilation's engine; parallel per-decl tasks each get a
+    // private engine whose diagnostics are merged back in task order, so
+    // output is deterministic regardless of worker interleaving.
+    DiagnosticEngine* diags = nullptr;
+    bool ok = true;
   };
 
   void push_scope(Ctx& ctx) { ctx.scopes.emplace_back(); }
@@ -159,7 +169,9 @@ class Checker {
 
   // ---- declarations ------------------------------------------------------------
   void check_fun(FunInfo& fi);
-  void check_handler(HandlerDecl& h);
+  void check_handler(HandlerDecl& h, DiagnosticEngine& diags, bool& ok,
+                     std::optional<int>& end_stage);
+  void check_bodies();
 
   Program& program_;
   DiagnosticEngine& diags_;
@@ -182,6 +194,7 @@ class Checker {
   std::size_t decls_reused_ = 0;
 
   EffectVar next_var_ = 0;
+  int workers_ = 1;
   bool ok_ = true;
 };
 
@@ -193,30 +206,75 @@ bool Checker::run() {
   eval_consts_and_globals();
   prepare_reuse();
 
-  // Memops (syntactic single-ALU restrictions).
-  for (auto& [name, m] : memops_) {
-    if (skip_body_.count(m) != 0) continue;  // validated in the prior compile
-    if (!check_memop(*m, [this](std::string_view n) { return is_const_name(n); },
-                     diags_)) {
-      ok_ = false;
-    }
-  }
-
-  // Functions (on demand from call sites, but force-check all here so
-  // unused functions are validated too). Reused funs arrive pre-checked
+  // Functions first (serially, on the compilation's engine): fun signatures
+  // are demanded by call sites, and force-checking them all here means no
+  // parallel task ever re-enters check_fun. Reused funs arrive pre-checked
   // (prepare_reuse seeded their signatures).
   for (auto& [name, fi] : funs_) {
     if (!fi.checked) check_fun(fi);
   }
 
-  // Handlers.
+  // Memop and handler bodies are mutually independent once the symbol maps,
+  // const environment, and fun signatures are in — fan them out.
+  check_bodies();
+
+  return ok_ && diags_.error_count() == errors_at_entry;
+}
+
+void Checker::check_bodies() {
+  // Tasks in the serial checking order — memops in map (name) order, then
+  // handlers in declaration order — so the merged diagnostic stream is
+  // byte-identical to a serial check at any worker count.
+  struct Task {
+    MemopDecl* memop = nullptr;
+    HandlerDecl* handler = nullptr;
+  };
+  struct TaskOut {
+    DiagnosticEngine diags;
+    bool ok = true;
+    std::optional<int> end_stage;
+  };
+  std::vector<Task> tasks;
+  for (auto& [name, m] : memops_) {
+    if (skip_body_.count(m) != 0) continue;  // validated in the prior compile
+    tasks.push_back(Task{m, nullptr});
+  }
   for (auto& d : program_.decls) {
     if (d->kind == DeclKind::Handler && skip_body_.count(d.get()) == 0) {
-      check_handler(*d->as<HandlerDecl>());
+      tasks.push_back(Task{nullptr, d->as<HandlerDecl>()});
     }
   }
 
-  return ok_ && diags_.error_count() == errors_at_entry;
+  std::vector<TaskOut> outs(tasks.size());
+  std::atomic<int> failed{0};
+  parallel_for(tasks.size(), workers_, [&](std::size_t i) {
+    const Task& t = tasks[i];
+    TaskOut& out = outs[i];
+    if (t.memop != nullptr) {
+      obs::ScopedSpan span("sema", "check_memop");
+      span.arg("decl", std::string_view(t.memop->name));
+      out.ok = check_memop(
+          *t.memop, [this](std::string_view n) { return is_const_name(n); },
+          out.diags);
+    } else {
+      obs::ScopedSpan span("sema", "check_handler");
+      span.arg("decl", std::string_view(t.handler->name));
+      check_handler(*t.handler, out.diags, out.ok, out.end_stage);
+    }
+    if (!out.ok) failed.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  // Deterministic merge, in task order.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    TaskOut& out = outs[i];
+    for (const Diagnostic& d : out.diags.all()) {
+      diags_.add(d.severity, d.range, d.code, d.message);
+    }
+    if (tasks[i].handler != nullptr && out.end_stage.has_value()) {
+      info_.handler_end_stage[tasks[i].handler->name] = *out.end_stage;
+    }
+  }
+  if (failed.load(std::memory_order_relaxed) != 0) ok_ = false;
 }
 
 void Checker::prepare_reuse() {
@@ -249,16 +307,21 @@ void Checker::prepare_reuse() {
     Decl& d = *program_.decls[i];
     const Decl& p = *prev.decls[static_cast<std::size_t>(j)];
     bool applied = false;
+    // A spliced decl IS the previous node (incremental parse shares the
+    // pointer): its annotations are already in place, so the mirror copy is
+    // skipped — copying onto itself would be a pointless self-write on a
+    // node another compilation may be reading.
+    const bool same_node = &p == &d;
     switch (d.kind) {
       case DeclKind::Memop:
-        applied = copy_annotations(p, d);
+        applied = same_node || copy_annotations(p, d);
         if (applied) skip_body_.insert(&d);
         break;
       case DeclKind::Fun: {
         const auto sig = prev_info.fun_sigs.find(d.name);
         const auto fit = funs_.find(d.name);
         if (sig != prev_info.fun_sigs.end() && fit != funs_.end() &&
-            fit->second.decl == &d && copy_annotations(p, d)) {
+            fit->second.decl == &d && (same_node || copy_annotations(p, d))) {
           fit->second.sig = sig->second;
           fit->second.checked = true;
           info_.fun_sigs[d.name] = sig->second;
@@ -270,7 +333,7 @@ void Checker::prepare_reuse() {
         break;
       }
       case DeclKind::Handler:
-        applied = copy_annotations(p, d);
+        applied = same_node || copy_annotations(p, d);
         if (applied) {
           skip_body_.insert(&d);
           const auto end = prev_info.handler_end_stage.find(d.name);
@@ -310,7 +373,12 @@ void Checker::collect_decls() {
         break;
       case DeclKind::Global: {
         auto* g = d->as<GlobalDecl>();
-        g->stage_index = next_stage++;
+        // Spliced decls are shared with the previous compilation — only
+        // write the annotation when it actually changes (an unchanged
+        // ordinal is the common case; a changed one means the planner
+        // already dirtied + un-shared the decl).
+        const int stage = next_stage++;
+        if (g->stage_index != stage) g->stage_index = stage;
         globals_[d->name] = g;
         break;
       }
@@ -325,7 +393,8 @@ void Checker::collect_decls() {
         break;
       case DeclKind::Event: {
         auto* e = d->as<EventDecl>();
-        e->event_id = next_event_id++;
+        const int id = next_event_id++;
+        if (e->event_id != id) e->event_id = id;
         events_[d->name] = e;
         break;
       }
@@ -358,7 +427,7 @@ void Checker::eval_consts_and_globals() {
         ok_ = false;
         continue;
       }
-      c->resolved_value = v;
+      if (c->resolved_value != v) c->resolved_value = v;
       const_env_[c->name] = v;
     } else if (d->kind == DeclKind::Global) {
       auto* g = d->as<GlobalDecl>();
@@ -370,10 +439,10 @@ void Checker::eval_consts_and_globals() {
         ok_ = false;
         continue;
       }
-      g->resolved_size = v;
+      if (g->resolved_size != v) g->resolved_size = v;
     } else if (d->kind == DeclKind::Group) {
       auto* grp = d->as<GroupDecl>();
-      grp->resolved_members.clear();
+      std::vector<std::int64_t> members;
       for (auto& m : grp->members) {
         std::int64_t v = 0;
         if (!const_eval(*m, const_env_, v)) {
@@ -382,7 +451,10 @@ void Checker::eval_consts_and_globals() {
           ok_ = false;
           continue;
         }
-        grp->resolved_members.push_back(v);
+        members.push_back(v);
+      }
+      if (grp->resolved_members != members) {
+        grp->resolved_members = std::move(members);
       }
     }
   }
@@ -391,16 +463,16 @@ void Checker::eval_consts_and_globals() {
 bool Checker::define_local(Ctx& ctx, const std::string& name, Type t,
                            SrcRange r) {
   if (globals_.count(name) || consts_.count(name)) {
-    diags_.error(r, "sema-shadows-global",
+    ctx.diags->error(r, "sema-shadows-global",
                  "local '" + name + "' shadows a top-level declaration");
-    ok_ = false;
+    ctx.ok = false;
     return false;
   }
   auto& scope = ctx.scopes.back();
   if (!scope.emplace(name, t).second) {
-    diags_.error(r, "sema-redefined",
+    ctx.diags->error(r, "sema-redefined",
                  "'" + name + "' is already defined in this scope");
-    ok_ = false;
+    ctx.ok = false;
     return false;
   }
   return true;
@@ -438,15 +510,15 @@ void Checker::emit_or_check(Ctx& ctx, EffectConstraint c) {
                         " (current stage term: " + c.lhs.str() +
                         "); globals must be accessed in declaration order "
                         "(section 5)";
-      diags_.error(c.site, "effect-out-of-order", std::move(msg));
+      ctx.diags->error(c.site, "effect-out-of-order", std::move(msg));
       if (blame && blame->site.valid()) {
-        diags_.note(blame->site, "effect-prior-access",
+        ctx.diags->note(blame->site, "effect-prior-access",
                     "the conflicting earlier " +
                         (blame->origin.empty() ? std::string("access")
                                                : blame->origin) +
                         " is here");
       }
-      ok_ = false;
+      ctx.ok = false;
     }
     return;
   }
@@ -454,9 +526,9 @@ void Checker::emit_or_check(Ctx& ctx, EffectConstraint c) {
   if (ctx.sig != nullptr) {
     ctx.sig->constraints.push_back(std::move(c));
   } else {
-    diags_.error(c.site, "effect-unresolved",
+    ctx.diags->error(c.site, "effect-unresolved",
                  "internal: unresolved effect constraint in handler context");
-    ok_ = false;
+    ctx.ok = false;
   }
 }
 
@@ -478,10 +550,10 @@ void Checker::apply_access(Ctx& ctx, const StageAtom& target, SrcRange site,
 
 std::optional<StageAtom> Checker::array_atom(Ctx& ctx, Expr& e) {
   if (e.kind != ExprKind::VarRef) {
-    diags_.error(e.range, "sema-array-operand",
+    ctx.diags->error(e.range, "sema-array-operand",
                  "the first argument of an Array method must name a global "
                  "array or an Array parameter");
-    ok_ = false;
+    ctx.ok = false;
     return std::nullopt;
   }
   auto* ref = e.as<VarRefExpr>();
@@ -500,10 +572,10 @@ std::optional<StageAtom> Checker::array_atom(Ctx& ctx, Expr& e) {
                              "access to array parameter '" + ref->name + "'",
                              e.range);
   }
-  diags_.error(e.range, "sema-unknown-array",
+  ctx.diags->error(e.range, "sema-unknown-array",
                "'" + ref->name + "' is not a global array" +
                    (ctx.sig ? " or Array parameter" : ""));
-  ok_ = false;
+  ctx.ok = false;
   return std::nullopt;
 }
 
@@ -529,17 +601,17 @@ Type Checker::check_expr(Ctx& ctx, Expr& e, int expected_width) {
       const Type sub = check_expr(ctx, *u->sub, expected_width);
       if (u->op == UnOp::Not) {
         if (!sub.is_bool()) {
-          diags_.error(e.range, "type-expected-bool",
+          ctx.diags->error(e.range, "type-expected-bool",
                        "'!' requires a bool operand, found " + sub.str());
-          ok_ = false;
+          ctx.ok = false;
         }
         e.type = Type::bool_ty();
       } else {
         if (!sub.is_int()) {
-          diags_.error(e.range, "type-expected-int",
+          ctx.diags->error(e.range, "type-expected-int",
                        std::string(unop_name(u->op)) +
                            " requires an int operand, found " + sub.str());
-          ok_ = false;
+          ctx.ok = false;
         }
         e.type = sub.is_int() ? sub : Type::int_ty();
       }
@@ -587,9 +659,9 @@ Type Checker::check_var_ref(Ctx& ctx, VarRefExpr& e, int expected_width) {
     e.type = Type::unknown();  // only meaningful in Array-call positions
     return e.type;
   }
-  diags_.error(e.range, "sema-undefined",
+  ctx.diags->error(e.range, "sema-undefined",
                "use of undefined name '" + e.name + "'");
-  ok_ = false;
+  ctx.ok = false;
   e.type = Type::unknown();
   return e.type;
 }
@@ -599,11 +671,11 @@ Type Checker::check_binary(Ctx& ctx, BinaryExpr& e, int expected_width) {
     const Type l = check_expr(ctx, *e.lhs);
     const Type r = check_expr(ctx, *e.rhs);
     if (!l.is_bool() || !r.is_bool()) {
-      diags_.error(e.range, "type-expected-bool",
+      ctx.diags->error(e.range, "type-expected-bool",
                    std::string(binop_name(e.op)) +
                        " requires bool operands, found " + l.str() + " and " +
                        r.str());
-      ok_ = false;
+      ctx.ok = false;
     }
     e.type = Type::bool_ty();
     return e.type;
@@ -625,15 +697,15 @@ Type Checker::check_binary(Ctx& ctx, BinaryExpr& e, int expected_width) {
     }
   }
   if (!l.is_int() || !r.is_int()) {
-    diags_.error(e.range, "type-expected-int",
+    ctx.diags->error(e.range, "type-expected-int",
                  std::string(binop_name(e.op)) +
                      " requires int operands, found " + l.str() + " and " +
                      r.str());
-    ok_ = false;
+    ctx.ok = false;
   } else if (l.width != r.width) {
-    diags_.error(e.range, "type-width-mismatch",
+    ctx.diags->error(e.range, "type-width-mismatch",
                  "operand widths differ: " + l.str() + " vs " + r.str());
-    ok_ = false;
+    ctx.ok = false;
   }
   e.type = binop_is_comparison(e.op) ? Type::bool_ty() : l;
   return e.type;
@@ -643,17 +715,17 @@ bool Checker::check_memop_arg(Ctx& ctx, Expr& e,
                               const GlobalDecl* array_hint) {
   (void)array_hint;
   if (e.kind != ExprKind::VarRef) {
-    diags_.error(e.range, "sema-expected-memop",
+    ctx.diags->error(e.range, "sema-expected-memop",
                  "expected a memop name in this argument position");
-    ok_ = false;
+    ctx.ok = false;
     return false;
   }
   auto* ref = e.as<VarRefExpr>();
   const auto it = memops_.find(ref->name);
   if (it == memops_.end()) {
-    diags_.error(e.range, "sema-expected-memop",
+    ctx.diags->error(e.range, "sema-expected-memop",
                  "'" + ref->name + "' is not a declared memop");
-    ok_ = false;
+    ctx.ok = false;
     return false;
   }
   ref->is_memop_ref = true;
@@ -669,8 +741,8 @@ Type Checker::check_array_call(Ctx& ctx, CallExpr& e) {
   const bool memop_required = m == "Array.getm" || m == "Array.setm";
 
   if (e.args.empty()) {
-    diags_.error(e.range, "sema-arity", m + " requires arguments");
-    ok_ = false;
+    ctx.diags->error(e.range, "sema-arity", m + " requires arguments");
+    ctx.ok = false;
     e.type = Type::unknown();
     return e.type;
   }
@@ -691,24 +763,24 @@ Type Checker::check_array_call(Ctx& ctx, CallExpr& e) {
 
   // Index argument.
   if (e.args.size() < 2) {
-    diags_.error(e.range, "sema-arity", m + " requires an index argument");
-    ok_ = false;
+    ctx.diags->error(e.range, "sema-arity", m + " requires an index argument");
+    ctx.ok = false;
     e.type = Type::unknown();
     return e.type;
   }
   const Type idx_t = check_expr(ctx, *e.args[1]);
   if (!idx_t.is_int()) {
-    diags_.error(e.args[1]->range, "type-expected-int",
+    ctx.diags->error(e.args[1]->range, "type-expected-int",
                  "array index must be an int, found " + idx_t.str());
-    ok_ = false;
+    ctx.ok = false;
   }
 
   auto check_value_at = [&](std::size_t i) {
     const Type t = check_expr(ctx, *e.args[i], cell_width);
     if (!t.is_int()) {
-      diags_.error(e.args[i]->range, "type-expected-int",
+      ctx.diags->error(e.args[i]->range, "type-expected-int",
                    "array operand must be an int, found " + t.str());
-      ok_ = false;
+      ctx.ok = false;
     }
   };
 
@@ -716,37 +788,37 @@ Type Checker::check_array_call(Ctx& ctx, CallExpr& e) {
     e.resolved = m == "Array.get" ? CallKind::ArrayGet : CallKind::ArrayGetm;
     if (e.args.size() == 2) {
       if (memop_required) {
-        diags_.error(e.range, "sema-arity",
+        ctx.diags->error(e.range, "sema-arity",
                      "Array.getm requires a memop and argument "
                      "(use Array.get for a plain read)");
-        ok_ = false;
+        ctx.ok = false;
       }
     } else if (e.args.size() == 4) {
       if (check_memop_arg(ctx, *e.args[2], gd)) check_value_at(3);
     } else {
-      diags_.error(e.range, "sema-arity",
+      ctx.diags->error(e.range, "sema-arity",
                    m + " takes (array, index) or (array, index, memop, arg)");
-      ok_ = false;
+      ctx.ok = false;
     }
     e.type = Type::int_ty(cell_width);
   } else if (is_set) {
     e.resolved = m == "Array.set" ? CallKind::ArraySet : CallKind::ArraySetm;
     if (e.args.size() == 3) {
       if (memop_required) {
-        diags_.error(e.range, "sema-arity",
+        ctx.diags->error(e.range, "sema-arity",
                      "Array.setm requires a memop and argument "
                      "(use Array.set for a plain write)");
-        ok_ = false;
+        ctx.ok = false;
       } else {
         check_value_at(2);
       }
     } else if (e.args.size() == 4) {
       if (check_memop_arg(ctx, *e.args[2], gd)) check_value_at(3);
     } else {
-      diags_.error(e.range, "sema-arity",
+      ctx.diags->error(e.range, "sema-arity",
                    m + " takes (array, index, value) or (array, index, "
                        "memop, arg)");
-      ok_ = false;
+      ctx.ok = false;
     }
     e.type = Type::void_ty();
   } else if (is_update) {
@@ -757,16 +829,16 @@ Type Checker::check_array_call(Ctx& ctx, CallExpr& e) {
       const bool set_ok = check_memop_arg(ctx, *e.args[4], gd);
       if (set_ok) check_value_at(5);
     } else {
-      diags_.error(e.range, "sema-arity",
+      ctx.diags->error(e.range, "sema-arity",
                    "Array.update takes (array, index, get_memop, get_arg, "
                    "set_memop, set_arg)");
-      ok_ = false;
+      ctx.ok = false;
     }
     e.type = Type::int_ty(cell_width);
   } else {
-    diags_.error(e.range, "sema-unknown-builtin",
+    ctx.diags->error(e.range, "sema-unknown-builtin",
                  "unknown Array method '" + m + "'");
-    ok_ = false;
+    ctx.ok = false;
     e.type = Type::unknown();
     return e.type;
   }
@@ -780,34 +852,34 @@ Type Checker::check_array_call(Ctx& ctx, CallExpr& e) {
 
 Type Checker::check_event_combinator(Ctx& ctx, CallExpr& e) {
   if (e.args.size() != 2) {
-    diags_.error(e.range, "sema-arity",
+    ctx.diags->error(e.range, "sema-arity",
                  e.callee + " takes (event, argument)");
-    ok_ = false;
+    ctx.ok = false;
     e.type = Type::event_ty();
     return e.type;
   }
   const Type ev = check_expr(ctx, *e.args[0]);
   if (!ev.is_event()) {
-    diags_.error(e.args[0]->range, "type-expected-event",
+    ctx.diags->error(e.args[0]->range, "type-expected-event",
                  e.callee + " expects an event, found " + ev.str());
-    ok_ = false;
+    ctx.ok = false;
   }
   if (e.callee == "Event.delay") {
     e.resolved = CallKind::EventDelay;
     const Type t = check_expr(ctx, *e.args[1]);
     if (!t.is_int()) {
-      diags_.error(e.args[1]->range, "type-expected-int",
+      ctx.diags->error(e.args[1]->range, "type-expected-int",
                    "Event.delay expects a time in ns, found " + t.str());
-      ok_ = false;
+      ctx.ok = false;
     }
   } else {
     e.resolved = CallKind::EventLocate;
     const Type t = check_expr(ctx, *e.args[1]);
     if (!t.is_int() && t.kind != TypeKind::Group) {
-      diags_.error(e.args[1]->range, "type-expected-location",
+      ctx.diags->error(e.args[1]->range, "type-expected-location",
                    "Event.locate expects a switch id or group, found " +
                        t.str());
-      ok_ = false;
+      ctx.ok = false;
     }
   }
   e.type = Type::event_ty();
@@ -824,8 +896,8 @@ Type Checker::check_call(Ctx& ctx, CallExpr& e) {
   if (name == "Sys.time") {
     e.resolved = CallKind::SysTime;
     if (!e.args.empty()) {
-      diags_.error(e.range, "sema-arity", "Sys.time takes no arguments");
-      ok_ = false;
+      ctx.diags->error(e.range, "sema-arity", "Sys.time takes no arguments");
+      ctx.ok = false;
     }
     e.type = Type::int_ty(32);
     return e.type;
@@ -833,8 +905,8 @@ Type Checker::check_call(Ctx& ctx, CallExpr& e) {
   if (name == "Sys.self") {
     e.resolved = CallKind::SysSelf;
     if (!e.args.empty()) {
-      diags_.error(e.range, "sema-arity", "Sys.self takes no arguments");
-      ok_ = false;
+      ctx.diags->error(e.range, "sema-arity", "Sys.self takes no arguments");
+      ctx.ok = false;
     }
     e.type = Type::int_ty(32);
     return e.type;
@@ -842,16 +914,16 @@ Type Checker::check_call(Ctx& ctx, CallExpr& e) {
   if (name == "hash") {
     e.resolved = CallKind::Hash;
     if (e.args.empty()) {
-      diags_.error(e.range, "sema-arity",
+      ctx.diags->error(e.range, "sema-arity",
                    "hash takes a seed and at least one value");
-      ok_ = false;
+      ctx.ok = false;
     }
     for (auto& a : e.args) {
       const Type t = check_expr(ctx, *a);
       if (!t.is_int()) {
-        diags_.error(a->range, "type-expected-int",
+        ctx.diags->error(a->range, "type-expected-int",
                      "hash arguments must be ints, found " + t.str());
-        ok_ = false;
+        ctx.ok = false;
       }
     }
     e.type = Type::int_ty(32);
@@ -863,22 +935,22 @@ Type Checker::check_call(Ctx& ctx, CallExpr& e) {
     e.resolved = CallKind::EventCtor;
     const auto& params = it->second->params;
     if (e.args.size() != params.size()) {
-      diags_.error(e.range, "sema-arity",
+      ctx.diags->error(e.range, "sema-arity",
                    "event '" + name + "' takes " +
                        std::to_string(params.size()) + " arguments, found " +
                        std::to_string(e.args.size()));
-      ok_ = false;
+      ctx.ok = false;
     }
     for (std::size_t i = 0; i < e.args.size() && i < params.size(); ++i) {
       const Type t = check_expr(ctx, *e.args[i], params[i].type.width);
       if (!(t == params[i].type) &&
           !(t.is_int() && params[i].type.is_int() &&
             e.args[i]->kind == ExprKind::IntLit)) {
-        diags_.error(e.args[i]->range, "type-event-arg",
+        ctx.diags->error(e.args[i]->range, "type-event-arg",
                      "argument " + std::to_string(i + 1) + " of event '" +
                          name + "' expects " + params[i].type.str() +
                          ", found " + t.str());
-        ok_ = false;
+        ctx.ok = false;
       }
     }
     e.type = Type::event_ty();
@@ -890,10 +962,10 @@ Type Checker::check_call(Ctx& ctx, CallExpr& e) {
     FunInfo& fi = it->second;
     e.resolved = CallKind::UserFun;
     if (fi.in_progress) {
-      diags_.error(e.range, "sema-recursion",
+      ctx.diags->error(e.range, "sema-recursion",
                    "recursive functions are not supported in the data plane; "
                    "use a recursive event instead (section 3.1)");
-      ok_ = false;
+      ctx.ok = false;
       e.type = fi.decl->return_type;
       return e.type;
     }
@@ -901,11 +973,11 @@ Type Checker::check_call(Ctx& ctx, CallExpr& e) {
 
     const auto& params = fi.decl->params;
     if (e.args.size() != params.size()) {
-      diags_.error(e.range, "sema-arity",
+      ctx.diags->error(e.range, "sema-arity",
                    "function '" + name + "' takes " +
                        std::to_string(params.size()) + " arguments, found " +
                        std::to_string(e.args.size()));
-      ok_ = false;
+      ctx.ok = false;
       e.type = fi.decl->return_type;
       return e.type;
     }
@@ -928,23 +1000,23 @@ Type Checker::check_call(Ctx& ctx, CallExpr& e) {
         }
         if (e.args[i]->type.kind == TypeKind::Array &&
             e.args[i]->type.width != params[i].type.width) {
-          diags_.error(e.args[i]->range, "type-width-mismatch",
+          ctx.diags->error(e.args[i]->range, "type-width-mismatch",
                        "array argument width " +
                            std::to_string(e.args[i]->type.width) +
                            " does not match parameter width " +
                            std::to_string(params[i].type.width));
-          ok_ = false;
+          ctx.ok = false;
         }
       } else {
         const Type t = check_expr(ctx, *e.args[i], params[i].type.width);
         if (!(t == params[i].type) &&
             !(t.is_int() && params[i].type.is_int() &&
               e.args[i]->kind == ExprKind::IntLit)) {
-          diags_.error(e.args[i]->range, "type-fun-arg",
+          ctx.diags->error(e.args[i]->range, "type-fun-arg",
                        "argument " + std::to_string(i + 1) + " of '" + name +
                            "' expects " + params[i].type.str() + ", found " +
                            t.str());
-          ok_ = false;
+          ctx.ok = false;
         }
       }
     }
@@ -965,18 +1037,18 @@ Type Checker::check_call(Ctx& ctx, CallExpr& e) {
   }
 
   if (memops_.count(name)) {
-    diags_.error(e.range, "sema-memop-call",
+    ctx.diags->error(e.range, "sema-memop-call",
                  "memop '" + name +
                      "' cannot be called directly; pass it to an Array "
                      "method (section 4.2)");
-    ok_ = false;
+    ctx.ok = false;
     e.type = Type::unknown();
     return e.type;
   }
 
-  diags_.error(e.range, "sema-undefined",
+  ctx.diags->error(e.range, "sema-undefined",
                "call to undefined function or event '" + name + "'");
-  ok_ = false;
+  ctx.ok = false;
   e.type = Type::unknown();
   return e.type;
 }
@@ -1002,28 +1074,28 @@ bool Checker::check_stmt(Ctx& ctx, Stmt& s) {
       const Type t = check_expr(ctx, *d->init, d->declared_type.width);
       if (d->declared_type.kind == TypeKind::Event) {
         if (!t.is_event()) {
-          diags_.error(d->init->range, "type-expected-event",
+          ctx.diags->error(d->init->range, "type-expected-event",
                        "initializer must be an event, found " + t.str());
-          ok_ = false;
+          ctx.ok = false;
         }
       } else if (d->declared_type.is_int()) {
         if (!t.is_int()) {
-          diags_.error(d->init->range, "type-expected-int",
+          ctx.diags->error(d->init->range, "type-expected-int",
                        "initializer must be an int, found " + t.str());
-          ok_ = false;
+          ctx.ok = false;
         } else if (t.width != d->declared_type.width &&
                    d->init->kind != ExprKind::IntLit) {
-          diags_.error(d->init->range, "type-width-mismatch",
+          ctx.diags->error(d->init->range, "type-width-mismatch",
                        "initializer width " + std::to_string(t.width) +
                            " does not match declared width " +
                            std::to_string(d->declared_type.width));
-          ok_ = false;
+          ctx.ok = false;
         }
       } else if (d->declared_type.is_bool()) {
         if (!t.is_bool()) {
-          diags_.error(d->init->range, "type-expected-bool",
+          ctx.diags->error(d->init->range, "type-expected-bool",
                        "initializer must be a bool, found " + t.str());
-          ok_ = false;
+          ctx.ok = false;
         }
       }
       define_local(ctx, d->name, d->declared_type, s.range);
@@ -1033,24 +1105,24 @@ bool Checker::check_stmt(Ctx& ctx, Stmt& s) {
       auto* a = s.as<AssignStmt>();
       const Type* t = lookup_local(ctx, a->name);
       if (t == nullptr) {
-        diags_.error(s.range, "sema-undefined",
+        ctx.diags->error(s.range, "sema-undefined",
                      "assignment to undefined variable '" + a->name + "'");
-        ok_ = false;
+        ctx.ok = false;
         (void)check_expr(ctx, *a->value);
         return false;
       }
       const Type vt = check_expr(ctx, *a->value, t->width);
       if (t->is_int() && vt.is_int()) {
         if (t->width != vt.width && a->value->kind != ExprKind::IntLit) {
-          diags_.error(a->value->range, "type-width-mismatch",
+          ctx.diags->error(a->value->range, "type-width-mismatch",
                        "assignment width mismatch: " + t->str() + " vs " +
                            vt.str());
-          ok_ = false;
+          ctx.ok = false;
         }
       } else if (!(vt == *t)) {
-        diags_.error(a->value->range, "type-mismatch",
+        ctx.diags->error(a->value->range, "type-mismatch",
                      "cannot assign " + vt.str() + " to " + t->str());
-        ok_ = false;
+        ctx.ok = false;
       }
       return false;
     }
@@ -1058,9 +1130,9 @@ bool Checker::check_stmt(Ctx& ctx, Stmt& s) {
       auto* i = s.as<IfStmt>();
       const Type c = check_expr(ctx, *i->cond);
       if (!c.is_bool()) {
-        diags_.error(i->cond->range, "type-expected-bool",
+        ctx.diags->error(i->cond->range, "type-expected-bool",
                      "if condition must be a bool, found " + c.str());
-        ok_ = false;
+        ctx.ok = false;
       }
       // Both branches are laid out in the pipeline (predicated execution):
       // they start at the same stage, and the join continues at the max —
@@ -1092,9 +1164,9 @@ bool Checker::check_stmt(Ctx& ctx, Stmt& s) {
       auto* g = s.as<GenerateStmt>();
       const Type t = check_expr(ctx, *g->event);
       if (!t.is_event()) {
-        diags_.error(g->event->range, "type-expected-event",
+        ctx.diags->error(g->event->range, "type-expected-event",
                      "generate expects an event, found " + t.str());
-        ok_ = false;
+        ctx.ok = false;
       }
       return false;
     }
@@ -1102,32 +1174,32 @@ bool Checker::check_stmt(Ctx& ctx, Stmt& s) {
       auto* r = s.as<ReturnStmt>();
       if (ctx.in_handler) {
         if (r->value) {
-          diags_.error(s.range, "type-handler-return",
+          ctx.diags->error(s.range, "type-handler-return",
                        "handlers do not return values");
-          ok_ = false;
+          ctx.ok = false;
         }
         return true;
       }
       if (ctx.return_type.kind == TypeKind::Void) {
         if (r->value) {
-          diags_.error(s.range, "type-return-mismatch",
+          ctx.diags->error(s.range, "type-return-mismatch",
                        "void function returns a value");
-          ok_ = false;
+          ctx.ok = false;
         }
       } else {
         if (!r->value) {
-          diags_.error(s.range, "type-return-mismatch",
+          ctx.diags->error(s.range, "type-return-mismatch",
                        "non-void function must return a value");
-          ok_ = false;
+          ctx.ok = false;
         } else {
           const Type t = check_expr(ctx, *r->value, ctx.return_type.width);
           if (!(t == ctx.return_type) &&
               !(t.is_int() && ctx.return_type.is_int() &&
                 r->value->kind == ExprKind::IntLit)) {
-            diags_.error(r->value->range, "type-return-mismatch",
+            ctx.diags->error(r->value->range, "type-return-mismatch",
                          "return type " + t.str() + " does not match " +
                              ctx.return_type.str());
-            ok_ = false;
+            ctx.ok = false;
           }
         }
       }
@@ -1145,7 +1217,10 @@ void Checker::check_fun(FunInfo& fi) {
   fi.in_progress = true;
   FunDecl& f = *fi.decl;
 
+  // Funs are only ever checked serially (run() forces them all before the
+  // parallel body phase), so they report straight to the compilation engine.
   Ctx ctx;
+  ctx.diags = &diags_;
   ctx.owner = f.name;
   ctx.sig = &fi.sig;
   ctx.return_type = f.return_type;
@@ -1173,48 +1248,53 @@ void Checker::check_fun(FunInfo& fi) {
   fi.in_progress = false;
   fi.checked = true;
   info_.fun_sigs[f.name] = fi.sig;
+  if (!ctx.ok) ok_ = false;
 }
 
-void Checker::check_handler(HandlerDecl& h) {
+void Checker::check_handler(HandlerDecl& h, DiagnosticEngine& diags, bool& ok,
+                            std::optional<int>& end_stage) {
+  Ctx ctx;
+  ctx.diags = &diags;
+  ctx.owner = h.name;
+  ctx.in_handler = true;
+  ctx.cur = EffectTerm::concrete(0);
+
   const auto ev = events_.find(h.name);
   if (ev == events_.end()) {
-    diags_.error(h.range, "sema-handler-without-event",
+    ctx.diags->error(h.range, "sema-handler-without-event",
                  "handler '" + h.name + "' has no matching event declaration");
-    ok_ = false;
+    ctx.ok = false;
   } else {
     const auto& ep = ev->second->params;
     if (ep.size() != h.params.size()) {
-      diags_.error(h.range, "sema-handler-signature",
+      ctx.diags->error(h.range, "sema-handler-signature",
                    "handler '" + h.name + "' takes " +
                        std::to_string(h.params.size()) +
                        " parameters but event declares " +
                        std::to_string(ep.size()));
-      ok_ = false;
+      ctx.ok = false;
     } else {
       for (std::size_t i = 0; i < ep.size(); ++i) {
         if (!(ep[i].type == h.params[i].type)) {
-          diags_.error(h.params[i].range, "sema-handler-signature",
+          ctx.diags->error(h.params[i].range, "sema-handler-signature",
                        "parameter " + std::to_string(i + 1) + " of handler '" +
                            h.name + "' has type " + h.params[i].type.str() +
                            " but event declares " + ep[i].type.str());
-          ok_ = false;
+          ctx.ok = false;
         }
       }
     }
   }
 
-  Ctx ctx;
-  ctx.owner = h.name;
-  ctx.in_handler = true;
-  ctx.cur = EffectTerm::concrete(0);
   push_scope(ctx);
   for (const Param& p : h.params) define_local(ctx, p.name, p.type, p.range);
   check_block(ctx, h.body);
   pop_scope(ctx);
 
   if (const auto end = ctx.cur.concrete_value()) {
-    info_.handler_end_stage[h.name] = *end;
+    end_stage = *end;
   }
+  if (!ctx.ok) ok = false;
 }
 
 }  // namespace
@@ -1222,7 +1302,7 @@ void Checker::check_handler(HandlerDecl& h) {
 bool TypeChecker::check(Program& program, const SemaReuse* reuse) {
   info_ = AnalysisInfo{};
   decls_reused_ = 0;
-  Checker checker(program, diags_, info_, reuse);
+  Checker checker(program, diags_, info_, reuse, workers_);
   const bool ok = checker.run();
   decls_reused_ = checker.decls_reused();
   return ok;
