@@ -61,7 +61,7 @@
 namespace lucid {
 
 /// Compiler/driver version, reported by `lucidc --version`.
-inline constexpr std::string_view kLucidVersion = "0.8.0";
+inline constexpr std::string_view kLucidVersion = "0.9.0";
 
 // ---------------------------------------------------------------------------
 // Stages

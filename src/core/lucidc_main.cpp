@@ -33,6 +33,17 @@
 //                                     scheduler boundaries, then the
 //                                     install/apply statistics snapshot
 //                                     plus a metrics dump
+//   lucidc --native-demo FILE         JIT-compile the program and run a
+//                                     synthetic burst schedule on the
+//                                     sharded native data path; print
+//                                     per-shard and merged statistics
+//   lucidc --native-shards=N          shard count for --native-demo
+//                                     (default 1)
+//   lucidc --native-dispatch=KIND     event dispatch flavour for the JIT
+//                                     module: switch (portable, default),
+//                                     goto (computed-goto threaded
+//                                     dispatch), or auto (build both,
+//                                     micro-measure, keep the winner)
 //   lucidc --trace-out=FILE ...       record structured spans across the
 //                                     compiler/runtimes and write Chrome
 //                                     trace-event JSON (open in Perfetto)
@@ -56,11 +67,15 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "core/backends.hpp"
 #include "core/cache.hpp"
 #include "core/sweep.hpp"
 #include "ctrl/interp_bridge.hpp"
 #include "interp/testbed.hpp"
+#include "native/differential.hpp"
+#include "native/fleet.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "support/strings.hpp"
@@ -100,6 +115,17 @@ void usage(std::ostream& os) {
         "                     control-plane installs, print the stats "
         "snapshot\n"
         "                     and a metrics dump\n"
+        "  --native-demo      JIT-compile the program and run a synthetic\n"
+        "                     burst schedule on the sharded native data "
+        "path;\n"
+        "                     print per-shard and merged statistics\n"
+        "  --native-shards=N  shard count for --native-demo (default 1)\n"
+        "  --native-dispatch=KIND\n"
+        "                     JIT event dispatch: switch (portable, "
+        "default),\n"
+        "                     goto (computed-goto threaded dispatch), or\n"
+        "                     auto (build both, micro-measure, keep the\n"
+        "                     winner)\n"
         "  --trace-out=FILE   record spans (compiler stages, sweep jobs,\n"
         "                     interp handlers) and write Chrome trace-event\n"
         "                     JSON on exit — load FILE in ui.perfetto.dev\n"
@@ -182,6 +208,10 @@ int main(int argc, char** argv) {
   int jobs = 0;                                   // --jobs=...
   int sema_workers = 1;                           // --sema-workers=...
   bool ctrl_demo = false;                         // --ctrl-demo
+  bool native_demo = false;                       // --native-demo
+  int native_shards = 1;                          // --native-shards=...
+  std::string native_dispatch = "switch";         // --native-dispatch=...
+  bool native_opts_requested = false;
   std::string trace_out;                          // --trace-out=...
   int trace_sample = 1;                           // --trace-sample=...
   std::string metrics_out;                        // --metrics-out=...
@@ -285,6 +315,25 @@ int main(int argc, char** argv) {
       sema_workers = *parsed;
     } else if (arg == "--ctrl-demo") {
       ctrl_demo = true;
+    } else if (arg == "--native-demo") {
+      native_demo = true;
+    } else if (lucid::starts_with(arg, "--native-shards=")) {
+      const auto parsed = lucid::parse_positive_int(arg.substr(16));
+      if (!parsed) {
+        std::cerr << "lucidc: --native-shards requires a positive integer\n";
+        return kExitUsage;
+      }
+      native_shards = *parsed;
+      native_opts_requested = true;
+    } else if (lucid::starts_with(arg, "--native-dispatch=")) {
+      native_dispatch = arg.substr(18);
+      if (native_dispatch != "switch" && native_dispatch != "goto" &&
+          native_dispatch != "auto") {
+        std::cerr << "lucidc: unknown --native-dispatch '" << native_dispatch
+                  << "' (expected switch|goto|auto)\n";
+        return kExitUsage;
+      }
+      native_opts_requested = true;
     } else if (lucid::starts_with(arg, "--trace-out=")) {
       trace_out = arg.substr(12);
       if (trace_out.empty()) {
@@ -339,6 +388,20 @@ int main(int argc, char** argv) {
     std::cerr << "lucidc: --ctrl-demo deploys and drives the program itself; "
                  "it cannot be combined with --emit, --sweep, --fit, "
                  "--stop-after, --ir, --layout, or --time-passes\n";
+    return kExitUsage;
+  }
+  if (native_demo &&
+      (sweep_requested || fit_requested || !backend.empty() ||
+       stop_requested || !dump.empty() || time_passes || ctrl_demo)) {
+    std::cerr << "lucidc: --native-demo compiles and runs the program "
+                 "itself; it cannot be combined with --emit, --sweep, "
+                 "--fit, --stop-after, --ir, --layout, --time-passes, or "
+                 "--ctrl-demo\n";
+    return kExitUsage;
+  }
+  if (native_opts_requested && !native_demo) {
+    std::cerr << "lucidc: --native-shards and --native-dispatch only apply "
+                 "to --native-demo\n";
     return kExitUsage;
   }
   if (sweep_requested && fit_requested) {
@@ -523,6 +586,67 @@ int main(int argc, char** argv) {
     return s.batches_applied == arrays.size() && s.queue_depth == 0
                ? kExitOk
                : kExitError;
+  }
+
+  // Native-engine demo: JIT-compile the program (with the requested
+  // dispatch flavour), shard a synthetic burst schedule across a
+  // ReplicaFleet by the stable flow hash, and run it to the horizon on one
+  // worker thread per shard.
+  if (native_demo) {
+    lucid::interp::TestbedConfig tb_cfg;
+    tb_cfg.program_name = path;
+    lucid::interp::Testbed tb(source, tb_cfg);
+    if (!tb.ok()) {
+      std::cerr << tb.diagnostics();
+      return kExitError;
+    }
+    lucid::native::ProgramOptions popts;
+    if (native_dispatch == "auto") {
+      popts.measure_dispatch = true;
+    } else if (native_dispatch == "goto") {
+      popts.dispatch = lucid::native::Dispatch::kThreadedGoto;
+    }
+    std::string err;
+    const auto prog =
+        lucid::native::Program::build(tb.compilation_ptr(), &err, popts);
+    if (prog == nullptr) {
+      std::cerr << "lucidc: --native-demo: " << err << "\n";
+      return kExitError;
+    }
+    lucid::native::FleetConfig fcfg;
+    fcfg.shards = native_shards;
+    lucid::native::ReplicaFleet fleet(prog, fcfg);
+    const lucid::native::diff::Schedule sched =
+        lucid::native::diff::make_burst_schedule(prog->ir(), 7, 200, 32);
+    for (const auto& e : sched.entries) {
+      fleet.schedule_inject(e.t, e.event, e.args);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    fleet.run_until(sched.horizon);
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const auto merged = fleet.merged_stats();
+    const auto runs = fleet.merged_run_stats();
+    std::cout << path << ": native demo, " << fleet.shards()
+              << " shard(s), dispatch="
+              << lucid::native::dispatch_name(prog->dispatch()) << "\n";
+    for (int s = 0; s < fleet.shards(); ++s) {
+      std::cout << "  shard " << s << "          : "
+                << fleet.shard(static_cast<std::size_t>(s)).stats().executed
+                << " packets executed\n";
+    }
+    std::cout << "  injections       : " << sched.entries.size() << "\n"
+              << "  executed (merged): " << merged.executed << "\n"
+              << "  handler runs     : " << runs.total_executions << " ("
+              << merged.recirculations << " recirculations)\n"
+              << "  event-loop rate  : "
+              << static_cast<long long>(
+                     wall_s > 0 ? static_cast<double>(merged.executed) /
+                                      wall_s
+                                : 0.0)
+              << " packets/s\n";
+    return merged.executed > 0 ? kExitOk : kExitError;
   }
 
   lucid::DriverOptions opts;

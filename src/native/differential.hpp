@@ -101,6 +101,53 @@ inline Schedule make_schedule(const ir::ProgramIR& ir, std::uint64_t seed,
   return s;
 }
 
+/// Burst variant of make_schedule: traffic arrives in same-timestamp bursts
+/// of `burst_size` packets (distinct registration seqs, one arrival time),
+/// bursts spaced `gap_ns` apart. With the gap wider than the pipeline
+/// latency, every burst's pipeline passes finish together and the replica's
+/// batched event loop drains whole bursts into single run_batch calls —
+/// make_schedule's strictly increasing timestamps would cap every drain at
+/// one packet. Timers still seed once each, like make_schedule.
+inline Schedule make_burst_schedule(const ir::ProgramIR& ir,
+                                    std::uint64_t seed, int bursts,
+                                    int burst_size, sim::Time gap_ns = 2000) {
+  Schedule s;
+  std::uint64_t rng = seed * 0x9E3779B97f4A7C15ull + 1;
+  std::vector<const ir::EventInfo*> timers;
+  std::vector<const ir::EventInfo*> traffic;
+  for (const auto& ev : ir.events) {
+    if (!ev.has_handler) continue;
+    (is_timer_event(ir, ev.event_id) ? timers : traffic).push_back(&ev);
+  }
+  auto args_for = [&](const ir::EventInfo& ev) {
+    std::vector<std::int64_t> args;
+    args.reserve(ev.params.size());
+    for (std::size_t i = 0; i < ev.params.size(); ++i) {
+      args.push_back(static_cast<std::int64_t>(splitmix64(rng) % 4096));
+    }
+    return args;
+  };
+  sim::Time t = 997;
+  for (const auto* ev : timers) {
+    s.entries.push_back(Injection{t, ev->name, args_for(*ev)});
+    t += 1000;
+  }
+  t = std::max<sim::Time>(t, 5000);
+  if (!traffic.empty()) {
+    int k = 0;
+    for (int b = 0; b < bursts; ++b) {
+      for (int i = 0; i < burst_size; ++i, ++k) {
+        const auto* ev =
+            traffic[static_cast<std::size_t>(k) % traffic.size()];
+        s.entries.push_back(Injection{t, ev->name, args_for(*ev)});
+      }
+      t += gap_ns;
+    }
+  }
+  s.horizon = t + 300 * sim::kUs;
+  return s;
+}
+
 /// One engine's observable outcome: wall time of the run (excluding compile
 /// and setup), the full register state in IR declaration order, and every
 /// counter the engines share.

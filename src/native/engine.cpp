@@ -1,6 +1,8 @@
 #include "native/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <limits>
 
 #include "obs/metrics.hpp"
 #include "support/bits.hpp"
@@ -16,6 +18,12 @@ using support::mask_width;
 const ir::EventInfo* validate_event(const ir::ProgramIR& ir,
                                     const std::string& name,
                                     std::vector<std::int64_t>& args) {
+  // ABI hard cap, checked before the declaration walk: the fixed args[]
+  // slabs (RPacket, PacketIn) hold kMaxArgs words, so an over-arity
+  // injection must be rejected, never truncated. Program::build refuses
+  // events declared wider, but injection is caller input — same reject
+  // semantics as Runtime::inject on an arity mismatch.
+  if (args.size() > static_cast<std::size_t>(kMaxArgs)) return nullptr;
   for (const auto& ev : ir.events) {
     if (ev.name != name) continue;
     if (args.size() != ev.params.size()) return nullptr;
@@ -46,8 +54,59 @@ void build_run_stats(const ir::ProgramIR& ir,
 // Program
 // ---------------------------------------------------------------------------
 
+double measure_raw_batch_pps(const ir::ProgramIR& ir, const Module& mod,
+                             double budget_s) {
+  std::vector<const ir::EventInfo*> handlers;
+  for (const auto& ev : ir.events) {
+    if (ev.has_handler) handlers.push_back(&ev);
+  }
+  if (handlers.empty()) return 0.0;
+  constexpr std::int32_t kBatch = 4096;
+  std::vector<PacketIn> in(static_cast<std::size_t>(kBatch));
+  for (std::int32_t i = 0; i < kBatch; ++i) {
+    const ir::EventInfo& ev =
+        *handlers[static_cast<std::size_t>(i) % handlers.size()];
+    PacketIn& p = in[static_cast<std::size_t>(i)];
+    p.event_id = ev.event_id;
+    p.nargs = static_cast<std::int32_t>(
+        std::min<std::size_t>(ev.params.size(), kMaxArgs));
+    p.now_ns = i;
+    p.self_id = 1;
+    for (std::int32_t a = 0; a < p.nargs; ++a) {
+      p.args[a] = (static_cast<std::int64_t>(i) * 2654435761 + a * 97) &
+                  0xfff;
+    }
+  }
+  std::vector<std::vector<std::int64_t>> cells;
+  cells.reserve(ir.arrays.size());
+  for (const auto& arr : ir.arrays) {
+    cells.emplace_back(static_cast<std::size_t>(arr.size), 0);
+  }
+  std::vector<std::int64_t*> ptrs;
+  ptrs.reserve(cells.size());
+  for (auto& c : cells) ptrs.push_back(c.data());
+  const auto stride =
+      static_cast<std::size_t>(std::max<std::int32_t>(mod.max_gens(), 1));
+  std::vector<GenOut> out(static_cast<std::size_t>(kBatch) * stride);
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(kBatch));
+  const RunBatchFn fn = mod.raw_run_batch();
+  fn(ptrs.data(), in.data(), kBatch, out.data(), counts.data());  // warm
+  std::uint64_t packets = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    fn(ptrs.data(), in.data(), kBatch, out.data(), counts.data());
+    packets += static_cast<std::uint64_t>(kBatch);
+    elapsed = std::chrono::duration<double>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  } while (elapsed < budget_s);
+  return elapsed > 0.0 ? static_cast<double>(packets) / elapsed : 0.0;
+}
+
 std::shared_ptr<const Program> Program::build(ConstCompilationPtr comp,
-                                              std::string* error) {
+                                              std::string* error,
+                                              ProgramOptions opts) {
   auto fail = [&](const std::string& why) -> std::shared_ptr<const Program> {
     if (error != nullptr) *error = why;
     return nullptr;
@@ -68,10 +127,40 @@ std::shared_ptr<const Program> Program::build(ConstCompilationPtr comp,
 
   auto prog = std::make_shared<Program>();
   prog->comp_ = std::move(comp);
-  prog->emitted_ =
-      emit_source(*prog->comp_, prog->comp_->options().program_name);
-  prog->module_ = Module::load(prog->emitted_.text, error);
-  if (prog->module_ == nullptr) return nullptr;
+  const std::string& name = prog->comp_->options().program_name;
+  if (!opts.measure_dispatch) {
+    prog->emitted_ = emit_source(*prog->comp_, name, {opts.dispatch});
+    prog->module_ = Module::load(prog->emitted_.text, error);
+    if (prog->module_ == nullptr) return nullptr;
+    return prog;
+  }
+  // Measured pick: build both dispatch variants and keep the faster one on
+  // a raw-batch micro-measurement. A variant that fails to load simply
+  // loses (the portable switch is the safety net).
+  EmittedModule em_switch = emit_source(*prog->comp_, name,
+                                        {Dispatch::kSwitch});
+  EmittedModule em_goto = emit_source(*prog->comp_, name,
+                                      {Dispatch::kThreadedGoto});
+  std::string err_switch;
+  std::string err_goto;
+  auto mod_switch = Module::load(em_switch.text, &err_switch);
+  auto mod_goto = Module::load(em_goto.text, &err_goto);
+  if (mod_switch == nullptr && mod_goto == nullptr) {
+    return fail("native module compile failed for both dispatch variants: " +
+                err_switch);
+  }
+  const double pps_switch =
+      mod_switch ? measure_raw_batch_pps(prog->comp_->ir(), *mod_switch)
+                 : 0.0;
+  const double pps_goto =
+      mod_goto ? measure_raw_batch_pps(prog->comp_->ir(), *mod_goto) : 0.0;
+  if (pps_goto > pps_switch) {
+    prog->emitted_ = std::move(em_goto);
+    prog->module_ = std::move(mod_goto);
+  } else {
+    prog->emitted_ = std::move(em_switch);
+    prog->module_ = std::move(mod_switch);
+  }
   return prog;
 }
 
@@ -215,6 +304,21 @@ Replica::Replica(std::shared_ptr<const Program> prog, ReplicaConfig cfg)
   recirc_ = RPort{cfg_.switch_cfg.recirc_rate_gbps,
                   cfg_.switch_cfg.recirc_latency_ns, 0, 0, 0};
   front_ = RPort{cfg_.switch_cfg.front_rate_gbps, 0, 0, 0, 0};
+  run_batch_fn_ = prog_->module().raw_run_batch();
+  gen_stride_ = std::max<std::int32_t>(prog_->module().max_gens(), 1);
+  if (cfg_.shard_id >= 0) {
+    const obs::Labels labels{{"shard", std::to_string(cfg_.shard_id)}};
+    auto& reg = obs::Registry::global();
+    shard_packets_ = &reg.counter(
+        "lucid_native_shard_packets_total", labels,
+        "Packets executed per replica-fleet shard");
+    shard_batch_size_ = &reg.histogram(
+        "lucid_native_shard_batch_size", labels,
+        "Same-timestamp packets drained per event-loop batch, by shard");
+    shard_queue_depth_ = &reg.gauge(
+        "lucid_native_shard_queue_depth", labels,
+        "In-flight heap + pending injections at the last run boundary");
+  }
   // EventScheduler's constructor starts the PFC stream synchronously at
   // t=0, before any injection closures are registered — mirror that order.
   if (cfg_.sched.mode == sched::DelayMode::PausableQueue) pfc_tick();
@@ -397,43 +501,92 @@ void Replica::dispatch_gen(const GenOut& g) {
 }
 
 void Replica::run_until(sim::Time t) {
-  // Two-way merge by (t, seq): the sorted pending-injection vector against
-  // the in-flight heap. Seq numbers were allocated in registration/fire
-  // order on both sides, so the merged order is exactly the order one big
-  // heap would produce — but the heap stays a handful of entries deep.
+  // Merge by (t, seq): the sorted pending-injection vector, the sorted
+  // pipeline-pass FIFO (batch mode; empty otherwise), and the in-flight
+  // heap. Seq numbers were allocated in registration/fire order on all
+  // three sides, so the merged order is exactly the order one big heap
+  // would produce — but the heap stays a handful of entries deep and the
+  // two hot sources pop in O(1).
+  const sim::Time pipe_ns = cfg_.switch_cfg.pipeline_latency_ns;
   for (;;) {
-    const bool have_pending = pending_head_ < pending_.size();
-    const bool have_heap = !heap_.empty();
-    if (!have_pending && !have_heap) break;
-    bool take_pending = have_pending;
-    if (have_pending && have_heap) {
-      const PendingInject& p = pending_[pending_head_];
-      const Entry& h = heap_.top();
-      take_pending = p.t < h.t || (p.t == h.t && p.seq < h.seq);
+    enum class Src : std::uint8_t { kNone, kPending, kPass, kHeap };
+    Src src = Src::kNone;
+    sim::Time bt = 0;
+    std::uint64_t bs = 0;
+    if (pending_head_ < pending_.size()) {
+      src = Src::kPending;
+      bt = pending_[pending_head_].t;
+      bs = pending_[pending_head_].seq;
     }
-    if (take_pending) {
-      const PendingInject& p = pending_[pending_head_];
-      if (p.t > t) break;
-      ++pending_head_;
-      now_ = p.t;
+    if (pass_head_ < pass_q_.size()) {
+      const PassEntry& fe = pass_q_[pass_head_];
+      if (src == Src::kNone || fe.t < bt || (fe.t == bt && fe.seq < bs)) {
+        src = Src::kPass;
+        bt = fe.t;
+        bs = fe.seq;
+      }
+    }
+    if (!heap_.empty()) {
+      const Entry& h = heap_.top();
+      if (src == Src::kNone || h.t < bt || (h.t == bt && h.seq < bs)) {
+        src = Src::kHeap;
+        bt = h.t;
+        bs = h.seq;
+      }
+    }
+    if (src == Src::kNone || bt > t) break;
+    now_ = bt;
+    if (src == Src::kPending) {
       // deliver_to_ingress: one pipeline pass of latency, then dispatch.
-      push(now_ + cfg_.switch_cfg.pipeline_latency_ns, Kind::FinishPass,
-           p.pkt);
+      if (cfg_.batch_loop) {
+        // Bulk transfer: every pending injection due at now_ whose seq
+        // precedes the other same-t sources moves to the pass FIFO in one
+        // tight loop instead of re-running the three-way merge per packet.
+        // The stop key computed once holds for the whole run: the heap is
+        // untouched here, and pass_push only appends strictly larger
+        // (t, seq) keys behind the FIFO front.
+        std::uint64_t stop_seq = std::numeric_limits<std::uint64_t>::max();
+        if (!heap_.empty() && heap_.top().t == now_) {
+          stop_seq = heap_.top().seq;
+        }
+        if (pass_head_ < pass_q_.size()) {
+          const PassEntry& fe = pass_q_[pass_head_];
+          if (fe.t == now_ && fe.seq < stop_seq) stop_seq = fe.seq;
+        }
+        while (pending_head_ < pending_.size()) {
+          const PendingInject& p = pending_[pending_head_];
+          if (p.t != now_ || p.seq >= stop_seq) break;
+          pass_push(now_ + pipe_ns,
+                    static_cast<std::int32_t>(pending_head_),
+                    /*from_pool=*/false);
+          ++pending_head_;
+        }
+      } else {
+        const PendingInject& p = pending_[pending_head_++];
+        push(now_ + pipe_ns, Kind::FinishPass, p.pkt);
+      }
+      continue;
+    }
+    if (src == Src::kPass) {
+      drain_passes();
       continue;
     }
     const Entry e = heap_.top();
-    if (e.t > t) break;
     heap_.pop();
-    now_ = e.t;
     switch (e.kind) {
       case Kind::Inject:
       case Kind::RecircDeliver:
         // deliver_to_ingress: one pipeline pass of latency, then dispatch.
-        // The packet slot is reused verbatim by the FinishPass entry.
-        push_idx(now_ + cfg_.switch_cfg.pipeline_latency_ns, Kind::FinishPass,
-                 e.pkt);
+        if (cfg_.batch_loop) {
+          // The slot stays allocated until the drain consumes the pass.
+          pass_push(now_ + pipe_ns, e.pkt, /*from_pool=*/true);
+        } else {
+          // The packet slot is reused verbatim by the FinishPass entry.
+          push_idx(now_ + pipe_ns, Kind::FinishPass, e.pkt);
+        }
         break;
       case Kind::FinishPass: {
+        // Per-entry loop only (batch mode keeps passes out of the heap).
         // Copy out before dispatching: on_ingress can allocate pool slots,
         // which may reallocate the slab under a held reference.
         const RPacket pkt = pool_[static_cast<std::size_t>(e.pkt)];
@@ -464,6 +617,7 @@ void Replica::run_until(sim::Time t) {
     }
   }
   now_ = std::max(now_, t);
+  compact_pending();
   // Batch-boundary metrics publish: the event loop above runs branch-free
   // with respect to observability; executions accumulate in plain counters
   // and the delta lands in the process-wide registry once per run_until.
@@ -472,6 +626,198 @@ void Replica::run_until(sim::Time t) {
       "Handler executions across native replica runs");
   executed.add(total_executions_ - published_executions_);
   published_executions_ = total_executions_;
+  if (shard_packets_ != nullptr) {
+    shard_packets_->add(stats_.executed - published_shard_executed_);
+    published_shard_executed_ = stats_.executed;
+    shard_queue_depth_->set(static_cast<std::int64_t>(
+        heap_.size() + (pending_.size() - pending_head_) +
+        (pass_q_.size() - pass_head_)));
+  }
+}
+
+void Replica::pass_push(sim::Time t, std::int32_t idx, bool from_pool) {
+  PassEntry e;
+  e.t = std::max(t, now_);  // Simulator::at clamps to now
+  e.seq = next_seq_++;
+  e.idx = idx;
+  e.from_pool = from_pool;
+  pass_q_.push_back(e);
+}
+
+void Replica::drain_passes() {
+  // Multi-packet drain: consume the run of pipeline passes finishing at
+  // exactly now_, classifying each in arrival order and grouping the
+  // consecutive *executing* packets into one run_batch call. Correct
+  // because (a) a heap entry with a seq inside the run (PFC open/close
+  // flips delay_open_, deliveries allocate seqs) would have interleaved in
+  // merged order, so it stops the drain, (b) same for a pending injection,
+  // and (c) everything this drain generates lands strictly after now_
+  // (recirc serialization is >= 1 ns), so the drained set can't be
+  // invalidated by its own side effects. Every other disposition
+  // (route-out, delay, recirculate) has side effects on the ports / the
+  // seq sequence, so the pending execution sub-run is flushed first —
+  // which keeps all port sends and seq allocations in exactly the order
+  // the per-entry loop produces.
+  const int self = cfg_.switch_cfg.id;
+  std::uint64_t drained = 0;
+  batch_in_.clear();
+  // The stop key against the other two sources, computed once: pendings
+  // don't change mid-drain, and the heap pushes this drain performs
+  // (recirculations, generates) always allocate strictly larger (t, seq)
+  // keys than every pass already queued, so neither source can slip in
+  // front of a remaining pass after the drain starts.
+  std::uint64_t stop_seq = std::numeric_limits<std::uint64_t>::max();
+  if (!heap_.empty() && heap_.top().t == now_) stop_seq = heap_.top().seq;
+  if (pending_head_ < pending_.size()) {
+    const PendingInject& pi = pending_[pending_head_];
+    if (pi.t == now_ && pi.seq < stop_seq) stop_seq = pi.seq;
+  }
+  while (pass_head_ < pass_q_.size()) {
+    const PassEntry fe = pass_q_[pass_head_];
+    if (fe.t != now_ || fe.seq >= stop_seq) break;
+    // Classification reads the packet in its existing storage — the
+    // consumed pending prefix or its pool slot — copy-free on the hot
+    // (execute) path. The rare non-execute paths copy out first: their
+    // flush can grow pool_ under the reference, and recirculate must not
+    // alias a slot anyway.
+    const RPacket& p = fe.from_pool
+                           ? pool_[static_cast<std::size_t>(fe.idx)]
+                           : pending_[static_cast<std::size_t>(fe.idx)].pkt;
+    ++pass_head_;
+    ++drained;
+    if (p.location >= 0 && p.location != self) {
+      const RPacket pkt = p;
+      if (fe.from_pool) release_slot(fe.idx);
+      flush_exec_batch();
+      route_out(pkt);
+      continue;
+    }
+    if (now_ < p.due) {
+      const RPacket pkt = p;
+      if (fe.from_pool) release_slot(fe.idx);
+      flush_exec_batch();
+      if (cfg_.sched.mode == sched::DelayMode::BaselineRecirculation ||
+          delay_open_) {
+        recirculate(pkt);
+      } else {
+        ++stats_.delayed_enqueues;
+        delay_queue_.push_back(pkt);
+      }
+      continue;
+    }
+    ++stats_.executed;
+    if (p.due > p.created) ++stats_.delay_samples;
+    const auto id = static_cast<std::size_t>(p.event_id);
+    if (p.event_id < 0 || id >= has_handler_by_id_.size() ||
+        has_handler_by_id_[id] == 0) {
+      // No handler: counted, no state effects, nothing to flush.
+      if (fe.from_pool) release_slot(fe.idx);
+      continue;
+    }
+    ++total_executions_;
+    ++exec_count_by_id_[id];
+    PacketIn in;
+    in.event_id = p.event_id;
+    in.nargs = p.nargs;
+    in.now_ns = now_;
+    in.self_id = self;
+    for (std::int32_t i = 0; i < p.nargs; ++i) in.args[i] = p.args[i];
+    batch_in_.push_back(in);
+    if (fe.from_pool) release_slot(fe.idx);
+  }
+  flush_exec_batch();
+  // Fully drained is the common case (bursty traffic with gaps wider than
+  // the pipeline latency) — reset the FIFO in O(1) so it never grows past
+  // the in-flight high-water mark within one run_until.
+  if (pass_head_ == pass_q_.size()) {
+    pass_q_.clear();
+    pass_head_ = 0;
+  }
+  if (shard_batch_size_ != nullptr) {
+    shard_batch_size_->observe(static_cast<double>(drained));
+  }
+}
+
+void Replica::flush_exec_batch() {
+  if (batch_in_.empty()) return;
+  const auto n = static_cast<std::int32_t>(batch_in_.size());
+  const std::size_t out_need =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(gen_stride_);
+  if (batch_out_.size() < out_need) batch_out_.resize(out_need);
+  if (batch_counts_.size() < static_cast<std::size_t>(n)) {
+    batch_counts_.resize(static_cast<std::size_t>(n));
+  }
+  // The raw entry point: packets in order, each straight through the
+  // pipeline on one reused Ctx (emit.cpp), so state is byte-identical to
+  // sequential run_one calls — the contract
+  // tests/test_native.cpp::BatchMatchesSequentialRunOne pins.
+  run_batch_fn_(array_ptrs_.data(), batch_in_.data(), n, batch_out_.data(),
+                batch_counts_.data());
+  // Generated events dispatch per packet, in packet order — the same
+  // interleaving the sequential loop produces (packet i's generates all
+  // precede packet i+1's).
+  for (std::int32_t i = 0; i < n; ++i) {
+    const std::int32_t gens = batch_counts_[static_cast<std::size_t>(i)];
+    const GenOut* out =
+        batch_out_.data() + static_cast<std::size_t>(i) *
+                                static_cast<std::size_t>(gen_stride_);
+    for (std::int32_t g = 0; g < gens; ++g) dispatch_gen(out[g]);
+  }
+  batch_in_.clear();
+}
+
+void Replica::compact_pending() {
+  // Erase the consumed prefix once it dominates the vector; amortized O(1)
+  // per injection, and the capacity shrinks back once a soak run's transient
+  // backlog has drained, so footprint tracks the *live* pending set. Live
+  // pass entries index into the consumed pending prefix, so compaction must
+  // wait until the FIFO has fully drained (the common case at a run
+  // boundary — drain_passes resets it to empty).
+  if (pass_head_ == pass_q_.size() &&
+      pending_head_ >= kPendingCompactThreshold &&
+      pending_head_ * 2 >= pending_.size()) {
+    pending_.erase(pending_.begin(),
+                   pending_.begin() +
+                       static_cast<std::ptrdiff_t>(pending_head_));
+    pending_head_ = 0;
+    if (pending_.capacity() > kPendingCompactThreshold * 4 &&
+        pending_.size() * 4 < pending_.capacity()) {
+      pending_.shrink_to_fit();
+    }
+  }
+  // Same discipline for the pipeline-pass FIFO (batch mode).
+  if (pass_head_ >= kPendingCompactThreshold &&
+      pass_head_ * 2 >= pass_q_.size()) {
+    pass_q_.erase(pass_q_.begin(),
+                  pass_q_.begin() + static_cast<std::ptrdiff_t>(pass_head_));
+    pass_head_ = 0;
+    if (pass_q_.capacity() > kPendingCompactThreshold * 4 &&
+        pass_q_.size() * 4 < pass_q_.capacity()) {
+      pass_q_.shrink_to_fit();
+    }
+  }
+}
+
+bool Replica::control_write(std::size_t decl_index, std::int64_t index,
+                            std::int64_t value) {
+  if (decl_index >= cells_.size()) return false;
+  auto& cells = cells_[decl_index];
+  const auto n = static_cast<std::int64_t>(cells.size());
+  std::int64_t i = index % n;
+  if (i < 0) i += n;
+  const ir::ArrayInfo& arr = prog_->ir().arrays[decl_index];
+  cells[static_cast<std::size_t>(i)] = mask_width(value, arr.width);
+  return true;
+}
+
+std::int64_t Replica::control_read(std::size_t decl_index,
+                                   std::int64_t index) const {
+  if (decl_index >= cells_.size()) return 0;
+  const auto& cells = cells_[decl_index];
+  const auto n = static_cast<std::int64_t>(cells.size());
+  std::int64_t i = index % n;
+  if (i < 0) i += n;
+  return cells[static_cast<std::size_t>(i)];
 }
 
 const RunStats& Replica::run_stats() const {

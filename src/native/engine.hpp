@@ -31,6 +31,12 @@
 #include "native/jit.hpp"
 #include "sched/scheduler.hpp"
 
+namespace lucid::obs {
+class Counter;
+class Gauge;
+class Histogram;
+}  // namespace lucid::obs
+
 namespace lucid::native {
 
 /// Name-keyed run statistics; same shape as interp::RunStats so differential
@@ -39,6 +45,17 @@ struct RunStats {
   std::map<std::string, std::uint64_t> executions;
   std::map<std::string, std::uint64_t> generated;
   std::uint64_t total_executions = 0;
+};
+
+/// Build-time knobs for a native program.
+struct ProgramOptions {
+  /// Event dispatch flavour for the generated module (emit.hpp). The
+  /// portable switch is the default and the fallback.
+  Dispatch dispatch = Dispatch::kSwitch;
+  /// Build both dispatch variants, micro-measure each module's raw batch
+  /// throughput on a synthetic schedule, and keep the winner ("auto").
+  /// Costs one extra JIT compile; `dispatch` above is ignored.
+  bool measure_dispatch = false;
 };
 
 /// A program compiled for native execution: the emitted module source plus
@@ -51,12 +68,15 @@ class Program {
   /// engine's envelope (infeasible layout, >kMaxArgs event params) or the
   /// module fails to compile/load.
   static std::shared_ptr<const Program> build(ConstCompilationPtr comp,
-                                              std::string* error);
+                                              std::string* error,
+                                              ProgramOptions opts = {});
 
   [[nodiscard]] const Compilation& compilation() const { return *comp_; }
   [[nodiscard]] const ir::ProgramIR& ir() const { return comp_->ir(); }
   [[nodiscard]] const Module& module() const { return *module_; }
   [[nodiscard]] const EmittedModule& emitted() const { return emitted_; }
+  /// The dispatch flavour actually running (after measurement, if any).
+  [[nodiscard]] Dispatch dispatch() const { return emitted_.dispatch; }
 
   [[nodiscard]] const ir::EventInfo* find_event(const std::string& name) const;
 
@@ -65,6 +85,13 @@ class Program {
   std::shared_ptr<Module> module_;
   EmittedModule emitted_;
 };
+
+/// Micro-measures a loaded module's raw run_batch throughput (packets/sec)
+/// on a synthetic round-robin schedule over the program's handler events.
+/// Used by the measured dispatch pick and by bench_native_mt.
+[[nodiscard]] double measure_raw_batch_pps(const ir::ProgramIR& ir,
+                                           const Module& mod,
+                                           double budget_s = 0.005);
 
 // ---------------------------------------------------------------------------
 // Coupled engine: the interp::Runtime drop-in
@@ -120,6 +147,15 @@ class Runtime {
 struct ReplicaConfig {
   pisa::SwitchConfig switch_cfg;   // id defaults to 0; set to the node id
   sched::SchedulerConfig sched;
+  /// Multi-packet batching inside run_until: drain every runnable
+  /// same-timestamp pipeline-pass entry into one run_batch call instead of
+  /// dispatching per entry. State-identical to the per-entry loop (see the
+  /// drain rules at Replica::run_until); off reproduces the PR 7 loop, which
+  /// bench_native_mt uses as the batching baseline.
+  bool batch_loop = true;
+  /// When >= 0, the replica registers per-shard labeled obs instruments
+  /// (shard="<id>" on packets/batch-size/queue-depth) — set by ReplicaFleet.
+  int shard_id = -1;
 };
 
 /// Single-node mirror of {Switch, EventScheduler, PFC stream} timing with
@@ -170,6 +206,25 @@ class Replica {
   }
   [[nodiscard]] std::size_t array_count() const { return cells_.size(); }
 
+  /// Control-plane cell access (FleetDataPlane): width-masked writes and
+  /// wrapped indexes, exactly like pisa::RegisterArray::set/get. Only legal
+  /// while the replica is quiescent (no run_until in flight on it).
+  bool control_write(std::size_t decl_index, std::int64_t index,
+                     std::int64_t value);
+  [[nodiscard]] std::int64_t control_read(std::size_t decl_index,
+                                          std::int64_t index) const;
+
+  /// Consumed-prefix compaction threshold for the pending-injection vector
+  /// (run_until erases the drained prefix once pending_head_ passes it, so
+  /// soak runs that keep scheduling don't grow memory without bound).
+  static constexpr std::size_t kPendingCompactThreshold = 4096;
+  /// Capacity of the pending-injection vector plus the pipeline-pass FIFO
+  /// (regression surface for the compaction: bounded across schedule/drain
+  /// cycles, tracking the live backlog rather than total injections).
+  [[nodiscard]] std::size_t pending_footprint() const {
+    return pending_.capacity() + pass_q_.capacity();
+  }
+
  private:
   struct RPacket {
     std::int32_t event_id = -1;
@@ -211,6 +266,23 @@ class Replica {
     std::uint64_t seq = 0;
     RPacket pkt;
   };
+  /// A completed-pipeline-pass record (batch_loop mode). Every FinishPass is
+  /// created at now_ + pipeline_latency with now_ nondecreasing and seq
+  /// allocated in creation order, so the records are (t, seq)-sorted by
+  /// construction — a FIFO with O(1) pops replaces two heap sifts per
+  /// packet, which is what makes the batched drain cheaper than the
+  /// per-entry loop rather than just equal to it. The record holds an
+  /// *index* into the packet's existing storage (the consumed pending_
+  /// prefix, or a pool_ slot kept allocated until the drain) rather than a
+  /// copy: both stay put for the entry's whole lifetime — pending_ is only
+  /// compacted when no live pass references it, and pool_ slots are
+  /// addressed by index so slab growth can't dangle them.
+  struct PassEntry {
+    sim::Time t = 0;
+    std::uint64_t seq = 0;
+    std::int32_t idx = -1;   // pool_ slot or pending_ index
+    bool from_pool = false;  // false: pending_[idx].pkt
+  };
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.t != b.t) return a.t > b.t;
@@ -242,6 +314,12 @@ class Replica {
   void push(sim::Time t, Kind kind);  // packet-less entry
   void push(sim::Time t, Kind kind, const RPacket& pkt);
   void pfc_tick();
+  /// Batch mode: record a completed pipeline pass (FIFO, not heap) by
+  /// reference to its storage — a pending_ index or a pool_ slot.
+  void pass_push(sim::Time t, std::int32_t idx, bool from_pool);
+  void drain_passes();       // fused drain + classify; see run_until
+  void flush_exec_batch();   // run batch_in_ through run_batch + dispatch
+  void compact_pending();
   // NOTE: `p` must not alias a pool_ slot — alloc_slot may grow the slab.
   void recirculate(const RPacket& p);
   void route_out(const RPacket& p);
@@ -260,11 +338,23 @@ class Replica {
   std::vector<std::int32_t> free_;    // recycled pool_ slots
   std::vector<PendingInject> pending_;  // sorted by (t, seq)
   std::size_t pending_head_ = 0;
+  std::vector<PassEntry> pass_q_;  // batch mode: sorted by construction
+  std::size_t pass_head_ = 0;
 
   std::vector<std::vector<std::int64_t>> cells_;  // IR declaration order
   std::vector<std::int64_t*> array_ptrs_;
   std::vector<GenOut> gen_buf_;
   std::vector<char> has_handler_by_id_;
+
+  // Batch-loop scratch (batch_loop == true): the executing subset of a
+  // drain as ABI PacketIn records, and the module's per-packet outputs.
+  // Reused across drains; no per-drain allocation once warm. run_batch_fn_
+  // is the module's raw entry point, resolved once.
+  std::vector<PacketIn> batch_in_;
+  std::vector<GenOut> batch_out_;
+  std::vector<std::int32_t> batch_counts_;
+  RunBatchFn run_batch_fn_ = nullptr;
+  std::int32_t gen_stride_ = 1;  // GenOut records per packet in batch_out_
 
   RPort recirc_;
   RPort front_;
@@ -280,6 +370,13 @@ class Replica {
   /// the delta once per call, keeping the event loop free of atomics).
   std::uint64_t published_executions_ = 0;
   mutable RunStats run_stats_;
+
+  /// Per-shard labeled instruments (shard_id >= 0 only; null otherwise, so
+  /// the single-replica hot path pays one predictable branch per drain).
+  obs::Counter* shard_packets_ = nullptr;
+  obs::Histogram* shard_batch_size_ = nullptr;
+  obs::Gauge* shard_queue_depth_ = nullptr;
+  std::uint64_t published_shard_executed_ = 0;
 };
 
 }  // namespace lucid::native

@@ -69,29 +69,87 @@ std::string Registry::sanitize(std::string_view name) {
   return out;
 }
 
-Counter& Registry::counter(std::string_view name, std::string_view help) {
-  const std::string key = sanitize(name);
-  std::lock_guard<std::mutex> lk(mu_);
+std::string Registry::render_labels(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ',';
+    out += sanitize(k);
+    out += "=\"";
+    // Prometheus label-value escaping: backslash, quote, newline.
+    for (const char c : v) {
+      if (c == '\\' || c == '"') out += '\\';
+      if (c == '\n') {
+        out += "\\n";
+        continue;
+      }
+      out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+Registry::Entry& Registry::entry_for(std::string_view name,
+                                     const Labels* labels,
+                                     std::string_view help) {
+  // Callers hold mu_.
+  const std::string family = sanitize(name);
+  std::string rendered;
+  if (labels != nullptr && !labels->empty()) {
+    rendered = render_labels(*labels);
+  }
+  std::string key = family;
+  if (!rendered.empty()) key += "{" + rendered + "}";
   Entry& e = entries_[key];
+  if (e.family.empty()) {
+    e.family = family;
+    e.labels = std::move(rendered);
+  }
   if (e.help.empty()) e.help = std::string(help);
+  return e;
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entry_for(name, nullptr, help);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
 }
 
 Gauge& Registry::gauge(std::string_view name, std::string_view help) {
-  const std::string key = sanitize(name);
   std::lock_guard<std::mutex> lk(mu_);
-  Entry& e = entries_[key];
-  if (e.help.empty()) e.help = std::string(help);
+  Entry& e = entry_for(name, nullptr, help);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
 }
 
 Histogram& Registry::histogram(std::string_view name, std::string_view help) {
-  const std::string key = sanitize(name);
   std::lock_guard<std::mutex> lk(mu_);
-  Entry& e = entries_[key];
-  if (e.help.empty()) e.help = std::string(help);
+  Entry& e = entry_for(name, nullptr, help);
+  if (!e.histogram) e.histogram = std::make_unique<Histogram>();
+  return *e.histogram;
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels,
+                           std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entry_for(name, &labels, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels,
+                       std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entry_for(name, &labels, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, const Labels& labels,
+                               std::string_view help) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = entry_for(name, &labels, help);
   if (!e.histogram) e.histogram = std::make_unique<Histogram>();
   return *e.histogram;
 }
@@ -140,36 +198,70 @@ std::string Registry::json() const {
 
 std::string Registry::prometheus() const {
   std::lock_guard<std::mutex> lk(mu_);
+  // Group series by family: the key-sorted map can interleave families
+  // ("foo_bar" sorts between "foo" and "foo{shard=...}"), but the exposition
+  // format wants one HELP/TYPE block with every series of a family under it.
+  std::map<std::string, std::vector<const Entry*>> families;
+  for (const auto& [key, e] : entries_) {
+    (void)key;
+    families[e.family].push_back(&e);
+  }
   std::ostringstream os;
   os.precision(17);
-  for (const auto& [name, e] : entries_) {
-    if (!e.help.empty()) os << "# HELP " << name << " " << e.help << "\n";
-    if (e.counter) {
-      os << "# TYPE " << name << " counter\n"
-         << name << " " << e.counter->value() << "\n";
+  for (const auto& [family, series] : families) {
+    // Full sample name: family plus the series' label set.
+    auto sample = [&](const Entry& e, const char* suffix,
+                      const std::string& extra_label) -> std::ostream& {
+      os << family << suffix;
+      if (!e.labels.empty() || !extra_label.empty()) {
+        os << '{' << e.labels;
+        if (!e.labels.empty() && !extra_label.empty()) os << ',';
+        os << extra_label << '}';
+      }
+      return os << ' ';
+    };
+    for (const Entry* e : series) {
+      if (!e->help.empty()) {
+        os << "# HELP " << family << " " << e->help << "\n";
+        break;
+      }
     }
-    if (e.gauge) {
-      os << "# TYPE " << name << " gauge\n"
-         << name << " " << e.gauge->value() << "\n";
-    }
-    if (e.histogram) {
-      const Histogram& h = *e.histogram;
-      os << "# TYPE " << name << " histogram\n";
-      std::uint64_t cum = 0;
-      for (int k = 0; k < Histogram::kBuckets; ++k) {
-        cum += h.bucket_count(k);
-        // Only emit the populated prefix plus a closing bucket per power of
-        // two actually reached — all 65 rows for every histogram would
-        // dominate the exposition. Always emit le="0" and the last bucket
-        // before +Inf so the cumulative series is well formed.
-        if (h.bucket_count(k) != 0 || k == 0) {
-          os << name << "_bucket{le=\"" << Histogram::bucket_upper(k)
-             << "\"} " << cum << "\n";
+    for (const char* kind : {"counter", "gauge", "histogram"}) {
+      bool typed = false;
+      for (const Entry* e : series) {
+        const bool has = (kind[0] == 'c' && e->counter) ||
+                         (kind[0] == 'g' && e->gauge) ||
+                         (kind[0] == 'h' && e->histogram);
+        if (!has) continue;
+        if (!typed) {
+          os << "# TYPE " << family << " " << kind << "\n";
+          typed = true;
+        }
+        if (kind[0] == 'c') {
+          sample(*e, "", "") << e->counter->value() << "\n";
+        } else if (kind[0] == 'g') {
+          sample(*e, "", "") << e->gauge->value() << "\n";
+        } else {
+          const Histogram& h = *e->histogram;
+          std::uint64_t cum = 0;
+          for (int k = 0; k < Histogram::kBuckets; ++k) {
+            cum += h.bucket_count(k);
+            // Only emit the populated prefix plus a closing bucket per power
+            // of two actually reached — all 65 rows for every histogram
+            // would dominate the exposition. Always emit le="0" and the last
+            // bucket before +Inf so the cumulative series is well formed.
+            if (h.bucket_count(k) != 0 || k == 0) {
+              sample(*e, "_bucket",
+                     "le=\"" + std::to_string(Histogram::bucket_upper(k)) +
+                         "\"")
+                  << cum << "\n";
+            }
+          }
+          sample(*e, "_bucket", "le=\"+Inf\"") << h.count() << "\n";
+          sample(*e, "_sum", "") << h.sum() << "\n";
+          sample(*e, "_count", "") << h.count() << "\n";
         }
       }
-      os << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n"
-         << name << "_sum " << h.sum() << "\n"
-         << name << "_count " << h.count() << "\n";
     }
   }
   return os.str();

@@ -29,8 +29,15 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace lucid::obs {
+
+/// Prometheus-style labels: ordered key/value pairs. Instruments with the
+/// same name but different labels are distinct series of one metric family
+/// (e.g. `lucid_native_shard_packets_total{shard="3"}`).
+using Labels = std::vector<std::pair<std::string, std::string>>;
 
 class Counter {
  public:
@@ -160,6 +167,15 @@ class Registry {
   Gauge& gauge(std::string_view name, std::string_view help = "");
   Histogram& histogram(std::string_view name, std::string_view help = "");
 
+  /// Labeled variants: one series per distinct label set within the `name`
+  /// family. Help is shared across the family (first registration wins).
+  Counter& counter(std::string_view name, const Labels& labels,
+                   std::string_view help = "");
+  Gauge& gauge(std::string_view name, const Labels& labels,
+               std::string_view help = "");
+  Histogram& histogram(std::string_view name, const Labels& labels,
+                       std::string_view help = "");
+
   /// One JSON object: {"counters": {...}, "gauges": {...},
   /// "histograms": {name: {count, sum, min, max, mean, p50, p99, buckets}}}.
   [[nodiscard]] std::string json() const;
@@ -175,13 +191,21 @@ class Registry {
  private:
   /// Prometheus-legal name: [a-zA-Z_:][a-zA-Z0-9_:]*; everything else '_'.
   static std::string sanitize(std::string_view name);
+  /// Rendered `k="v",...` suffix (sanitized keys, escaped values); empty for
+  /// no labels.
+  static std::string render_labels(const Labels& labels);
 
   struct Entry {
+    std::string family;  // sanitized metric name, shared across label sets
+    std::string labels;  // rendered label body ("" for the unlabeled series)
     std::string help;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
+
+  Entry& entry_for(std::string_view name, const Labels* labels,
+                   std::string_view help);
 
   mutable std::mutex mu_;
   std::map<std::string, Entry, std::less<>> entries_;

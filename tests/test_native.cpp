@@ -7,10 +7,18 @@
 // all ten paper applications with randomized traffic, pin run_batch against
 // run_one, pin the coupled Runtime inside a real multi-node fabric, and pin
 // the control-plane adapter (ctrl::NativeDataPlane) against the interp one.
+//
+// The sharded fleet extends the contract per shard (see tests/README.md):
+// each ReplicaFleet shard must be byte-identical to a single-threaded
+// Replica run of that shard's injection subsequence, at every shard count —
+// plus bounded-footprint, tie-break-boundary, and live-control-plane
+// (TSan-labeled) coverage for the batched event loop.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/apps.hpp"
@@ -235,6 +243,267 @@ TEST(NativeCtrl, DataPlaneAdapterDrivesNativeState) {
   nc.plane().flush();
   EXPECT_EQ(rt.array(arr)->get(4),
             rt.array(arr)->mask((std::int64_t{1} << 40) | 9));
+}
+
+// ---------------------------------------------------------------------------
+// Injection validation and bounded footprint
+// ---------------------------------------------------------------------------
+
+TEST(NativeReplica, RejectsOverArityInjection) {
+  const auto prog = build_app("SFW");
+  ASSERT_NE(prog, nullptr);
+  const ir::EventInfo* ev = nullptr;
+  for (const auto& cand : prog->ir().events) {
+    if (cand.has_handler) {
+      ev = &cand;
+      break;
+    }
+  }
+  ASSERT_NE(ev, nullptr);
+
+  // More args than the ABI packet can carry must be rejected up front —
+  // the same reject semantics Runtime::inject has — never truncated into
+  // the fixed args[kMaxArgs] array.
+  std::vector<std::int64_t> over(static_cast<std::size_t>(kMaxArgs) + 1, 1);
+  Replica rep(prog, ReplicaConfig{});
+  EXPECT_FALSE(rep.schedule_inject(1000, ev->name, over));
+
+  ReplicaFleet fleet(prog, FleetConfig{});
+  EXPECT_FALSE(fleet.schedule_inject(1000, ev->name, over));
+
+  // The valid arity still injects (the guard is not rejecting everything).
+  std::vector<std::int64_t> ok_args(ev->params.size(), 1);
+  EXPECT_TRUE(rep.schedule_inject(1000, ev->name, ok_args));
+}
+
+TEST(NativeReplica, PendingFootprintBoundedOverMillionInjections) {
+  const auto prog = build_app("CM");
+  ASSERT_NE(prog, nullptr);
+  // A non-timer event: no self-perpetuating cascades, so the run drains
+  // exactly what the cycle scheduled.
+  const ir::EventInfo* traffic = nullptr;
+  for (const auto& cand : prog->ir().events) {
+    if (cand.has_handler &&
+        !diff::is_timer_event(prog->ir(), cand.event_id)) {
+      traffic = &cand;
+      break;
+    }
+  }
+  ASSERT_NE(traffic, nullptr);
+
+  Replica rep(prog, ReplicaConfig{});
+  constexpr int kCycles = 200;
+  constexpr int kPerCycle = 5000;  // 1M injections total
+  sim::Time t = 1000;
+  std::uint64_t rng = 7;
+  std::size_t high_water = 0;
+  for (int c = 0; c < kCycles; ++c) {
+    for (int i = 0; i < kPerCycle; ++i) {
+      std::vector<std::int64_t> args;
+      args.reserve(traffic->params.size());
+      for (std::size_t a = 0; a < traffic->params.size(); ++a) {
+        args.push_back(
+            static_cast<std::int64_t>(diff::splitmix64(rng) % 4096));
+      }
+      rep.schedule_inject(t, traffic->name, std::move(args));
+      t += 100;
+    }
+    rep.run_until(t + 10 * sim::kUs);
+    high_water = std::max(high_water, rep.pending_footprint());
+  }
+  EXPECT_EQ(rep.stats().executed,
+            static_cast<std::uint64_t>(kCycles) * kPerCycle);
+  // The regression: consumed injections are compacted away, so the
+  // footprint tracks one cycle's backlog, not the 1M-injection total.
+  EXPECT_LT(high_water, static_cast<std::size_t>(4 * kPerCycle));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded fleet: the per-shard differential-state contract
+// ---------------------------------------------------------------------------
+
+TEST(NativeFleet, ShardCountInvariance) {
+  const auto prog = build_app("SFW");
+  ASSERT_NE(prog, nullptr);
+  const auto plan = diff::make_burst_schedule(prog->ir(), 11, 60, 16);
+
+  RunStats first_merged;
+  std::uint64_t first_executed = 0;
+  for (const int shards : {1, 2, 4, 8}) {
+    FleetConfig fcfg;
+    fcfg.shards = shards;
+    fcfg.label_metrics = false;
+    ReplicaFleet fleet(prog, fcfg);
+    for (const auto& e : plan.entries) {
+      ASSERT_TRUE(fleet.schedule_inject(e.t, e.event, e.args)) << e.event;
+    }
+    fleet.run_until(plan.horizon);
+
+    // Each shard must match a single-threaded Replica run of the shard's
+    // injection subsequence, re-derived here with the public routing hash.
+    for (int s = 0; s < shards; ++s) {
+      Replica ref(prog, ReplicaConfig{});
+      for (const auto& e : plan.entries) {
+        const ir::EventInfo* ev = prog->find_event(e.event);
+        ASSERT_NE(ev, nullptr);
+        if (ReplicaFleet::route(shards, -1, ev->event_id, e.args) !=
+            static_cast<std::size_t>(s)) {
+          continue;
+        }
+        ASSERT_TRUE(ref.schedule_inject(e.t, e.event, e.args));
+      }
+      ref.run_until(plan.horizon);
+      const Replica& live = fleet.shard(static_cast<std::size_t>(s));
+      for (std::size_t a = 0; a < ref.array_count(); ++a) {
+        ASSERT_EQ(ref.array_cells(a), live.array_cells(a))
+            << shards << " shards, shard " << s << ", array "
+            << prog->ir().arrays[a].name;
+      }
+      EXPECT_EQ(ref.stats().executed, live.stats().executed);
+    }
+
+    // Merged totals are shard-count invariant: every injection lands on
+    // exactly one shard and cascades there, so 1/2/4/8 shards partition
+    // identical work.
+    const RunStats merged = fleet.merged_run_stats();
+    const std::uint64_t executed = fleet.merged_stats().executed;
+    EXPECT_GT(executed, 0u);
+    if (shards == 1) {
+      first_merged = merged;
+      first_executed = executed;
+    } else {
+      EXPECT_EQ(merged.total_executions, first_merged.total_executions);
+      EXPECT_EQ(merged.executions, first_merged.executions);
+      EXPECT_EQ(merged.generated, first_merged.generated);
+      EXPECT_EQ(executed, first_executed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched drain across a timestamp tie-break boundary
+// ---------------------------------------------------------------------------
+
+TEST(NativeBatch, DrainAcrossTimestampTieBreakBoundary) {
+  // Burst gap == pipeline latency: burst b's pipeline passes finish at
+  // exactly the timestamp burst b+1's injections arrive, so every drain
+  // runs into same-timestamp pending injections and (for delay-heavy apps)
+  // same-timestamp PFC frames — the tie-break boundaries the drain must
+  // stop at. The reference interpreter is the oracle; the per-entry loop
+  // corroborates.
+  for (const char* key : {"SFW", "NAT"}) {
+    const auto& app = apps::app(key);
+    interp::TestbedConfig cfg;
+    cfg.program_name = app.key;
+    interp::Testbed probe(app.source, cfg);
+    ASSERT_TRUE(probe.ok()) << probe.diagnostics();
+    std::string err;
+    const auto prog = Program::build(probe.compilation_ptr(), &err);
+    ASSERT_NE(prog, nullptr) << err;
+
+    const sim::Time pipe = pisa::SwitchConfig{}.pipeline_latency_ns;
+    const auto plan =
+        diff::make_burst_schedule(prog->ir(), 23, 40, 8, /*gap_ns=*/pipe);
+
+    const auto iref = diff::run_interp(app.source, app.key, plan);
+    ReplicaConfig batched;
+    batched.batch_loop = true;
+    const auto nbatch = diff::run_native(prog, plan, batched);
+    ReplicaConfig per_entry;
+    per_entry.batch_loop = false;
+    const auto nentry = diff::run_native(prog, plan, per_entry);
+
+    EXPECT_EQ(diff::compare(prog->ir(), iref, nbatch), "") << key;
+    EXPECT_EQ(diff::compare(prog->ir(), nentry, nbatch), "") << key;
+    EXPECT_GT(nbatch.executed, 0u) << key;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fleet under a live control plane (TSan target: ctest -L concurrency)
+// ---------------------------------------------------------------------------
+
+TEST(NativeFleet, ControlPlaneAppliesWhileFleetRuns) {
+  const auto prog = build_app("SFW");
+  ASSERT_NE(prog, nullptr);
+
+  FleetConfig fcfg;
+  fcfg.shards = 4;
+  fcfg.label_metrics = false;
+  ReplicaFleet fleet(prog, fcfg);
+  ctrl::FleetDataPlane dp(fleet);
+
+  // The ControlPlane lives on its own side scheduler (the control point in
+  // a deployment); batches apply on this thread at flush boundaries, while
+  // the fleet's shards run on pool workers and a producer thread submits
+  // concurrently — the exact discipline native_bridge.hpp documents, and
+  // what TSan checks under -DLUCID_SANITIZER=thread.
+  sim::Simulator sim;
+  pisa::SwitchConfig sw_cfg;
+  sw_cfg.id = 99;
+  pisa::Switch sw(sim, sw_cfg);
+  sched::EventScheduler sc(sw, sched::SchedulerConfig{});
+  ctrl::ControlPlane plane(dp, sc, ctrl::ControlPlaneConfig{});
+
+  // A control-written array with at least 8 cells.
+  const ir::ArrayInfo* arr = nullptr;
+  for (const auto& cand : prog->ir().arrays) {
+    if (cand.size >= 8) {
+      arr = &cand;
+      break;
+    }
+  }
+  ASSERT_NE(arr, nullptr);
+  ASSERT_TRUE(dp.has_array(arr->name));
+
+  const auto plan = diff::make_burst_schedule(prog->ir(), 31, 40, 8);
+  for (const auto& e : plan.entries) {
+    ASSERT_TRUE(fleet.schedule_inject(e.t, e.event, e.args));
+  }
+
+  std::atomic<int> committed{0};
+  std::thread producer([&plane, &committed, arr] {
+    for (int i = 0; i < 64; ++i) {
+      ctrl::UpdateBatch b;
+      b.writes.push_back(ctrl::RegWrite{arr->name, i % 8, i & 1});
+      b.on_done = [&committed](const ctrl::BatchResult& r) {
+        if (r.applied) committed.fetch_add(1);
+      };
+      plane.submit(std::move(b));
+    }
+  });
+
+  // Alternate run slices and apply ticks: shard state is only touched from
+  // this thread while the fleet is quiescent (the pool join publishes it).
+  for (int slice = 1; slice <= 8; ++slice) {
+    fleet.run_until(plan.horizon * slice / 8);
+    plane.flush();
+  }
+  producer.join();
+  plane.flush();
+  EXPECT_EQ(committed.load(), 64);
+  EXPECT_GT(fleet.merged_stats().executed, 0u);
+
+  // Determinism check after the race: a batch applied with the fleet fully
+  // drained is the last writer, so every shard must agree on it
+  // (replicated control tables broadcast to all shards).
+  ctrl::UpdateBatch fin;
+  for (std::int64_t i = 0; i < 8; ++i) {
+    fin.writes.push_back(ctrl::RegWrite{arr->name, i, i & 1});
+  }
+  plane.submit(std::move(fin));
+  plane.flush();
+  const int slot = prog->ir().array_index.at(arr->name);
+  for (std::int64_t i = 0; i < 8; ++i) {
+    const std::int64_t want = i & 1;
+    EXPECT_EQ(dp.read(arr->name, i), want) << "index " << i;
+    for (int s = 0; s < fleet.shards(); ++s) {
+      EXPECT_EQ(fleet.shard(static_cast<std::size_t>(s))
+                    .control_read(static_cast<std::size_t>(slot), i),
+                want)
+          << "shard " << s << " index " << i;
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------

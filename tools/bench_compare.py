@@ -46,6 +46,7 @@ NOISY_MARKERS = (
     "geomean",
     "overhead",
     "latency",
+    "scaling",
 )
 
 NOISY_THRESHOLD = 0.50

@@ -137,9 +137,22 @@ def validate_prom(path):
                 fail(f'{where}: histogram bucket without an le="" label')
             le_raw = le_match.group(1)
             upper = math.inf if le_raw == "+Inf" else parse_value(le_raw, where)
-            buckets.setdefault(family, []).append((upper, value, line_no))
+            # A labeled family is one series per label set; key the cumulative
+            # check on (family, labels-minus-le) so shard="0" and shard="1"
+            # buckets validate independently.
+            rest = ",".join(
+                part
+                for part in labels.split(",")
+                if part and not part.startswith('le="')
+            )
+            series = f"{family}{{{rest}}}" if rest else family
+            buckets.setdefault(series, []).append((upper, value, line_no))
         elif name.endswith("_count"):
-            counts[name[: -len("_count")]] = (value, line_no)
+            series = name[: -len("_count")]
+            labels = match.group("labels") or ""
+            if labels:
+                series = f"{series}{{{labels}}}"
+            counts[series] = (value, line_no)
     for family, rows in buckets.items():
         last = -math.inf
         prev_upper = -math.inf
